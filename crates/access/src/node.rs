@@ -1,0 +1,414 @@
+//! B+-tree node encoding: one tree node = one slotted-page record.
+//!
+//! ```text
+//! leaf:     [0x4C, n: u16, (key u64, value u64) * n]            sorted by key
+//! internal: [0x49, n: u16, (child rid: pid u64 + slot u16) * (n+1), key u64 * n]
+//! ```
+
+use cblog_common::{Decoder, Encoder, Error, PageId, Result, Rid};
+
+const TAG_LEAF: u8 = 0x4C;
+const TAG_INTERNAL: u8 = 0x49;
+
+/// Node flavour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Holds key → value entries.
+    Leaf,
+    /// Holds separators and child record ids.
+    Internal,
+}
+
+/// An in-memory tree node (decoded record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeNode {
+    kind: NodeKind,
+    /// Leaf: sorted (key, value). Internal: sorted separator keys.
+    keys: Vec<u64>,
+    /// Leaf only.
+    values: Vec<u64>,
+    /// Internal only: children.len() == keys.len() + 1.
+    children: Vec<Rid>,
+}
+
+impl TreeNode {
+    /// A leaf with no entries.
+    pub fn empty_leaf() -> TreeNode {
+        TreeNode {
+            kind: NodeKind::Leaf,
+            keys: Vec::new(),
+            values: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// An internal node over `children` separated by `keys`.
+    pub fn internal(keys: Vec<u64>, children: Vec<Rid>) -> TreeNode {
+        assert_eq!(children.len(), keys.len() + 1);
+        TreeNode {
+            kind: NodeKind::Internal,
+            keys,
+            values: Vec::new(),
+            children,
+        }
+    }
+
+    /// Node flavour.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// Number of keys (leaf entries or separators).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the node holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    // -------------------------------------------------------------
+    // Leaf operations
+    // -------------------------------------------------------------
+
+    /// Value for `key`, if present (leaf only).
+    pub fn leaf_get(&self, key: u64) -> Option<u64> {
+        debug_assert_eq!(self.kind, NodeKind::Leaf);
+        self.keys
+            .binary_search(&key)
+            .ok()
+            .map(|i| self.values[i])
+    }
+
+    /// Inserts/overwrites an entry (leaf only).
+    pub fn leaf_insert(&mut self, key: u64, value: u64) {
+        debug_assert_eq!(self.kind, NodeKind::Leaf);
+        match self.keys.binary_search(&key) {
+            Ok(i) => self.values[i] = value,
+            Err(i) => {
+                self.keys.insert(i, key);
+                self.values.insert(i, value);
+            }
+        }
+    }
+
+    /// Removes an entry (leaf only), returning its value.
+    pub fn leaf_remove(&mut self, key: u64) -> Option<u64> {
+        debug_assert_eq!(self.kind, NodeKind::Leaf);
+        match self.keys.binary_search(&key) {
+            Ok(i) => {
+                self.keys.remove(i);
+                Some(self.values.remove(i))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// All (key, value) pairs in order (leaf only).
+    pub fn leaf_entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        debug_assert_eq!(self.kind, NodeKind::Leaf);
+        self.keys.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Splits a full leaf in half; returns `(separator, right_half)`.
+    /// The separator is the first key of the right half (B+-tree
+    /// convention: keys >= separator go right).
+    pub fn split_leaf(&mut self) -> (u64, TreeNode) {
+        debug_assert_eq!(self.kind, NodeKind::Leaf);
+        let mid = self.keys.len() / 2;
+        let right_keys = self.keys.split_off(mid);
+        let right_vals = self.values.split_off(mid);
+        let sep = right_keys[0];
+        (
+            sep,
+            TreeNode {
+                kind: NodeKind::Leaf,
+                keys: right_keys,
+                values: right_vals,
+                children: Vec::new(),
+            },
+        )
+    }
+
+    // -------------------------------------------------------------
+    // Internal-node operations
+    // -------------------------------------------------------------
+
+    /// The child to descend into for `key` (internal only).
+    pub fn child_for(&self, key: u64) -> Rid {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let i = match self.keys.binary_search(&key) {
+            Ok(i) => i + 1, // keys equal to a separator live right of it
+            Err(i) => i,
+        };
+        self.children[i]
+    }
+
+    /// Leftmost child (internal only).
+    pub fn first_child(&self) -> Rid {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        self.children[0]
+    }
+
+    /// Inserts a separator + right child after a child split.
+    pub fn internal_insert(&mut self, sep: u64, right: Rid) {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let i = match self.keys.binary_search(&sep) {
+            Ok(i) | Err(i) => i,
+        };
+        self.keys.insert(i, sep);
+        self.children.insert(i + 1, right);
+    }
+
+    /// Splits a full internal node; returns `(promoted_key, right)`.
+    /// The promoted key moves up and appears in neither half.
+    pub fn split_internal(&mut self) -> (u64, TreeNode) {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let mid = self.keys.len() / 2;
+        let up = self.keys[mid];
+        let right_keys = self.keys.split_off(mid + 1);
+        self.keys.pop(); // remove the promoted key from the left half
+        let right_children = self.children.split_off(mid + 1);
+        (
+            up,
+            TreeNode {
+                kind: NodeKind::Internal,
+                keys: right_keys,
+                values: Vec::new(),
+                children: right_children,
+            },
+        )
+    }
+
+    /// For a range scan: each child with a flag saying whether its key
+    /// interval intersects `[lo, hi]`.
+    pub fn children_covering(&self, lo: u64, hi: u64) -> Vec<(Rid, bool)> {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let mut out = Vec::with_capacity(self.children.len());
+        for (i, &child) in self.children.iter().enumerate() {
+            // Child i covers keys in [keys[i-1], keys[i]).
+            let child_lo = if i == 0 { 0 } else { self.keys[i - 1] };
+            let child_hi = if i == self.keys.len() {
+                u64::MAX
+            } else {
+                self.keys[i].saturating_sub(1)
+            };
+            out.push((child, child_lo <= hi && lo <= child_hi));
+        }
+        out
+    }
+
+    /// For structural checks: each child with its key bounds.
+    pub fn child_bounds(&self, lo: u64, hi: u64) -> Vec<(Rid, u64, u64)> {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let mut out = Vec::with_capacity(self.children.len());
+        for (i, &child) in self.children.iter().enumerate() {
+            let child_lo = if i == 0 { lo } else { self.keys[i - 1] };
+            let child_hi = if i == self.keys.len() {
+                hi
+            } else {
+                self.keys[i].saturating_sub(1)
+            };
+            out.push((child, child_lo, child_hi));
+        }
+        out
+    }
+
+    /// Verifies key ordering inside the node.
+    pub fn check_sorted(&self) -> Result<()> {
+        if self.keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Protocol(format!(
+                "unsorted node keys: {:?}",
+                self.keys
+            )));
+        }
+        if self.kind == NodeKind::Internal && self.children.len() != self.keys.len() + 1 {
+            return Err(Error::Protocol("internal arity mismatch".into()));
+        }
+        if self.kind == NodeKind::Leaf && self.values.len() != self.keys.len() {
+            return Err(Error::Protocol("leaf arity mismatch".into()));
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------------
+    // Serialization
+    // -------------------------------------------------------------
+
+    /// Serializes the node into record bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(4 + self.keys.len() * 18);
+        match self.kind {
+            NodeKind::Leaf => {
+                e.put_u8(TAG_LEAF);
+                e.put_u16(self.keys.len() as u16);
+                for (k, v) in self.keys.iter().zip(&self.values) {
+                    e.put_u64(*k);
+                    e.put_u64(*v);
+                }
+            }
+            NodeKind::Internal => {
+                e.put_u8(TAG_INTERNAL);
+                e.put_u16(self.keys.len() as u16);
+                for c in &self.children {
+                    e.put_u64(c.page.to_u64());
+                    e.put_u16(c.slot);
+                }
+                for k in &self.keys {
+                    e.put_u64(*k);
+                }
+            }
+        }
+        e.into_vec()
+    }
+
+    /// Inverse of [`TreeNode::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<TreeNode> {
+        let mut d = Decoder::new(bytes);
+        match d.get_u8()? {
+            TAG_LEAF => {
+                let n = d.get_u16()? as usize;
+                let mut keys = Vec::with_capacity(n);
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(d.get_u64()?);
+                    values.push(d.get_u64()?);
+                }
+                Ok(TreeNode {
+                    kind: NodeKind::Leaf,
+                    keys,
+                    values,
+                    children: Vec::new(),
+                })
+            }
+            TAG_INTERNAL => {
+                let n = d.get_u16()? as usize;
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..n + 1 {
+                    let page = PageId::from_u64(d.get_u64()?);
+                    let slot = d.get_u16()?;
+                    children.push(Rid::new(page, slot));
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(d.get_u64()?);
+                }
+                Ok(TreeNode {
+                    kind: NodeKind::Internal,
+                    keys,
+                    values: Vec::new(),
+                    children,
+                })
+            }
+            t => Err(Error::Corrupt(format!("bad btree node tag {t:#x}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cblog_common::NodeId;
+
+    fn rid(i: u16) -> Rid {
+        Rid::new(PageId::new(NodeId(0), 1), i)
+    }
+
+    #[test]
+    fn leaf_insert_get_remove_sorted() {
+        let mut n = TreeNode::empty_leaf();
+        for k in [5u64, 1, 9, 3, 7] {
+            n.leaf_insert(k, k * 10);
+        }
+        n.check_sorted().unwrap();
+        assert_eq!(n.leaf_get(3), Some(30));
+        assert_eq!(n.leaf_get(4), None);
+        n.leaf_insert(3, 333); // overwrite
+        assert_eq!(n.leaf_get(3), Some(333));
+        assert_eq!(n.len(), 5);
+        assert_eq!(n.leaf_remove(3), Some(333));
+        assert_eq!(n.leaf_remove(3), None);
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn leaf_split_halves_and_separates() {
+        let mut n = TreeNode::empty_leaf();
+        for k in 0..10u64 {
+            n.leaf_insert(k, k);
+        }
+        let (sep, right) = n.split_leaf();
+        assert_eq!(sep, 5);
+        assert_eq!(n.len(), 5);
+        assert_eq!(right.len(), 5);
+        assert!(n.leaf_entries().all(|(k, _)| k < sep));
+        assert!(right.leaf_entries().all(|(k, _)| k >= sep));
+    }
+
+    #[test]
+    fn internal_routing() {
+        // children: [c0 | 10 | c1 | 20 | c2]
+        let n = TreeNode::internal(vec![10, 20], vec![rid(0), rid(1), rid(2)]);
+        assert_eq!(n.child_for(5), rid(0));
+        assert_eq!(n.child_for(10), rid(1), "separator key goes right");
+        assert_eq!(n.child_for(15), rid(1));
+        assert_eq!(n.child_for(20), rid(2));
+        assert_eq!(n.child_for(u64::MAX), rid(2));
+        assert_eq!(n.first_child(), rid(0));
+    }
+
+    #[test]
+    fn internal_insert_and_split() {
+        let mut n = TreeNode::internal(vec![10], vec![rid(0), rid(1)]);
+        n.internal_insert(20, rid(2));
+        n.internal_insert(5, rid(3));
+        n.check_sorted().unwrap();
+        assert_eq!(n.len(), 3);
+        // keys [5,10,20], children [c0, c3, c1, c2]
+        assert_eq!(n.child_for(7), rid(3));
+        let (up, right) = n.split_internal();
+        assert_eq!(up, 10);
+        n.check_sorted().unwrap();
+        right.check_sorted().unwrap();
+        assert_eq!(n.len() + right.len(), 2, "promoted key in neither half");
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut leaf = TreeNode::empty_leaf();
+        for k in 0..7u64 {
+            leaf.leaf_insert(k * 3, k);
+        }
+        assert_eq!(TreeNode::decode(&leaf.encode()).unwrap(), leaf);
+
+        let internal = TreeNode::internal(vec![10, 20], vec![rid(0), rid(1), rid(2)]);
+        assert_eq!(TreeNode::decode(&internal.encode()).unwrap(), internal);
+
+        assert!(TreeNode::decode(&[0xFF, 0, 0]).is_err());
+        assert!(TreeNode::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn children_covering_prunes() {
+        let n = TreeNode::internal(vec![10, 20], vec![rid(0), rid(1), rid(2)]);
+        let cover: Vec<bool> = n
+            .children_covering(12, 15)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        assert_eq!(cover, vec![false, true, false]);
+        let cover: Vec<bool> = n
+            .children_covering(0, u64::MAX)
+            .into_iter()
+            .map(|(_, c)| c)
+            .collect();
+        assert_eq!(cover, vec![true, true, true]);
+    }
+
+    #[test]
+    fn check_sorted_catches_corruption() {
+        let n = TreeNode::internal(vec![20, 10], vec![rid(0), rid(1), rid(2)]);
+        assert!(n.check_sorted().is_err());
+    }
+}

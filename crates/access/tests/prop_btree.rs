@@ -1,0 +1,100 @@
+//! Property test: random operation sequences on the B+-tree match a
+//! `BTreeMap` model, across random fan-outs, with a structural check
+//! and a crash/recovery round at the end of every case.
+
+use cblog_access::BTree;
+use cblog_common::{CostModel, NodeId, PageId};
+use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const TREE_PAGES: u32 = 16;
+
+fn cluster() -> (Cluster, Vec<PageId>) {
+    let mut c = Cluster::new(ClusterConfig {
+        node_count: 2,
+        owned_pages: vec![TREE_PAGES, 0],
+        default_node: NodeConfig {
+            page_size: 2048,
+            buffer_frames: 32,
+            owned_pages: 0,
+            log_capacity: None,
+        },
+        cost: CostModel::unit(),
+        force_on_transfer: false,
+    })
+    .unwrap();
+    let pages: Vec<PageId> = (0..TREE_PAGES).map(|i| PageId::new(NodeId(0), i)).collect();
+    for p in &pages {
+        c.format_slotted(*p).unwrap();
+    }
+    (c, pages)
+}
+
+#[derive(Clone, Debug)]
+enum TreeOp {
+    Insert(u64, u64),
+    Delete(u64),
+    Get(u64),
+    Range(u64, u64),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        3 => (0u64..64, any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        1 => (0u64..64).prop_map(TreeOp::Delete),
+        1 => (0u64..64).prop_map(TreeOp::Get),
+        1 => (0u64..64, 0u64..64).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn btree_matches_model_and_survives_crash(
+        ops in prop::collection::vec(tree_op(), 1..120),
+        fanout in 3usize..10,
+    ) {
+        let (mut c, pages) = cluster();
+        let t = c.begin(NodeId(1)).unwrap();
+        let tree = BTree::create(&mut c, t, pages.clone(), fanout).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    tree.insert(&mut c, t, *k, *v).unwrap();
+                    model.insert(*k, *v);
+                }
+                TreeOp::Delete(k) => {
+                    let got = tree.delete(&mut c, t, *k).unwrap();
+                    prop_assert_eq!(got, model.remove(k));
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&mut c, t, *k).unwrap(), model.get(k).copied());
+                }
+                TreeOp::Range(lo, hi) => {
+                    let got = tree.range(&mut c, t, *lo, *hi).unwrap();
+                    let want: Vec<(u64, u64)> =
+                        model.range(*lo..=*hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(tree.check(&mut c, t).unwrap(), model.len());
+        c.commit(t).unwrap();
+        // Crash the owner with the current images only in its buffer;
+        // the recovered tree must still match the model.
+        for p in &pages {
+            let _ = c.evict_page(NodeId(1), *p);
+        }
+        c.crash(NodeId(0));
+        recovery::recover_single(&mut c, NodeId(0)).unwrap();
+        let t = c.begin(NodeId(1)).unwrap();
+        prop_assert_eq!(tree.check(&mut c, t).unwrap(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(tree.get(&mut c, t, *k).unwrap(), Some(*v));
+        }
+        c.commit(t).unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Force-on-transfer baseline (paper §3.2).
+//!
+//! Rdb/VMS "does not allow multiple outstanding updates belonging to
+//! different nodes to be present on a database page. Thus, modified
+//! pages are forced to disk before they are shipped from one node to
+//! another." The Mohan–Narang simple/medium shared-disks schemes force
+//! pages on exchange as well. This baseline is the client-based-logging
+//! cluster itself with that behaviour enabled, so every other protocol
+//! detail is held constant.
+
+use cblog_common::Result;
+use cblog_core::{Cluster, ClusterConfig};
+
+/// Builds a cluster identical to the client-based-logging one except
+/// that dirty pages are forced to the owner's disk on every inter-node
+/// transfer.
+pub fn force_on_transfer_cluster(mut cfg: ClusterConfig) -> Result<Cluster> {
+    cfg.force_on_transfer = true;
+    Cluster::new(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cblog_common::{CostModel, NodeId, PageId};
+    use cblog_core::NodeConfig;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig {
+            node_count: 3,
+            owned_pages: vec![4, 0, 0],
+            default_node: NodeConfig {
+                page_size: 512,
+                buffer_frames: 8,
+                owned_pages: 0,
+                log_capacity: None,
+            },
+            cost: CostModel::unit(),
+            force_on_transfer: false,
+        }
+    }
+
+    /// Ping-ponging a page between two writers forces disk writes under
+    /// the baseline but not under client-based logging.
+    #[test]
+    fn transfer_forces_disk_writes_cbl_does_not() {
+        let p = PageId::new(NodeId(0), 0);
+        let run = |mut c: Cluster| -> u64 {
+            for round in 0..4u64 {
+                for node in [1u32, 2] {
+                    let t = c.begin(NodeId(node)).unwrap();
+                    c.write_u64(t, p, 0, round * 10 + node as u64).unwrap();
+                    c.commit(t).unwrap();
+                }
+            }
+            c.network().disk_ios_of(NodeId(0))
+        };
+        let cbl_owner_ios = run(Cluster::new(cfg()).unwrap());
+        let fot_owner_ios = run(force_on_transfer_cluster(cfg()).unwrap());
+        assert!(
+            fot_owner_ios > cbl_owner_ios + 4,
+            "force-on-transfer must write the page on every exchange: \
+             cbl={cbl_owner_ios} fot={fot_owner_ios}"
+        );
+    }
+
+    /// Both variants converge to the same committed state.
+    #[test]
+    fn semantics_identical_under_both_policies() {
+        let p = PageId::new(NodeId(0), 0);
+        let mut finals = Vec::new();
+        for force in [false, true] {
+            let mut c = if force {
+                force_on_transfer_cluster(cfg()).unwrap()
+            } else {
+                Cluster::new(cfg()).unwrap()
+            };
+            for i in 0..6u64 {
+                let node = 1 + (i % 2) as u32;
+                let t = c.begin(NodeId(node)).unwrap();
+                c.write_u64(t, p, 0, i).unwrap();
+                c.commit(t).unwrap();
+            }
+            let t = c.begin(NodeId(1)).unwrap();
+            finals.push(c.read_u64(t, p, 0).unwrap());
+            c.commit(t).unwrap();
+        }
+        assert_eq!(finals[0], finals[1]);
+        assert_eq!(finals[0], 5);
+    }
+}

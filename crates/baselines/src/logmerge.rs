@@ -1,0 +1,129 @@
+//! Analytic cost model for log-merging recovery (paper §3.2).
+//!
+//! In the Mohan–Narang fast and super-fast shared-disks schemes,
+//! "private logs have to be merged … even in the case where only a
+//! single node crashes": the recovering node must obtain every node's
+//! log tail (since its last relevant checkpoint), merge-sort the
+//! records, and replay. The paper's contribution (3) is avoiding that
+//! entirely. This module prices the merge against the *live* state of
+//! a client-based-logging cluster, so experiment E5 can print
+//! merge-recovery cost next to the measured NodePSNList cost for the
+//! identical crash scenario.
+
+use cblog_common::NodeId;
+use cblog_core::Cluster;
+
+/// Cost of a hypothetical merge-based recovery for the same crash.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogMergeCost {
+    /// Number of logs that must be read (all nodes with any records
+    /// past their checkpoint).
+    pub logs_merged: usize,
+    /// Log bytes read and merged.
+    pub bytes_read: u64,
+    /// Messages to ship remote log tails to the recovering node
+    /// (chunked at page size).
+    pub messages: u64,
+    /// Records processed by the merge (estimated from bytes with the
+    /// cluster's observed mean record size).
+    pub records_merged: u64,
+}
+
+/// Prices merge-based recovery of `crashed` against `cluster`'s
+/// current log states. Every node's log tail from its last complete
+/// checkpoint participates: that is what a merging scheme must read to
+/// find updates other nodes performed on the crashed node's pages.
+pub fn log_merge_cost(cluster: &Cluster, crashed: &[NodeId]) -> LogMergeCost {
+    let mut out = LogMergeCost::default();
+    let page_size = cluster.config().default_node.page_size as u64;
+    let mut total_records = 0u64;
+    let mut total_bytes_all = 0u64;
+    for i in 0..cluster.node_count() {
+        let node = NodeId(i as u32);
+        let lm = cluster.node(node).log();
+        let ckpt = lm.last_checkpoint();
+        let from = if ckpt.is_zero() { lm.base_lsn() } else { ckpt };
+        let tail = lm.flushed_lsn().0.saturating_sub(from.0);
+        total_records += lm.records_appended();
+        total_bytes_all += lm.flushed_lsn().0;
+        if tail == 0 {
+            continue;
+        }
+        out.logs_merged += 1;
+        out.bytes_read += tail;
+        if !crashed.contains(&node) {
+            // Remote tails must travel to the recovering node.
+            out.messages += tail.div_ceil(page_size);
+        }
+    }
+    let mean_rec = total_bytes_all
+        .checked_div(total_records)
+        .unwrap_or(1)
+        .max(1);
+    out.records_merged = out.bytes_read / mean_rec;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cblog_common::{CostModel, PageId};
+    use cblog_core::{ClusterConfig, NodeConfig};
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig {
+            node_count: 3,
+            owned_pages: vec![4, 0, 0],
+            default_node: NodeConfig {
+                page_size: 512,
+                buffer_frames: 8,
+                owned_pages: 0,
+                log_capacity: None,
+            },
+            cost: CostModel::unit(),
+            force_on_transfer: false,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn merge_cost_grows_with_all_logs_not_just_the_crashed_one() {
+        let mut c = cluster();
+        let p = PageId::new(NodeId(0), 0);
+        for i in 0..10u64 {
+            let node = 1 + (i % 2) as u32;
+            let t = c.begin(NodeId(node)).unwrap();
+            c.write_u64(t, p, 0, i).unwrap();
+            c.commit(t).unwrap();
+        }
+        let cost = log_merge_cost(&c, &[NodeId(0)]);
+        // Both clients logged; both logs participate in the merge.
+        assert!(cost.logs_merged >= 2, "got {cost:?}");
+        assert!(cost.bytes_read > 0);
+        assert!(cost.messages > 0, "remote tails must be shipped");
+        assert!(cost.records_merged > 0);
+    }
+
+    #[test]
+    fn checkpoints_shrink_the_merge() {
+        let mut c = cluster();
+        let p = PageId::new(NodeId(0), 0);
+        for i in 0..10u64 {
+            let t = c.begin(NodeId(1)).unwrap();
+            c.write_u64(t, p, 0, i).unwrap();
+            c.commit(t).unwrap();
+        }
+        let before = log_merge_cost(&c, &[NodeId(0)]);
+        c.checkpoint(NodeId(1)).unwrap();
+        let after = log_merge_cost(&c, &[NodeId(0)]);
+        assert!(after.bytes_read < before.bytes_read);
+    }
+
+    #[test]
+    fn idle_cluster_costs_nothing() {
+        let c = cluster();
+        let cost = log_merge_cost(&c, &[NodeId(0)]);
+        assert_eq!(cost.bytes_read, 0);
+        assert_eq!(cost.logs_merged, 0);
+    }
+}

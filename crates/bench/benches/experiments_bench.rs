@@ -1,0 +1,117 @@
+//! Criterion benches, one per experiment table (DESIGN.md §4). Each
+//! bench times a representative configuration of the experiment; the
+//! full sweeps/tables come from `cargo run -p cblog-bench --bin
+//! experiments`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cblog_sim::experiments::{
+    a1_ckpt_interval, e1_commit_cost, e2_scalability, e3_log_volume, e4_page_transfer,
+    e5_single_crash, e6_multi_crash, e7_checkpoint, e8_log_space, e9_rollback,
+    t1_protocol_ops,
+};
+
+fn bench_t1(c: &mut Criterion) {
+    c.bench_function("t1_protocol_ops", |b| {
+        b.iter(|| black_box(t1_protocol_ops::run()))
+    });
+}
+
+fn bench_e1(c: &mut Criterion) {
+    c.bench_function("e1_commit_cost_sweep", |b| {
+        b.iter(|| black_box(e1_commit_cost::run()))
+    });
+}
+
+fn bench_e2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_scalability");
+    g.sample_size(20);
+    g.bench_function("cbl_8_clients", |b| {
+        b.iter(|| black_box(e2_scalability::run_one(8, true)))
+    });
+    g.bench_function("csa_8_clients", |b| {
+        b.iter(|| black_box(e2_scalability::run_one(8, false)))
+    });
+    g.finish();
+}
+
+fn bench_e3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_log_volume");
+    g.sample_size(10);
+    g.bench_function("sweep", |b| b.iter(|| black_box(e3_log_volume::run())));
+    g.finish();
+}
+
+fn bench_e4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_page_transfer");
+    g.bench_function("cbl_4_sharers", |b| {
+        b.iter(|| black_box(e4_page_transfer::run_one(4, false)))
+    });
+    g.bench_function("force_on_transfer_4_sharers", |b| {
+        b.iter(|| black_box(e4_page_transfer::run_one(4, true)))
+    });
+    g.finish();
+}
+
+fn bench_e5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_single_crash");
+    g.sample_size(20);
+    g.bench_function("recover_8_dirty_pages", |b| {
+        b.iter(|| black_box(e5_single_crash::run_one(8)))
+    });
+    g.finish();
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_multi_crash");
+    g.sample_size(20);
+    g.bench_function("recover_owner_and_client", |b| {
+        b.iter(|| {
+            black_box(e6_multi_crash::run_one(&[
+                cblog_common::NodeId(0),
+                cblog_common::NodeId(2),
+            ]))
+        })
+    });
+    g.finish();
+}
+
+fn bench_e7(c: &mut Criterion) {
+    c.bench_function("e7_checkpoint_sweep", |b| {
+        b.iter(|| black_box(e7_checkpoint::run()))
+    });
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_log_space");
+    g.sample_size(20);
+    g.bench_function("bounded_8k_log", |b| {
+        b.iter(|| black_box(e8_log_space::run_one(8192)))
+    });
+    g.finish();
+}
+
+fn bench_e9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_rollback");
+    g.sample_size(20);
+    g.bench_function("abort_30pct_small_cache", |b| {
+        b.iter(|| black_box(e9_rollback::run_one(0.3, 2)))
+    });
+    g.finish();
+}
+
+fn bench_a1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a1_ckpt_interval");
+    g.sample_size(10);
+    g.bench_function("maintain_every_25", |b| {
+        b.iter(|| black_box(a1_ckpt_interval::run_one(25)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches, bench_t1, bench_e1, bench_e2, bench_e3, bench_e4, bench_e5, bench_e6, bench_e7,
+    bench_e8, bench_e9, bench_a1
+);
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! Micro-benchmarks of the substrate (DESIGN.md §4: m1–m6): log
+//! append/force batching, buffer pool, lock tables, PSN-filtered
+//! replay, DPT maintenance, and the B+-tree access method.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cblog_common::{Lsn, NodeId, PageId, Psn, TxnId};
+use cblog_locks::{GlobalLockTable, LocalLockTable, LockMode};
+use cblog_storage::{BufferPool, Page, PageKind};
+use cblog_wal::{DirtyPageTable, LogManager, LogPayload, LogRecord, MemLogStore, PageOp};
+
+fn update_record(seq: u64, prev: Lsn) -> LogRecord {
+    LogRecord {
+        txn: TxnId::new(NodeId(1), seq),
+        prev_lsn: prev,
+        payload: LogPayload::Update {
+            pid: PageId::new(NodeId(1), (seq % 64) as u32),
+            psn_before: Psn(seq),
+            op: PageOp::WriteRange {
+                off: ((seq % 100) * 8) as u32,
+                before: seq.to_le_bytes().to_vec(),
+                after: (seq + 1).to_le_bytes().to_vec(),
+            },
+        },
+    }
+}
+
+fn m1_log_append(c: &mut Criterion) {
+    let mut g = c.benchmark_group("m1_log_append");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("append_1000_then_force", |b| {
+        b.iter(|| {
+            let mut lm = LogManager::new(NodeId(1), Box::new(MemLogStore::new())).unwrap();
+            let mut prev = Lsn::ZERO;
+            for i in 0..1000 {
+                prev = lm.append(&update_record(i, prev)).unwrap();
+            }
+            lm.force_all().unwrap();
+            black_box(lm.end_lsn())
+        })
+    });
+    g.bench_function("append_1000_force_each", |b| {
+        b.iter(|| {
+            let mut lm = LogManager::new(NodeId(1), Box::new(MemLogStore::new())).unwrap();
+            let mut prev = Lsn::ZERO;
+            for i in 0..1000 {
+                prev = lm.append(&update_record(i, prev)).unwrap();
+                lm.force(prev).unwrap();
+            }
+            black_box(lm.forces())
+        })
+    });
+    g.finish();
+}
+
+fn m2_buffer_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("m2_buffer_pool");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("hit_heavy_lookup", |b| {
+        let mut bp = BufferPool::new(128);
+        for i in 0..128u32 {
+            bp.insert(
+                Page::new(PageId::new(NodeId(1), i), PageKind::Raw, Psn(1), 1024),
+                false,
+            )
+            .unwrap();
+        }
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u32 {
+                if bp.get(PageId::new(NodeId(1), i % 128)).is_some() {
+                    acc += 1;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("evict_heavy_insert", |b| {
+        b.iter(|| {
+            let mut bp = BufferPool::new(64);
+            for i in 0..10_000u32 {
+                bp.insert(
+                    Page::new(PageId::new(NodeId(1), i), PageKind::Raw, Psn(1), 1024),
+                    i % 3 == 0,
+                )
+                .unwrap();
+            }
+            black_box(bp.len())
+        })
+    });
+    g.finish();
+}
+
+fn m3_lock_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("m3_lock_tables");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("local_grant_release_cycle", |b| {
+        b.iter(|| {
+            let mut lt = LocalLockTable::new();
+            for i in 0..1000u64 {
+                let t = TxnId::new(NodeId(1), i);
+                let p = PageId::new(NodeId(0), (i % 32) as u32);
+                let _ = lt.request(t, p, LockMode::Exclusive);
+                lt.release_all(t);
+            }
+            black_box(lt.grant_count())
+        })
+    });
+    g.bench_function("global_callback_cycle", |b| {
+        b.iter(|| {
+            let mut gt = GlobalLockTable::new();
+            let p = PageId::new(NodeId(0), 0);
+            for i in 0..1000u32 {
+                let a = NodeId(1 + (i % 4));
+                match gt.request(p, a, LockMode::Exclusive) {
+                    cblog_locks::GlobalRequestOutcome::Granted => {}
+                    cblog_locks::GlobalRequestOutcome::NeedsCallbacks(cbs) => {
+                        for (v, act) in cbs {
+                            gt.callback_applied(p, v, act);
+                        }
+                        let _ = gt.request(p, a, LockMode::Exclusive);
+                    }
+                }
+            }
+            black_box(gt.grant_count())
+        })
+    });
+    g.finish();
+}
+
+fn m4_psn_replay(c: &mut Criterion) {
+    // Replay filtering: a page with 1000 logged updates rebuilt from
+    // PSN 1.
+    let mut lm = LogManager::new(NodeId(1), Box::new(MemLogStore::new())).unwrap();
+    let pid = PageId::new(NodeId(1), 0);
+    let mut prev = Lsn::ZERO;
+    for i in 0..1000u64 {
+        prev = lm
+            .append(&LogRecord {
+                txn: TxnId::new(NodeId(1), 1),
+                prev_lsn: prev,
+                payload: LogPayload::Update {
+                    pid,
+                    psn_before: Psn(1 + i),
+                    op: PageOp::WriteRange {
+                        off: ((i % 100) * 8) as u32,
+                        before: i.to_le_bytes().to_vec(),
+                        after: (i + 1).to_le_bytes().to_vec(),
+                    },
+                },
+            })
+            .unwrap();
+    }
+    lm.force_all().unwrap();
+    let mut g = c.benchmark_group("m4_psn_replay");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("scan_and_apply_1000", |b| {
+        b.iter(|| {
+            let mut page = Page::new(pid, PageKind::Raw, Psn(1), 1024);
+            let mut pos = Lsn(8);
+            let end = lm.end_lsn();
+            let mut applied = 0u64;
+            while pos < end {
+                let (rec, next) = lm.read_record(pos).unwrap();
+                if rec.page() == Some(pid) && rec.psn_before() == Some(page.psn()) {
+                    rec.op().unwrap().apply_redo(&mut page).unwrap();
+                    page.set_psn(rec.psn_before().unwrap().next());
+                    applied += 1;
+                }
+                pos = next;
+            }
+            black_box(applied)
+        })
+    });
+    g.finish();
+}
+
+fn m5_dpt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("m5_dpt");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("update_replace_ack_cycle", |b| {
+        b.iter(|| {
+            let mut dpt = DirtyPageTable::new();
+            for i in 0..1000u64 {
+                let pid = PageId::new(NodeId(0), (i % 64) as u32);
+                dpt.ensure(pid, Psn(i), Lsn(i * 10));
+                dpt.on_update(pid, Psn(i + 1), Lsn(i * 10));
+                if i % 3 == 0 {
+                    dpt.on_replace(pid, Lsn(i * 10 + 5));
+                    dpt.on_flush_ack(pid);
+                }
+            }
+            black_box(dpt.min_redo_lsn())
+        })
+    });
+    g.finish();
+}
+
+fn m6_btree(c: &mut Criterion) {
+    use cblog_access::BTree;
+    use cblog_common::CostModel;
+    use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+
+    let mut g = c.benchmark_group("m6_btree");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(500));
+    g.bench_function("insert_500_then_probe", |b| {
+        b.iter(|| {
+            let mut cl = Cluster::new(ClusterConfig {
+                node_count: 2,
+                owned_pages: vec![24, 0],
+                default_node: NodeConfig {
+                    page_size: 2048,
+                    buffer_frames: 48,
+                    owned_pages: 0,
+                    log_capacity: None,
+                },
+                cost: CostModel::unit(),
+                force_on_transfer: false,
+            })
+            .unwrap();
+            let pages: Vec<PageId> =
+                (0..24).map(|i| PageId::new(NodeId(0), i)).collect();
+            for p in &pages {
+                cl.format_slotted(*p).unwrap();
+            }
+            let t = cl.begin(NodeId(1)).unwrap();
+            let tree = BTree::create(&mut cl, t, pages, 16).unwrap();
+            for k in 0..500u64 {
+                tree.insert(&mut cl, t, k.wrapping_mul(2654435761) % 10000, k).unwrap();
+            }
+            let mut hits = 0u64;
+            for k in 0..500u64 {
+                if tree
+                    .get(&mut cl, t, k.wrapping_mul(2654435761) % 10000)
+                    .unwrap()
+                    .is_some()
+                {
+                    hits += 1;
+                }
+            }
+            cl.commit(t).unwrap();
+            black_box(hits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    m1_log_append,
+    m2_buffer_pool,
+    m3_lock_tables,
+    m4_psn_replay,
+    m5_dpt,
+    m6_btree
+);
+criterion_main!(benches);

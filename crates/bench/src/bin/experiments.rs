@@ -1,0 +1,17 @@
+//! Prints every experiment table (T1, E1–E9). Usage:
+//!
+//! ```text
+//! cargo run --release -p cblog-bench --bin experiments [--csv]
+//! ```
+
+fn main() {
+    let csv = std::env::args().any(|a| a == "--csv");
+    for table in cblog_bench::experiments::run_all() {
+        if csv {
+            print!("{}", table.to_csv());
+        } else {
+            print!("{}", table.render());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,32 @@
+//! Common foundation types for the client-based logging system.
+//!
+//! This crate defines the identifier types shared by every subsystem
+//! (nodes, pages, transactions, log sequence numbers, page sequence
+//! numbers), the error type, a small binary codec with checksumming used
+//! by both the page store and the write-ahead log, and the simulated
+//! clock / cost model that powers the deterministic distributed
+//! experiments.
+//!
+//! The identifier discipline follows the ICDE 1996 paper "Client-Based
+//! Logging for High Performance Distributed Architectures":
+//!
+//! * [`Psn`] — *page sequence number*, incremented by one on every update
+//!   to a page and stored both in the page header and in every log record
+//!   describing an update to the page. PSNs give a total order of updates
+//!   to a single page across *all* nodes without any clock
+//!   synchronization (page-level X locks serialize updates).
+//! * [`Lsn`] — *log sequence number*, the byte address of a record in one
+//!   node's **local** log. LSNs are never compared across nodes; each log
+//!   is private and logs are never merged.
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod simclock;
+pub mod stats;
+
+pub use codec::{crc32, Decoder, Encoder};
+pub use error::{Error, Result};
+pub use ids::{Lsn, NodeId, PageId, Psn, Rid, TxnId};
+pub use simclock::{CostModel, SimClock, SimTime};
+pub use stats::Counter;

@@ -1,0 +1,59 @@
+//! Lightweight event counters used by every subsystem.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A shared, cheaply-clonable event counter.
+///
+/// Subsystems hand out clones so the experiment harness can observe
+/// buffer-pool, log and network activity without threading references
+/// through every call. The simulator is single-threaded by design, so a
+/// `Cell` suffices.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    inner: Rc<Cell<u64>>,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.inner.set(self.inner.get() + n);
+    }
+
+    /// Adds one event.
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.inner.get()
+    }
+
+    /// Resets to zero (e.g. after warmup).
+    pub fn reset(&self) {
+        self.inner.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = Counter::new();
+        let b = a.clone();
+        a.bump();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+        a.reset();
+        assert_eq!(b.get(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cluster and node configuration.
+
+use cblog_common::CostModel;
+
+/// Configuration of a single node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Page size in bytes (also the database block size).
+    pub page_size: usize,
+    /// Buffer pool capacity in pages.
+    pub buffer_frames: usize,
+    /// Pages in the local database (0 = diskless client node that owns
+    /// no data but still has a local log, like nodes 2 and 4 in the
+    /// paper's Figure 1).
+    pub owned_pages: u32,
+    /// Bounded log size in bytes (None = unbounded). Bounded logs
+    /// trigger the §2.5 space-management protocol.
+    pub log_capacity: Option<u64>,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            page_size: 1024,
+            buffer_frames: 64,
+            owned_pages: 16,
+            log_capacity: None,
+        }
+    }
+}
+
+/// Configuration of a whole cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes. Node ids are `0..node_count`.
+    pub node_count: usize,
+    /// Pages owned by each node (len must equal `node_count`; nodes
+    /// with 0 own no database). If shorter, missing entries default to
+    /// `default_node.owned_pages`.
+    pub owned_pages: Vec<u32>,
+    /// Template for per-node settings other than `owned_pages`.
+    pub default_node: NodeConfig,
+    /// Simulated cost model for messages and disk I/O.
+    pub cost: CostModel,
+    /// Baseline ablation: force every dirty page to the owner's disk
+    /// when it is transferred between nodes (Rdb/VMS and the
+    /// Mohan–Narang simple/medium shared-disks schemes, paper §3.2).
+    /// The paper's design keeps this off — contribution (1).
+    pub force_on_transfer: bool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            node_count: 2,
+            owned_pages: Vec::new(),
+            default_node: NodeConfig::default(),
+            cost: CostModel::default(),
+            force_on_transfer: false,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Per-node config for node `i`.
+    pub fn node_config(&self, i: usize) -> NodeConfig {
+        let mut cfg = self.default_node.clone();
+        if let Some(&p) = self.owned_pages.get(i) {
+            cfg.owned_pages = p;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_config_overrides_owned_pages() {
+        let cfg = ClusterConfig {
+            node_count: 3,
+            owned_pages: vec![8, 0],
+            ..ClusterConfig::default()
+        };
+        assert_eq!(cfg.node_config(0).owned_pages, 8);
+        assert_eq!(cfg.node_config(1).owned_pages, 0);
+        // Missing entry falls back to the template.
+        assert_eq!(cfg.node_config(2).owned_pages, NodeConfig::default().owned_pages);
+    }
+}

@@ -1,0 +1,1159 @@
+//! Distributed crash recovery (paper §2.3 and §2.4).
+//!
+//! The defining property: **node log files are never merged**. After a
+//! crash, the recovering node
+//!
+//! 1. runs ARIES analysis over its own log (rebuilding a conservative
+//!    DPT superset and the loser-transaction table),
+//! 2. gathers, from every operational node, the list of its pages they
+//!    cache and their DPT entries for its pages (§2.3.1),
+//! 3. determines which pages need recovery (in someone's DPT and
+//!    cached nowhere) and which nodes are involved, filtering by PSN
+//!    against the on-disk version (§2.3.2),
+//! 4. reconstructs lock tables (§2.3.3): operational nodes drop the
+//!    crashed node's shared locks and retain its exclusive locks; lock
+//!    lists are shipped back; recovery locks fence unrecovered pages,
+//! 5. coordinates per-page replay in ascending PSN order by shuttling
+//!    the page among the involved nodes, each of which replays an
+//!    interval of its **own** log under the PSN filter (§2.3.4),
+//! 6. undoes its loser transactions locally, writing CLRs.
+//!
+//! Multiple simultaneous crashes (§2.4) additionally reconstruct each
+//! crashed node's DPT superset from its log and route every node's DPT
+//! entries to the page owners, which merge them into per-owner
+//! recovery sets; replay then proceeds exactly as in the single-crash
+//! case, possibly involving several crashed nodes' logs per page.
+
+use crate::cluster::{Cluster, CTRL_BYTES};
+use crate::node::{NodePsnEntry, RollbackStep};
+use cblog_common::{Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
+use cblog_locks::LockMode;
+use cblog_net::MsgKind;
+use cblog_wal::DptEntry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What a recovery run did — the measurable quantities of experiments
+/// E5/E6.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// The nodes that were recovered.
+    pub recovered_nodes: Vec<NodeId>,
+    /// Pages replayed via the NodePSNList protocol.
+    pub pages_recovered: usize,
+    /// Pages whose cached copies made replay unnecessary.
+    pub pages_skipped_cached: usize,
+    /// Pages pulled from an operational cache to the owner (§2.3.1).
+    pub pages_pulled_to_owner: usize,
+    /// Loser transactions rolled back.
+    pub losers_undone: usize,
+    /// Update/CLR records re-applied during replay.
+    pub records_replayed: u64,
+    /// Log bytes scanned across all logs (analysis + PSN lists).
+    pub log_bytes_scanned: u64,
+    /// Recovery protocol messages exchanged.
+    pub messages: u64,
+    /// Page shuttle hops during coordinated replay.
+    pub page_hops: u64,
+}
+
+/// Information one node contributes to another node's recovery.
+#[derive(Clone, Debug, Default)]
+struct ContributedInfo {
+    /// Pages (owned by the recovering node) this node caches, with the
+    /// cached copy's PSN.
+    cached: Vec<(PageId, Psn)>,
+    /// This node's DPT entries for pages owned by the recovering node.
+    dpt: Vec<DptEntry>,
+    /// Locks this node holds on the recovering node's pages.
+    locks_held: Vec<(PageId, LockMode)>,
+    /// Pages owned by this node on which the recovering node held an
+    /// exclusive lock at crash time (retained as a fence).
+    crashed_exclusive: Vec<PageId>,
+}
+
+/// Recovers a single crashed node (paper §2.3). Transaction processing
+/// on the remaining nodes may resume as soon as this returns.
+pub fn recover_single(cluster: &mut Cluster, node: NodeId) -> Result<RecoveryReport> {
+    recover(cluster, &[node])
+}
+
+/// Recovers one or more simultaneously crashed nodes (paper §2.4 when
+/// more than one).
+pub fn recover(cluster: &mut Cluster, crashed: &[NodeId]) -> Result<RecoveryReport> {
+    recover_impl(cluster, crashed, None)
+}
+
+/// Recovery coordinated by a hot standby node (paper §2.3: "our
+/// algorithms allow any node that has access to the database and the
+/// log file of the crashed node to perform crash recovery").
+///
+/// The standby drives every phase of the protocol — information
+/// gathering, lock reconstruction, NodePSNList merging and the
+/// per-page replay shuttle — so the coordination load (messages,
+/// handling time) lands on the standby instead of the restarting
+/// node. In this data-shipping realization the crashed node's log is
+/// still scanned by its own (restarting) process; on shared disks the
+/// standby would read it directly with the same algorithm.
+pub fn recover_with_standby(
+    cluster: &mut Cluster,
+    crashed: &[NodeId],
+    standby: NodeId,
+) -> Result<RecoveryReport> {
+    if crashed.contains(&standby) {
+        return Err(Error::Invalid(format!("{standby} is itself crashed")));
+    }
+    if cluster.network().is_crashed(standby) {
+        return Err(Error::NodeDown(standby));
+    }
+    recover_impl(cluster, crashed, Some(standby))
+}
+
+fn recover_impl(
+    cluster: &mut Cluster,
+    crashed: &[NodeId],
+    standby: Option<NodeId>,
+) -> Result<RecoveryReport> {
+    let coord_of = |c: NodeId| standby.unwrap_or(c);
+    let mut report = RecoveryReport {
+        recovered_nodes: crashed.to_vec(),
+        ..RecoveryReport::default()
+    };
+    let msgs0 = cluster.network().stats().recovery_messages();
+    for &c in crashed {
+        if !cluster.node(c).is_crashed() {
+            return Err(Error::Protocol(format!("{c} is not crashed")));
+        }
+    }
+    // Restart: nodes become reachable again for the recovery dialogue.
+    for &c in crashed {
+        cluster.network_mut().mark_up(c);
+        cluster.node_mut(c).mark_restarting();
+    }
+    let crashed_set: BTreeSet<NodeId> = crashed.iter().copied().collect();
+    let all: Vec<NodeId> = (0..cluster.node_count() as u32).map(NodeId).collect();
+    let operational: Vec<NodeId> = all
+        .iter()
+        .copied()
+        .filter(|n| !crashed_set.contains(n) && !cluster.network().is_crashed(*n))
+        .collect();
+
+    // ---- Phase 1: local analysis at every crashed node (§2.3.1/§2.4:
+    // a DPT superset is reconstructed by scanning the local log from
+    // the last complete checkpoint). ----
+    let mut losers: BTreeMap<NodeId, Vec<TxnId>> = BTreeMap::new();
+    for &c in crashed {
+        let a = cluster.node_mut(c).restart_analysis()?;
+        report.log_bytes_scanned += a.bytes_scanned;
+        losers.insert(c, a.losers);
+    }
+
+    // ---- Phase 2: information exchange. Every crashed node C hears
+    // from every *other* node (operational or also recovering): cache
+    // inventory, DPT entries for C's pages, lock lists (§2.3.1,
+    // §2.3.3). ----
+    let mut info: BTreeMap<(NodeId, NodeId), ContributedInfo> = BTreeMap::new();
+    for &c in crashed {
+        for &r in &all {
+            if r == c {
+                continue;
+            }
+            let co = coord_of(c);
+            if co != r {
+                cluster
+                    .network_mut()
+                    .send(co, r, MsgKind::RecoveryInfoRequest, CTRL_BYTES)?;
+            }
+            let contrib = collect_contribution(cluster, r, c, crashed_set.contains(&r));
+            let reply_bytes = CTRL_BYTES
+                + contrib.cached.len() * 16
+                + contrib.dpt.len() * 44
+                + contrib.locks_held.len() * 12
+                + contrib.crashed_exclusive.len() * 8;
+            if co != r {
+                cluster
+                    .network_mut()
+                    .send(r, co, MsgKind::RecoveryInfoReply, reply_bytes)?;
+            }
+            info.insert((c, r), contrib);
+        }
+    }
+
+    // ---- Phase 3: lock reconstruction (§2.3.3). ----
+    for &c in crashed {
+        // Rebuild C's owner-side global lock table from the lists sent
+        // by the other nodes.
+        for &r in &all {
+            if r == c {
+                continue;
+            }
+            let locks = info[&(c, r)].locks_held.clone();
+            if !locks.is_empty() {
+                let co = coord_of(c);
+                if co != r {
+                    cluster
+                        .network_mut()
+                        .send(r, co, MsgKind::LockListShip, CTRL_BYTES + locks.len() * 12)?;
+                }
+                for (pid, mode) in locks {
+                    cluster.node_mut(c).global_locks.insert_grant(pid, r, mode);
+                }
+            }
+        }
+        // Re-establish C's cached exclusive locks on remote pages (the
+        // owners retained them as fences).
+        for &r in &all {
+            if r == c {
+                continue;
+            }
+            for pid in info[&(c, r)].crashed_exclusive.clone() {
+                cluster
+                    .node_mut(c)
+                    .cached_locks
+                    .grant(pid, LockMode::Exclusive);
+            }
+        }
+    }
+
+    // ---- Phase 4: determine per-owner recovery sets (§2.3.1 / §2.4).
+    // For every page owned by a crashed node and present in anyone's
+    // DPT: if an operational node caches it, the cached copy is
+    // current (skip replay; pull the copy to the owner so a later
+    // crash elsewhere stays recoverable); otherwise it must be rebuilt
+    // from the involved nodes' logs. ----
+    #[derive(Default, Debug)]
+    struct PageRecovery {
+        involved: Vec<(NodeId, DptEntry)>,
+    }
+    let mut plans: BTreeMap<PageId, PageRecovery> = BTreeMap::new();
+    for &c in crashed {
+        // Gather DPT entries for pages owned by C: C's own rebuilt DPT
+        // plus everyone's contributed entries.
+        let mut entries: Vec<(NodeId, DptEntry)> = Vec::new();
+        for e in cluster.node(c).dpt().entries_for_owner(c) {
+            entries.push((c, e));
+        }
+        for &r in &all {
+            if r == c {
+                continue;
+            }
+            for e in info[&(c, r)].dpt.clone() {
+                entries.push((r, e));
+            }
+        }
+        // Cache inventory (operational nodes only — crashed caches are
+        // gone).
+        let mut cached_at: BTreeMap<PageId, Vec<NodeId>> = BTreeMap::new();
+        for &r in &operational {
+            for (pid, _psn) in info[&(c, r)].cached.clone() {
+                cached_at.entry(pid).or_default().push(r);
+            }
+        }
+        let mut by_page: BTreeMap<PageId, Vec<(NodeId, DptEntry)>> = BTreeMap::new();
+        for (n, e) in entries {
+            by_page.entry(e.pid).or_default().push((n, e));
+        }
+        for (pid, holders) in by_page {
+            if let Some(cachers) = cached_at.get(&pid) {
+                // Current copy survives in an operational cache: pull
+                // it to the owner (it becomes a dirty owner-side copy
+                // whose eventual flush acknowledges the DPT holders).
+                report.pages_skipped_cached += 1;
+                let src = cachers[0];
+                cluster
+                    .network_mut()
+                    .send(coord_of(c), src, MsgKind::RecoveryPageFetch, CTRL_BYTES)?;
+                let copy = cluster
+                    .node_mut(src)
+                    .buffer
+                    .peek(pid)
+                    .expect("inventory said cached")
+                    .clone();
+                let page_bytes = copy.size() + 64;
+                cluster
+                    .network_mut()
+                    .send(src, c, MsgKind::PageShip, page_bytes)?;
+                let ev = cluster.node_mut(c).receive_replaced(src, copy)?;
+                if let Some(ev) = ev {
+                    cluster.route_eviction(c, ev)?;
+                }
+                report.pages_pulled_to_owner += 1;
+                // Every DPT holder must eventually get a flush-ack.
+                for (n, _) in &holders {
+                    if *n != c {
+                        cluster
+                            .node_mut(c)
+                            .replacers
+                            .entry(pid)
+                            .or_default()
+                            .insert(*n);
+                    }
+                }
+                continue;
+            }
+            // Filter involvement by PSN against the disk version
+            // (§2.3.2): a node whose CurrPSN is not past the disk PSN
+            // has nothing to replay and drops its entry.
+            let disk = cluster.node_mut(c).disk_psn(pid)?;
+            let mut involved = Vec::new();
+            for (n, e) in holders {
+                if e.curr_psn > disk {
+                    involved.push((n, e));
+                } else {
+                    cluster.node_mut(n).dpt.remove(pid);
+                }
+            }
+            if involved.is_empty() {
+                continue;
+            }
+            plans.insert(pid, PageRecovery { involved });
+        }
+    }
+
+    // Remote-owned candidates of crashed nodes (§2.3.1 category (b)):
+    // pages owned by an *operational* node that the crashed node held
+    // exclusively. Replay the crashed node's log onto the owner's
+    // authoritative copy.
+    let mut remote_candidates: Vec<(NodeId, PageId)> = Vec::new();
+    for &c in crashed {
+        for &r in &operational {
+            for pid in info[&(c, r)].crashed_exclusive.clone() {
+                if cluster.node(c).dpt().contains(pid) {
+                    remote_candidates.push((c, pid));
+                }
+            }
+        }
+        // Reconcile DPT entries for remote pages the crashed node did
+        // NOT hold exclusively: the owner has (or has flushed) those
+        // updates; drop the entry if durable, else re-register for a
+        // future flush-ack.
+        let remote_entries: Vec<DptEntry> = cluster
+            .node(c)
+            .dpt()
+            .entries()
+            .into_iter()
+            .filter(|e| e.pid.owner != c && !crashed_set.contains(&e.pid.owner))
+            .collect();
+        for e in remote_entries {
+            let held_x = info
+                .get(&(c, e.pid.owner))
+                .map(|i| i.crashed_exclusive.contains(&e.pid))
+                .unwrap_or(false);
+            if held_x {
+                continue;
+            }
+            let disk = cluster.node_mut(e.pid.owner).disk_psn(e.pid)?;
+            if e.curr_psn <= disk {
+                cluster.node_mut(c).dpt.remove(e.pid);
+            } else {
+                // Updates live in the owner's buffer; be flush-acked
+                // when the owner writes the page.
+                cluster
+                    .node_mut(e.pid.owner)
+                    .replacers
+                    .entry(e.pid)
+                    .or_default()
+                    .insert(c);
+            }
+        }
+    }
+
+    // ---- Phase 5: recovery locks. The recovering owner takes (or
+    // keeps) exclusive fences on every page it must recover; stale
+    // page-less shared grants of other nodes on those pages are called
+    // back so nobody reads a pre-recovery disk image. ----
+    for (pid, _) in plans.iter() {
+        let owner = pid.owner;
+        if !crashed_set.contains(&owner) {
+            continue;
+        }
+        let holders = cluster.node(owner).global_locks.holders(*pid);
+        let co = coord_of(owner);
+        for (h, _) in holders {
+            if h != owner && !crashed_set.contains(&h) {
+                if co != h {
+                    cluster
+                        .network_mut()
+                        .send(co, h, MsgKind::Callback, CTRL_BYTES)?;
+                }
+                cluster.node_mut(h).cached_locks.release(*pid);
+                cluster.node_mut(h).buffer.remove(*pid);
+                if co != h {
+                    cluster
+                        .network_mut()
+                        .send(h, co, MsgKind::CallbackAck, CTRL_BYTES)?;
+                }
+                cluster
+                    .node_mut(owner)
+                    .global_locks
+                    .release(*pid, h);
+            }
+        }
+        cluster
+            .node_mut(owner)
+            .global_locks
+            .insert_grant(*pid, owner, LockMode::Exclusive);
+    }
+
+    // ---- Phase 6: NodePSNList exchange (§2.3.4). Each involved node
+    // scans its own log once for all pages it participates in. ----
+    let mut want_lists: BTreeMap<NodeId, BTreeSet<PageId>> = BTreeMap::new();
+    for (pid, plan) in &plans {
+        for (n, _) in &plan.involved {
+            want_lists.entry(*n).or_default().insert(*pid);
+        }
+    }
+    for (c, pid) in &remote_candidates {
+        want_lists.entry(*c).or_default().insert(*pid);
+    }
+    let mut psn_lists: BTreeMap<NodeId, Vec<NodePsnEntry>> = BTreeMap::new();
+    for (&n, pages) in &want_lists {
+        let pages: Vec<PageId> = pages.iter().copied().collect();
+        let coordinator_owned = pages.iter().any(|p| crashed_set.contains(&p.owner));
+        if coordinator_owned && !crashed_set.contains(&n) {
+            // Request travels coordinator → n; reply comes back.
+            let coord = coord_of(
+                pages
+                    .iter()
+                    .find(|p| crashed_set.contains(&p.owner))
+                    .map(|p| p.owner)
+                    .expect("checked"),
+            );
+            if coord != n {
+                cluster.network_mut().send(
+                    coord,
+                    n,
+                    MsgKind::PsnListRequest,
+                    CTRL_BYTES + pages.len() * 8,
+                )?;
+            }
+            let list = cluster.node_mut(n).build_psn_list(&pages)?;
+            if coord != n {
+                cluster.network_mut().send(
+                    n,
+                    coord,
+                    MsgKind::PsnListReply,
+                    CTRL_BYTES + list.len() * 24,
+                )?;
+            }
+            psn_lists.insert(n, list);
+        } else {
+            let list = cluster.node_mut(n).build_psn_list(&pages)?;
+            psn_lists.insert(n, list);
+        }
+    }
+    // Account the list-building scans.
+    for (&n, pages) in &want_lists {
+        let pages: Vec<PageId> = pages.iter().copied().collect();
+        let from = pages
+            .iter()
+            .filter_map(|p| cluster.node(n).dpt().get(*p).map(|e| e.redo_lsn))
+            .min();
+        if let Some(from) = from {
+            report.log_bytes_scanned += cluster.node(n).log().end_lsn().0 - from.0;
+        }
+    }
+
+    // ---- Phase 7: coordinated replay, page by page, in ascending PSN
+    // order; the page shuttles among the involved nodes, each applying
+    // records from its own log under the PSN filter. ----
+    for (pid, plan) in &plans {
+        let owner = pid.owner;
+        // Base image: the owner's disk version.
+        let mut page = {
+            let n = cluster.node_mut(owner);
+            let db_page = n.authoritative_copy(*pid)?;
+            db_page.0
+        };
+        cluster.network_mut().disk_io(owner, page.size());
+        let replayed = coordinate_page_replay(
+            cluster,
+            coord_of(owner),
+            *pid,
+            &mut page,
+            &plan.involved.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            &psn_lists,
+            &mut report,
+        )?;
+        report.records_replayed += replayed;
+        report.pages_recovered += 1;
+        // The recovered image is cached dirty at the owner; involved
+        // remote nodes become replacers so their surviving DPT entries
+        // are acknowledged when the page is eventually flushed.
+        for (n, _) in &plan.involved {
+            if *n != owner {
+                cluster
+                    .node_mut(owner)
+                    .replacers
+                    .entry(*pid)
+                    .or_default()
+                    .insert(*n);
+            }
+        }
+        let ev = cluster.node_mut(owner).cache_page(page, true)?;
+        if let Some(ev) = ev {
+            cluster.route_eviction(owner, ev)?;
+        }
+    }
+
+    // Remote-owned candidates: the crashed node replays its own log
+    // onto the owner's authoritative copy and re-caches the page.
+    for (c, pid) in &remote_candidates {
+        let owner = pid.owner;
+        cluster
+            .network_mut()
+            .send(*c, owner, MsgKind::RecoveryPageFetch, CTRL_BYTES)?;
+        let (mut page, did_io) = cluster.node_mut(owner).authoritative_copy(*pid)?;
+        if did_io {
+            cluster.network_mut().disk_io(owner, page.size());
+        }
+        let pb = page.size() + 64;
+        cluster
+            .network_mut()
+            .send(owner, *c, MsgKind::PageShip, pb)?;
+        let start = cluster
+            .node(*c)
+            .dpt()
+            .get(*pid)
+            .map(|e| e.redo_lsn)
+            .unwrap_or(Lsn::ZERO);
+        let (_, applied, _) = cluster.node_mut(*c).replay_page(&mut page, start, None)?;
+        report.records_replayed += applied;
+        report.pages_recovered += 1;
+        let ev = cluster.node_mut(*c).cache_page(page, true)?;
+        if let Some(ev) = ev {
+            cluster.route_eviction(*c, ev)?;
+        }
+    }
+
+    // ---- Phase 8: undo loser transactions locally, with CLRs. ----
+    for &c in crashed {
+        for txn in losers[&c].clone() {
+            cluster.node_mut(c).start_abort(txn)?;
+            loop {
+                match cluster.node_mut(c).rollback_step(txn, Lsn::ZERO)? {
+                    RollbackStep::Done => break,
+                    RollbackStep::Undone(_) => {}
+                    RollbackStep::NeedPage(pid) => {
+                        cluster.fetch_page(c, pid)?;
+                    }
+                }
+            }
+            cluster.node_mut(c).finish_abort(txn)?;
+            report.losers_undone += 1;
+        }
+        // Make the restart durable and re-anchor the log.
+        cluster.node_mut(c).log.force_all()?;
+        cluster.node_mut(c).checkpoint()?;
+        cluster.network_mut().disk_io(c, CTRL_BYTES);
+    }
+
+    // ---- Phase 9: recovery complete. ----
+    for &c in crashed {
+        for &r in &operational {
+            let co = coord_of(c);
+            if co != r {
+                cluster
+                    .network_mut()
+                    .send(co, r, MsgKind::RecoveryDone, CTRL_BYTES)?;
+            }
+        }
+    }
+    report.messages = cluster.network().stats().recovery_messages() - msgs0;
+    Ok(report)
+}
+
+/// Gathers what node `r` contributes to the recovery of `c`.
+fn collect_contribution(
+    cluster: &mut Cluster,
+    r: NodeId,
+    c: NodeId,
+    r_is_crashed: bool,
+) -> ContributedInfo {
+    let mut out = ContributedInfo::default();
+    if !r_is_crashed {
+        // Cache inventory for pages owned by c.
+        for pid in cluster.node(r).buffer().cached_ids() {
+            if pid.owner == c {
+                let psn = cluster.node(r).buffer().peek(pid).expect("listed").psn();
+                out.cached.push((pid, psn));
+            }
+        }
+        // §2.3.3 at the operational node: shared locks of the crashed
+        // node are released, exclusive locks retained.
+        let (_dropped, retained) = cluster
+            .node_mut(r)
+            .global_locks
+            .drop_shared_retain_exclusive(c);
+        out.crashed_exclusive = retained;
+        // Locks r holds on c's pages.
+        out.locks_held = cluster
+            .node(r)
+            .cached_locks()
+            .all()
+            .into_iter()
+            .filter(|(p, _)| p.owner == c)
+            .collect();
+    }
+    // DPT entries for c's pages (crashed contributors use their
+    // log-reconstructed DPT supersets, §2.4).
+    out.dpt = cluster.node(r).dpt().entries_for_owner(c);
+    out
+}
+
+/// Runs the §2.3.4 coordination loop for one page. Returns the number
+/// of records applied.
+fn coordinate_page_replay(
+    cluster: &mut Cluster,
+    coordinator: NodeId,
+    pid: PageId,
+    page: &mut cblog_storage::Page,
+    involved: &[NodeId],
+    psn_lists: &BTreeMap<NodeId, Vec<NodePsnEntry>>,
+    report: &mut RecoveryReport,
+) -> Result<u64> {
+    // Merge the per-node lists for this page, ascending by PSN, then
+    // merge adjacent same-node entries (keeping the minimum PSN).
+    let mut entries: Vec<(Psn, NodeId, Lsn)> = Vec::new();
+    for &n in involved {
+        if let Some(list) = psn_lists.get(&n) {
+            for e in list.iter().filter(|e| e.pid == pid) {
+                entries.push((e.psn, n, e.lsn));
+            }
+        }
+    }
+    entries.sort();
+    let mut merged: Vec<(Psn, NodeId, Lsn)> = Vec::new();
+    for e in entries {
+        match merged.last() {
+            Some(&(_, n, _)) if n == e.1 => {} // adjacent same node: keep first (min PSN)
+            _ => merged.push(e),
+        }
+    }
+    // Per-node resume positions (the "remembered location").
+    let mut resume: HashMap<NodeId, Lsn> = HashMap::new();
+    let mut applied_total = 0u64;
+    let page_bytes = page.size() + 64;
+    let mut queue = std::collections::VecDeque::from(merged);
+    while let Some((_psn, n, lsn)) = queue.pop_front() {
+        let bound = queue.front().map(|(p, _, _)| *p);
+        let start = *resume.get(&n).unwrap_or(&lsn);
+        if n != coordinator {
+            cluster
+                .network_mut()
+                .send(coordinator, n, MsgKind::RecoveryPageSend, page_bytes)?;
+            report.page_hops += 1;
+        }
+        let (res, applied, _hit) = cluster.node_mut(n).replay_page(page, start, bound)?;
+        resume.insert(n, res);
+        applied_total += applied;
+        if n != coordinator {
+            cluster
+                .network_mut()
+                .send(n, coordinator, MsgKind::RecoveryPageReturn, page_bytes)?;
+            report.page_hops += 1;
+        }
+    }
+    Ok(applied_total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterConfig, NodeConfig};
+    use cblog_common::CostModel;
+
+    fn cluster(owned: Vec<u32>) -> Cluster {
+        Cluster::new(ClusterConfig {
+            node_count: owned.len(),
+            owned_pages: owned,
+            default_node: NodeConfig {
+                page_size: 512,
+                buffer_frames: 16,
+                owned_pages: 0,
+                log_capacity: None,
+            },
+            cost: CostModel::unit(),
+            force_on_transfer: false,
+        })
+        .unwrap()
+    }
+
+    fn pid(owner: u32, idx: u32) -> PageId {
+        PageId::new(NodeId(owner), idx)
+    }
+
+    /// Committed-but-unflushed local updates survive the owner's crash.
+    #[test]
+    fn owner_crash_recovers_committed_local_updates() {
+        let mut c = cluster(vec![4]);
+        let p = pid(0, 0);
+        let t = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t, p, 0, 42).unwrap();
+        c.commit(t).unwrap();
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.pages_recovered, 1);
+        assert!(rep.records_replayed >= 1);
+        let t2 = c.begin(NodeId(0)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 42);
+        c.commit(t2).unwrap();
+    }
+
+    /// Uncommitted updates are rolled back at restart (losers undone).
+    #[test]
+    fn owner_crash_undoes_losers() {
+        let mut c = cluster(vec![4]);
+        let p = pid(0, 0);
+        let t0 = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t0, p, 0, 10).unwrap();
+        c.commit(t0).unwrap();
+        // Loser: updates, then a checkpoint forces the log (making the
+        // updates durable but uncommitted), then crash.
+        let t1 = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t1, p, 0, 999).unwrap();
+        c.checkpoint(NodeId(0)).unwrap();
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.losers_undone, 1);
+        let t2 = c.begin(NodeId(0)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 10, "loser update undone");
+        c.commit(t2).unwrap();
+    }
+
+    /// A client's committed updates to a remote page survive the
+    /// *owner's* crash: the client's DPT + log recover them without any
+    /// log merging.
+    #[test]
+    fn owner_crash_recovers_remote_clients_updates() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 0, 77).unwrap();
+        c.commit(t).unwrap();
+        // Evict the page from node 1's cache so it travels to the
+        // owner's buffer (not disk!), then crash the owner.
+        let ev = c.node_mut(NodeId(1)).buffer.remove(p).unwrap();
+        assert!(ev.dirty);
+        c.route_eviction(NodeId(1), ev).unwrap();
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.pages_recovered, 1);
+        assert!(rep.records_replayed >= 1);
+        // Value visible again through the recovered owner.
+        let t2 = c.begin(NodeId(1)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 77);
+        c.commit(t2).unwrap();
+    }
+
+    /// If an operational node still caches the page, no replay happens:
+    /// the copy is pulled to the owner (§2.3.1).
+    #[test]
+    fn cached_copy_at_operational_node_skips_replay() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 0, 55).unwrap();
+        c.commit(t).unwrap();
+        // Page still cached (dirty) at node 1; owner crashes.
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.pages_recovered, 0);
+        assert_eq!(rep.pages_skipped_cached, 1);
+        assert_eq!(rep.pages_pulled_to_owner, 1);
+        let t2 = c.begin(NodeId(1)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 55);
+        c.commit(t2).unwrap();
+    }
+
+    /// Client crash: its committed updates to a remote page are
+    /// recovered by replaying the client's own log onto the owner's
+    /// copy (category (b) of §2.3.1).
+    #[test]
+    fn client_crash_recovers_its_updates_to_remote_pages() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 0, 31).unwrap();
+        c.commit(t).unwrap();
+        // Client crashes with the dirty page only in its cache.
+        c.crash(NodeId(1));
+        // Owner cannot hand the page out while the crashed client's X
+        // fence stands.
+        let t0 = c.begin(NodeId(0)).unwrap();
+        assert!(matches!(
+            c.read_u64(t0, p, 0),
+            Err(Error::WouldBlock { .. })
+        ));
+        let rep = recover_single(&mut c, NodeId(1)).unwrap();
+        assert_eq!(rep.pages_recovered, 1);
+        // After recovery the fence is the client's restored X lock; a
+        // new reader triggers a normal callback and sees the data.
+        assert_eq!(c.read_u64(t0, p, 0).unwrap(), 31);
+        c.commit(t0).unwrap();
+    }
+
+    /// Client crash with an uncommitted remote update: the update is
+    /// undone during the client's recovery.
+    #[test]
+    fn client_crash_rolls_back_uncommitted_remote_update() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        let t0 = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t0, p, 0, 5).unwrap();
+        c.commit(t0).unwrap();
+        let t1 = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t1, p, 0, 666).unwrap();
+        // Force the log so the uncommitted update is durable, then
+        // crash.
+        c.node_mut(NodeId(1)).log.force_all().unwrap();
+        c.crash(NodeId(1));
+        let rep = recover_single(&mut c, NodeId(1)).unwrap();
+        assert_eq!(rep.losers_undone, 1);
+        let t2 = c.begin(NodeId(0)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 5);
+        c.commit(t2).unwrap();
+    }
+
+    /// Interleaved updates by several nodes replay in PSN order across
+    /// logs that are never merged (§2.3.4).
+    #[test]
+    fn psn_order_replay_across_three_logs() {
+        let mut c = cluster(vec![4, 0, 0]);
+        let p = pid(0, 0);
+        // Interleave: N1 += writes 1, N2 writes 2, N0 writes 3, N1
+        // writes 4 — each in its own committed transaction, forcing
+        // X-lock ping-pong.
+        for (node, val) in [(1u32, 1u64), (2, 2), (0, 3), (1, 4)] {
+            let t = c.begin(NodeId(node)).unwrap();
+            c.write_u64(t, p, (val - 1) as usize, val * 10).unwrap();
+            c.commit(t).unwrap();
+        }
+        // The last writer (node 1) holds X with the only current copy.
+        // Evict it to the owner so the owner's buffer has it, then
+        // crash the owner: now recovery needs N0, N1, N2's logs.
+        if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+            c.route_eviction(NodeId(1), ev).unwrap();
+        }
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.pages_recovered, 1);
+        assert!(
+            rep.records_replayed >= 4,
+            "all four updates replayed, got {}",
+            rep.records_replayed
+        );
+        let t = c.begin(NodeId(2)).unwrap();
+        assert_eq!(c.read_u64(t, p, 0).unwrap(), 10);
+        assert_eq!(c.read_u64(t, p, 1).unwrap(), 20);
+        assert_eq!(c.read_u64(t, p, 2).unwrap(), 30);
+        assert_eq!(c.read_u64(t, p, 3).unwrap(), 40);
+        c.commit(t).unwrap();
+    }
+
+    /// Two nodes crash at once (§2.4): owner and client, with committed
+    /// work split across both logs.
+    #[test]
+    fn multi_crash_owner_and_client() {
+        let mut c = cluster(vec![4, 0, 0]);
+        let p = pid(0, 0);
+        let q = pid(0, 1);
+        // Client 1 commits an update to p; owner commits one to q.
+        let t1 = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t1, p, 0, 11).unwrap();
+        c.commit(t1).unwrap();
+        let t0 = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t0, q, 0, 22).unwrap();
+        c.commit(t0).unwrap();
+        c.crash(NodeId(0));
+        c.crash(NodeId(1));
+        let rep = recover(&mut c, &[NodeId(0), NodeId(1)]).unwrap();
+        assert_eq!(rep.recovered_nodes.len(), 2);
+        assert!(rep.pages_recovered >= 2);
+        let t = c.begin(NodeId(2)).unwrap();
+        assert_eq!(c.read_u64(t, p, 0).unwrap(), 11);
+        assert_eq!(c.read_u64(t, q, 0).unwrap(), 22);
+        c.commit(t).unwrap();
+    }
+
+    /// Checkpoints bound the analysis scan: records before the last
+    /// complete checkpoint are not re-scanned.
+    #[test]
+    fn checkpoint_bounds_analysis_scan() {
+        let mut c = cluster(vec![4]);
+        let p = pid(0, 0);
+        for i in 0..20u64 {
+            let t = c.begin(NodeId(0)).unwrap();
+            c.write_u64(t, p, 0, i).unwrap();
+            c.commit(t).unwrap();
+        }
+        c.checkpoint(NodeId(0)).unwrap();
+        let after_ckpt = c.node(NodeId(0)).log().end_lsn();
+        let t = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t, p, 1, 99).unwrap();
+        c.commit(t).unwrap();
+        let end = c.node(NodeId(0)).log().end_lsn();
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        // Analysis scanned from the checkpoint, not from LSN 8. PSN
+        // list scans may go further back (RedoLSN), but the analysis
+        // share is bounded by end - ckpt.
+        assert!(rep.log_bytes_scanned > 0);
+        let t2 = c.begin(NodeId(0)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 19);
+        assert_eq!(c.read_u64(t2, p, 1).unwrap(), 99);
+        c.commit(t2).unwrap();
+        let _ = (after_ckpt, end);
+    }
+
+    /// Normal processing on operational nodes continues while a crashed
+    /// node is down, as long as they avoid its pages (paper §2.3).
+    #[test]
+    fn operational_nodes_keep_working_during_outage() {
+        let mut c = cluster(vec![4, 4, 0]);
+        c.crash(NodeId(0));
+        for i in 0..10u64 {
+            let t = c.begin(NodeId(2)).unwrap();
+            c.write_u64(t, pid(1, 0), 0, i).unwrap();
+            c.commit(t).unwrap();
+        }
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.losers_undone, 0);
+        let t = c.begin(NodeId(2)).unwrap();
+        assert_eq!(c.read_u64(t, pid(1, 0), 0).unwrap(), 9);
+        c.commit(t).unwrap();
+    }
+
+    /// Partial flush: the disk version already holds a prefix of the
+    /// update history; recovery replays only the suffix (PSN filter,
+    /// §2.3.2).
+    #[test]
+    fn replay_starts_from_the_disk_psn() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        // Two committed updates (PSN 1 -> 3), flushed to disk.
+        for i in 0..2u64 {
+            let t = c.begin(NodeId(1)).unwrap();
+            c.write_u64(t, p, i as usize, i + 1).unwrap();
+            c.commit(t).unwrap();
+        }
+        c.force_page(p).unwrap();
+        assert_eq!(c.node_mut(NodeId(0)).disk_psn(p).unwrap(), Psn(3));
+        // Two more committed updates (PSN 3 -> 5), never flushed.
+        for i in 2..4u64 {
+            let t = c.begin(NodeId(1)).unwrap();
+            c.write_u64(t, p, i as usize, i + 1).unwrap();
+            c.commit(t).unwrap();
+        }
+        if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+            c.route_eviction(NodeId(1), ev).unwrap();
+        }
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(
+            rep.records_replayed, 2,
+            "only the un-flushed suffix is replayed"
+        );
+        let t = c.begin(NodeId(1)).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(c.read_u64(t, p, i as usize).unwrap(), i + 1);
+        }
+        c.commit(t).unwrap();
+    }
+
+    /// While a crashed node's X fence stands, other nodes requesting
+    /// the page block with *no* holder transactions (they wait for
+    /// recovery, not for a transaction).
+    #[test]
+    fn crashed_holder_fence_blocks_without_holders() {
+        let mut c = cluster(vec![4, 0, 0]);
+        let p = pid(0, 0);
+        let t1 = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t1, p, 0, 1).unwrap();
+        c.commit(t1).unwrap();
+        c.crash(NodeId(1));
+        let t2 = c.begin(NodeId(2)).unwrap();
+        match c.read_u64(t2, p, 0) {
+            Err(Error::WouldBlock { holders, .. }) => {
+                assert!(holders.is_empty(), "fenced by a crashed node, not a txn")
+            }
+            r => panic!("expected fence, got {r:?}"),
+        }
+        recover_single(&mut c, NodeId(1)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 1);
+        c.commit(t2).unwrap();
+    }
+
+    /// Checkpoint + flush maintenance advances log truncation, and the
+    /// truncated log still recovers correctly.
+    #[test]
+    fn recovery_works_after_log_truncation() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        for i in 0..10u64 {
+            let t = c.begin(NodeId(1)).unwrap();
+            c.write_u64(t, p, 0, i).unwrap();
+            c.commit(t).unwrap();
+        }
+        // Flush + checkpoint: client log truncates.
+        c.force_page(p).unwrap();
+        c.checkpoint(NodeId(1)).unwrap();
+        let base_after = c.node(NodeId(1)).log().base_lsn();
+        assert!(base_after.0 > 8, "truncation advanced");
+        // More work after the truncation, then owner crash.
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 1, 99).unwrap();
+        c.commit(t).unwrap();
+        if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+            c.route_eviction(NodeId(1), ev).unwrap();
+        }
+        c.crash(NodeId(0));
+        recover_single(&mut c, NodeId(0)).unwrap();
+        let t = c.begin(NodeId(1)).unwrap();
+        assert_eq!(c.read_u64(t, p, 0).unwrap(), 9);
+        assert_eq!(c.read_u64(t, p, 1).unwrap(), 99);
+        c.commit(t).unwrap();
+    }
+
+    /// Logical (record-operation) logging replays correctly through
+    /// the distributed protocol: slotted-page inserts/updates/deletes
+    /// from two nodes' logs rebuild the page in PSN order.
+    #[test]
+    fn slotted_page_recovers_from_logical_records() {
+        let mut c = cluster(vec![4, 0, 0]);
+        let p = pid(0, 1);
+        c.format_slotted(p).unwrap();
+        // Node 1 inserts two records; node 2 updates one and deletes
+        // the other; node 1 inserts a third. All committed.
+        let t = c.begin(NodeId(1)).unwrap();
+        let ra = c.insert_record(t, p, b"alpha").unwrap();
+        let rb = c.insert_record(t, p, b"bravo").unwrap();
+        c.commit(t).unwrap();
+        let t = c.begin(NodeId(2)).unwrap();
+        c.update_record(t, ra, b"ALPHA").unwrap();
+        c.delete_record(t, rb).unwrap();
+        c.commit(t).unwrap();
+        let t = c.begin(NodeId(1)).unwrap();
+        let rc = c.insert_record(t, p, b"charlie").unwrap();
+        c.commit(t).unwrap();
+        // Current image only at the owner's buffer; crash it.
+        if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+            c.route_eviction(NodeId(1), ev).unwrap();
+        }
+        c.crash(NodeId(0));
+        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        assert_eq!(rep.pages_recovered, 1);
+        assert!(rep.records_replayed >= 5);
+        // The insert after the delete reused the dead slot, so replay
+        // must apply delete-then-insert in exactly that order.
+        assert_eq!(rc.slot, rb.slot, "insert reuses the freed slot");
+        let t = c.begin(NodeId(2)).unwrap();
+        assert_eq!(c.read_record(t, ra).unwrap(), b"ALPHA");
+        assert_eq!(c.read_record(t, rc).unwrap(), b"charlie");
+        c.commit(t).unwrap();
+    }
+
+    /// §2.5 force path: the owner pulls the dirty copy from the
+    /// exclusive holder before writing, and everyone's DPT entries are
+    /// acknowledged.
+    #[test]
+    fn force_page_pulls_from_exclusive_holder() {
+        let mut c = cluster(vec![4, 0, 0]);
+        let p = pid(0, 0);
+        // Node 1 dirties and replaces the page to the owner; node 2
+        // then takes X and dirties its own copy.
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 0, 1).unwrap();
+        c.commit(t).unwrap();
+        if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+            c.route_eviction(NodeId(1), ev).unwrap();
+        }
+        let t = c.begin(NodeId(2)).unwrap();
+        c.write_u64(t, p, 1, 2).unwrap();
+        c.commit(t).unwrap();
+        assert!(c.node(NodeId(1)).dpt().contains(p));
+        assert!(c.node(NodeId(2)).dpt().contains(p));
+        // Evict the owner's (stale) copy so the only dirty image is at
+        // node 2 — force must fetch it from the X holder.
+        c.node_mut(NodeId(0)).buffer.remove(p);
+        c.force_page(p).unwrap();
+        assert_eq!(c.node_mut(NodeId(0)).disk_psn(p).unwrap(), Psn(3));
+        assert!(
+            !c.node(NodeId(2)).dpt().contains(p),
+            "holder's entry acknowledged"
+        );
+        let s = c.network().stats();
+        assert!(s.count(MsgKind::ForceRequest) >= 1);
+        assert!(s.count(MsgKind::FlushAck) >= 1);
+    }
+
+    /// Hot-standby coordination (§2.3): same final state, but the
+    /// coordination traffic lands on the standby node.
+    #[test]
+    fn standby_coordinated_recovery_matches_normal() {
+        let build = || {
+            let mut c = cluster(vec![4, 0, 0]);
+            let p = pid(0, 0);
+            for (node, val) in [(1u32, 1u64), (2, 2), (1, 3)] {
+                let t = c.begin(NodeId(node)).unwrap();
+                c.write_u64(t, p, val as usize, val * 10).unwrap();
+                c.commit(t).unwrap();
+            }
+            if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+                c.route_eviction(NodeId(1), ev).unwrap();
+            }
+            c.crash(NodeId(0));
+            c
+        };
+        // Normal recovery.
+        let mut a = build();
+        recover_single(&mut a, NodeId(0)).unwrap();
+        // Standby-coordinated recovery (node 2 coordinates).
+        let mut b = build();
+        let sent_before = b.network().sent_by(NodeId(2));
+        recover_with_standby(&mut b, &[NodeId(0)], NodeId(2)).unwrap();
+        let standby_sent = b.network().sent_by(NodeId(2)) - sent_before;
+        assert!(standby_sent > 0, "standby drives the coordination");
+        // Both reach the same committed state.
+        for (sys, name) in [(&mut a, "normal"), (&mut b, "standby")] {
+            let t = sys.begin(NodeId(1)).unwrap();
+            assert_eq!(sys.read_u64(t, pid(0, 0), 1).unwrap(), 10, "{name}");
+            assert_eq!(sys.read_u64(t, pid(0, 0), 2).unwrap(), 20, "{name}");
+            assert_eq!(sys.read_u64(t, pid(0, 0), 3).unwrap(), 30, "{name}");
+            sys.commit(t).unwrap();
+        }
+    }
+
+    /// A crashed or self-referential standby is rejected.
+    #[test]
+    fn invalid_standby_rejected() {
+        let mut c = cluster(vec![4, 0, 0]);
+        c.crash(NodeId(0));
+        assert!(recover_with_standby(&mut c, &[NodeId(0)], NodeId(0)).is_err());
+        c.crash(NodeId(2));
+        assert!(recover_with_standby(&mut c, &[NodeId(0)], NodeId(2)).is_err());
+        // A valid standby still works afterwards.
+        recover_with_standby(&mut c, &[NodeId(0), NodeId(2)], NodeId(1)).unwrap();
+    }
+
+    /// Recovery is idempotent from the outside: a second crash right
+    /// after recovery still recovers to the same state.
+    #[test]
+    fn crash_recover_crash_recover() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 0, 123).unwrap();
+        c.commit(t).unwrap();
+        if let Some(ev) = c.node_mut(NodeId(1)).buffer.remove(p) {
+            c.route_eviction(NodeId(1), ev).unwrap();
+        }
+        c.crash(NodeId(0));
+        recover_single(&mut c, NodeId(0)).unwrap();
+        // Crash again immediately (recovered pages were only cached).
+        c.crash(NodeId(0));
+        recover_single(&mut c, NodeId(0)).unwrap();
+        let t2 = c.begin(NodeId(1)).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 123);
+        c.commit(t2).unwrap();
+    }
+}

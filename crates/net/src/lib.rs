@@ -1,0 +1,408 @@
+//! Accounted message transport for the deterministic cluster.
+//!
+//! The paper's performance case is made in message and I/O counts; the
+//! [`Network`] records every logical protocol message (kind, size,
+//! endpoints), charges the simulated clock, and enforces reachability
+//! (sending to a crashed node fails, so protocols must handle it).
+//! Actual data transfer in the simulator happens by direct call —
+//! after the send has been accounted — which keeps runs deterministic
+//! and the protocol state machines synchronous.
+
+use cblog_common::{CostModel, Error, NodeId, Result, SimClock, SimTime};
+use std::collections::HashSet;
+
+/// Every message type exchanged by any protocol in the workspace,
+/// including the baselines (so experiment tables can break traffic down
+/// uniformly).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum MsgKind {
+    // ---- normal processing (paper §2.2) ----
+    /// Lock request forwarded to the owner node.
+    LockRequest,
+    /// Owner grants a lock (optionally shipping the page).
+    LockGrant,
+    /// Page image shipped owner → requester.
+    PageShip,
+    /// Callback sent to a holder of a conflicting lock.
+    Callback,
+    /// Holder acknowledges a callback (optionally returning the page).
+    CallbackAck,
+    /// Dirty remote page replaced from a cache, sent to its owner.
+    ReplacePage,
+    /// §2.5: ask the owner to force a page to disk.
+    ForceRequest,
+    /// Owner tells past replacers that a page hit the disk.
+    FlushAck,
+    // ---- commit-time traffic (baselines; CBL sends none) ----
+    /// ARIES/CSA-style shipping of log records to the server.
+    LogShip,
+    /// Commit request to the server.
+    CommitRequest,
+    /// Server acknowledges a commit after forcing its log.
+    CommitAck,
+    /// Server-coordinated checkpoint round (ARIES/CSA §3.1).
+    CheckpointSync,
+    // ---- crash recovery (paper §2.3 / §2.4) ----
+    /// Crashed node asks an operational node for its cache list + DPT
+    /// entries for pages the crashed node owns.
+    RecoveryInfoRequest,
+    /// The reply: cached-page list and DPT entries.
+    RecoveryInfoReply,
+    /// Crashed node pulls a cached page copy from a holder.
+    RecoveryPageFetch,
+    /// Lock lists shipped to the recovering node (§2.3.3).
+    LockListShip,
+    /// Recovering node sends the list of pages needing recovery and
+    /// asks for the NodePSNList (§2.3.4).
+    PsnListRequest,
+    /// NodePSNList reply.
+    PsnListReply,
+    /// Coordinator sends a page (plus PSN bound) to a node for replay.
+    RecoveryPageSend,
+    /// Node returns the partially recovered page.
+    RecoveryPageReturn,
+    /// Recovery-complete broadcast.
+    RecoveryDone,
+}
+
+impl MsgKind {
+    /// All kinds, for iteration in reports.
+    pub const ALL: [MsgKind; 21] = [
+        MsgKind::LockRequest,
+        MsgKind::LockGrant,
+        MsgKind::PageShip,
+        MsgKind::Callback,
+        MsgKind::CallbackAck,
+        MsgKind::ReplacePage,
+        MsgKind::ForceRequest,
+        MsgKind::FlushAck,
+        MsgKind::LogShip,
+        MsgKind::CommitRequest,
+        MsgKind::CommitAck,
+        MsgKind::CheckpointSync,
+        MsgKind::RecoveryInfoRequest,
+        MsgKind::RecoveryInfoReply,
+        MsgKind::RecoveryPageFetch,
+        MsgKind::LockListShip,
+        MsgKind::PsnListRequest,
+        MsgKind::PsnListReply,
+        MsgKind::RecoveryPageSend,
+        MsgKind::RecoveryPageReturn,
+        MsgKind::RecoveryDone,
+    ];
+
+    fn index(self) -> usize {
+        MsgKind::ALL
+            .iter()
+            .position(|k| *k == self)
+            .expect("kind in ALL")
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::LockRequest => "lock-req",
+            MsgKind::LockGrant => "lock-grant",
+            MsgKind::PageShip => "page-ship",
+            MsgKind::Callback => "callback",
+            MsgKind::CallbackAck => "callback-ack",
+            MsgKind::ReplacePage => "replace-page",
+            MsgKind::ForceRequest => "force-req",
+            MsgKind::FlushAck => "flush-ack",
+            MsgKind::LogShip => "log-ship",
+            MsgKind::CommitRequest => "commit-req",
+            MsgKind::CommitAck => "commit-ack",
+            MsgKind::CheckpointSync => "ckpt-sync",
+            MsgKind::RecoveryInfoRequest => "rec-info-req",
+            MsgKind::RecoveryInfoReply => "rec-info-reply",
+            MsgKind::RecoveryPageFetch => "rec-page-fetch",
+            MsgKind::LockListShip => "lock-list",
+            MsgKind::PsnListRequest => "psnlist-req",
+            MsgKind::PsnListReply => "psnlist-reply",
+            MsgKind::RecoveryPageSend => "rec-page-send",
+            MsgKind::RecoveryPageReturn => "rec-page-return",
+            MsgKind::RecoveryDone => "rec-done",
+        }
+    }
+
+    /// True for messages that only exist during crash recovery.
+    pub fn is_recovery(self) -> bool {
+        matches!(
+            self,
+            MsgKind::RecoveryInfoRequest
+                | MsgKind::RecoveryInfoReply
+                | MsgKind::RecoveryPageFetch
+                | MsgKind::LockListShip
+                | MsgKind::PsnListRequest
+                | MsgKind::PsnListReply
+                | MsgKind::RecoveryPageSend
+                | MsgKind::RecoveryPageReturn
+                | MsgKind::RecoveryDone
+        )
+    }
+}
+
+/// Immutable snapshot of traffic statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Message count per kind (indexed like [`MsgKind::ALL`]).
+    pub counts: [u64; 21],
+    /// Byte count per kind.
+    pub bytes: [u64; 21],
+}
+
+impl NetStats {
+    /// Total messages.
+    pub fn total_messages(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Count for one kind.
+    pub fn count(&self, kind: MsgKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Bytes for one kind.
+    pub fn bytes_of(&self, kind: MsgKind) -> u64 {
+        self.bytes[kind.index()]
+    }
+
+    /// Messages belonging to recovery protocols only.
+    pub fn recovery_messages(&self) -> u64 {
+        MsgKind::ALL
+            .iter()
+            .filter(|k| k.is_recovery())
+            .map(|k| self.count(*k))
+            .sum()
+    }
+
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &NetStats) -> NetStats {
+        let mut out = NetStats::default();
+        for i in 0..self.counts.len() {
+            out.counts[i] = self.counts[i] - earlier.counts[i];
+            out.bytes[i] = self.bytes[i] - earlier.bytes[i];
+        }
+        out
+    }
+}
+
+/// The accounted transport.
+#[derive(Debug)]
+pub struct Network {
+    clock: SimClock,
+    cost: CostModel,
+    stats: NetStats,
+    per_node_sent: Vec<u64>,
+    per_node_recv: Vec<u64>,
+    crashed: HashSet<NodeId>,
+    disk_ios: Vec<u64>,
+}
+
+impl Network {
+    /// Transport for `nodes` nodes under `cost`.
+    pub fn new(nodes: usize, cost: CostModel) -> Self {
+        Network {
+            clock: SimClock::new(nodes),
+            cost,
+            stats: NetStats::default(),
+            per_node_sent: vec![0; nodes],
+            per_node_recv: vec![0; nodes],
+            crashed: HashSet::new(),
+            disk_ios: vec![0; nodes],
+        }
+    }
+
+    /// Records one message `from → to` of `kind` carrying `bytes`
+    /// payload bytes. Fails if either endpoint is crashed.
+    pub fn send(&mut self, from: NodeId, to: NodeId, kind: MsgKind, bytes: usize) -> Result<()> {
+        if self.crashed.contains(&to) {
+            return Err(Error::NodeDown(to));
+        }
+        if self.crashed.contains(&from) {
+            return Err(Error::NodeDown(from));
+        }
+        let i = kind.index();
+        self.stats.counts[i] += 1;
+        self.stats.bytes[i] += bytes as u64;
+        if let Some(s) = self.per_node_sent.get_mut(from.0 as usize) {
+            *s += 1;
+        }
+        if let Some(r) = self.per_node_recv.get_mut(to.0 as usize) {
+            *r += 1;
+        }
+        let wire = self.cost.message_cost(bytes);
+        self.clock.advance(wire);
+        self.clock.charge_overlapped(from, self.cost.handle_us);
+        self.clock.charge_overlapped(to, self.cost.handle_us);
+        Ok(())
+    }
+
+    /// Records a disk I/O of `bytes` performed by `node`.
+    pub fn disk_io(&mut self, node: NodeId, bytes: usize) {
+        if let Some(d) = self.disk_ios.get_mut(node.0 as usize) {
+            *d += 1;
+        }
+        let t = self.cost.io_cost(bytes);
+        self.clock.advance(t);
+        self.clock.charge_overlapped(node, t);
+    }
+
+    /// Marks a node crashed (unreachable).
+    pub fn mark_crashed(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Marks a node reachable again (restart begins).
+    pub fn mark_up(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+
+    /// Messages sent by `node`.
+    pub fn sent_by(&self, node: NodeId) -> u64 {
+        self.per_node_sent.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Messages received by `node`.
+    pub fn received_by(&self, node: NodeId) -> u64 {
+        self.per_node_recv.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Disk I/Os charged to `node`.
+    pub fn disk_ios_of(&self, node: NodeId) -> u64 {
+        self.disk_ios.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// The simulated clock (elapsed time, per-node busy time).
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Advances the simulated clock by non-protocol work.
+    pub fn advance_time(&mut self, dt: SimTime) {
+        self.clock.advance(dt);
+    }
+
+    /// Charges pure CPU service time to a node.
+    pub fn charge_node(&mut self, node: NodeId, dt: SimTime) {
+        self.clock.charge_overlapped(node, dt);
+    }
+
+    /// Resets statistics and clock (after warmup); crash flags persist.
+    pub fn reset_stats(&mut self) {
+        self.stats = NetStats::default();
+        self.per_node_sent.iter_mut().for_each(|v| *v = 0);
+        self.per_node_recv.iter_mut().for_each(|v| *v = 0);
+        self.disk_ios.iter_mut().for_each(|v| *v = 0);
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(3, CostModel::unit())
+    }
+
+    #[test]
+    fn send_counts_by_kind_and_node() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 64).unwrap();
+        n.send(NodeId(1), NodeId(0), MsgKind::LockGrant, 32).unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 64).unwrap();
+        let s = n.stats();
+        assert_eq!(s.count(MsgKind::LockRequest), 2);
+        assert_eq!(s.count(MsgKind::LockGrant), 1);
+        assert_eq!(s.bytes_of(MsgKind::LockRequest), 128);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(n.sent_by(NodeId(0)), 2);
+        assert_eq!(n.received_by(NodeId(1)), 2);
+        assert_eq!(n.sent_by(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn crashed_nodes_unreachable_both_ways() {
+        let mut n = net();
+        n.mark_crashed(NodeId(1));
+        assert!(matches!(
+            n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 10),
+            Err(Error::NodeDown(NodeId(1)))
+        ));
+        assert!(matches!(
+            n.send(NodeId(1), NodeId(0), MsgKind::PageShip, 10),
+            Err(Error::NodeDown(NodeId(1)))
+        ));
+        assert!(n.is_crashed(NodeId(1)));
+        n.mark_up(NodeId(1));
+        assert!(n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 10).is_ok());
+    }
+
+    #[test]
+    fn disk_io_charges_node() {
+        let mut n = net();
+        n.disk_io(NodeId(2), 8192);
+        assert_eq!(n.disk_ios_of(NodeId(2)), 1);
+        assert!(n.clock().busy(NodeId(2)) > 0);
+    }
+
+    #[test]
+    fn stats_since_diff() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(1), MsgKind::Callback, 8).unwrap();
+        let snap = n.stats();
+        n.send(NodeId(0), NodeId(1), MsgKind::Callback, 8).unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::CallbackAck, 8).unwrap();
+        let d = n.stats().since(&snap);
+        assert_eq!(d.count(MsgKind::Callback), 1);
+        assert_eq!(d.count(MsgKind::CallbackAck), 1);
+    }
+
+    #[test]
+    fn recovery_kind_classification() {
+        assert!(MsgKind::PsnListReply.is_recovery());
+        assert!(!MsgKind::LockRequest.is_recovery());
+        let mut n = net();
+        n.send(NodeId(0), NodeId(1), MsgKind::PsnListRequest, 8).unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 8).unwrap();
+        assert_eq!(n.stats().recovery_messages(), 1);
+    }
+
+    #[test]
+    fn all_kinds_have_unique_indices_and_labels() {
+        let mut seen = std::collections::HashSet::new();
+        for k in MsgKind::ALL {
+            assert!(seen.insert(k.label()), "duplicate label {}", k.label());
+        }
+        assert_eq!(seen.len(), MsgKind::ALL.len());
+    }
+
+    #[test]
+    fn reset_clears_counts_keeps_crashes() {
+        let mut n = net();
+        n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 10).unwrap();
+        n.mark_crashed(NodeId(2));
+        n.reset_stats();
+        assert_eq!(n.stats().total_messages(), 0);
+        assert_eq!(n.sent_by(NodeId(0)), 0);
+        assert!(n.is_crashed(NodeId(2)));
+    }
+}

@@ -1,0 +1,128 @@
+//! A1 (ablation) — checkpoint + flush maintenance interval vs
+//! recovery cost.
+//!
+//! The paper's checkpoints are cheap (fuzzy, local, zero messages —
+//! E7), which is what makes frequent checkpointing affordable. A
+//! checkpoint alone does not release log space, though: the DPT pins
+//! the log at its minimum RedoLSN until the owners flush the dirty
+//! pages and acknowledge (§2.2/§2.5). This ablation runs the natural
+//! maintenance pairing — ask the owners to force the DPT pages, then
+//! checkpoint and truncate — at varying intervals, and measures what
+//! frequency buys: the retained log window and the recovery-time log
+//! scans shrink proportionally.
+
+use super::{cbl_cluster, pages0};
+use crate::report::{f, Table};
+use cblog_common::NodeId;
+use cblog_core::recovery::recover_single;
+
+/// Crash point chosen off every interval's cycle boundary, so the
+/// un-maintained residue differs per interval (7, 22, 47 and 97
+/// transactions respectively).
+const TXNS: u64 = 197;
+
+/// Sweeps the checkpoint interval (transactions between checkpoints).
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "A1 ablation: checkpoint+flush interval vs recovery cost (197 txns)",
+        &[
+            "maintain every",
+            "cycles",
+            "bytes scanned at recovery",
+            "log window B",
+            "rec messages",
+        ],
+    );
+    for interval in [10u64, 25, 50, 100, u64::MAX] {
+        let r = run_one(interval);
+        t.row(vec![
+            if interval == u64::MAX {
+                "never".into()
+            } else {
+                interval.to_string()
+            },
+            r.checkpoints.to_string(),
+            f(r.bytes_scanned as f64),
+            f(r.log_window as f64),
+            r.messages.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One measurement.
+pub struct CkptRow {
+    /// Checkpoints taken during the run.
+    pub checkpoints: u64,
+    /// Log bytes scanned by the subsequent recovery.
+    pub bytes_scanned: u64,
+    /// Live log window (end - truncation point) at crash time.
+    pub log_window: u64,
+    /// Recovery messages.
+    pub messages: u64,
+}
+
+/// Runs the workload with a maintenance cycle (owner flushes +
+/// checkpoint) every `interval` transactions, then crashes the owner
+/// and recovers.
+pub fn run_one(interval: u64) -> CkptRow {
+    let mut c = cbl_cluster(1, 8, 16);
+    let client = NodeId(1);
+    let pages = pages0(8);
+    let mut checkpoints = 0u64;
+    for i in 0..TXNS {
+        let t = c.begin(client).unwrap();
+        let p = pages[(i % 8) as usize];
+        c.write_u64(t, p, (i % 16) as usize, i).unwrap();
+        c.commit(t).unwrap();
+        if interval != u64::MAX && (i + 1) % interval == 0 {
+            // Maintenance cycle: flush the client's dirty pages at
+            // their owners (advancing RedoLSNs via flush-acks), then
+            // checkpoint and truncate.
+            let dirty: Vec<_> = c.node(client).dpt().entries();
+            for e in dirty {
+                c.force_page(e.pid).unwrap();
+            }
+            c.checkpoint(client).unwrap();
+            checkpoints += 1;
+        }
+    }
+    // Push current images to the owner buffer so the crash matters.
+    for p in &pages {
+        let _ = c.evict_page(client, *p);
+    }
+    let log_window = c.node(client).log().used_space();
+    c.crash(NodeId(0));
+    let rep = recover_single(&mut c, NodeId(0)).expect("recovery");
+    CkptRow {
+        checkpoints,
+        bytes_scanned: rep.log_bytes_scanned,
+        log_window,
+        messages: rep.messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequent_checkpoints_shrink_recovery_scans_and_log_window() {
+        let frequent = run_one(10);
+        let never = run_one(u64::MAX);
+        assert!(frequent.checkpoints >= 19);
+        assert_eq!(never.checkpoints, 0);
+        assert!(
+            frequent.log_window < never.log_window,
+            "truncation follows checkpoints: {} vs {}",
+            frequent.log_window,
+            never.log_window
+        );
+        assert!(
+            frequent.bytes_scanned < never.bytes_scanned,
+            "analysis bounded by last checkpoint: {} vs {}",
+            frequent.bytes_scanned,
+            never.bytes_scanned
+        );
+    }
+}

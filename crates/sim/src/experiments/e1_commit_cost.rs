@@ -1,0 +1,130 @@
+//! E1 — commit-time cost.
+//!
+//! Paper §1.1: "Local logging eliminates the need to send log records
+//! to remote nodes during transaction execution and at transaction
+//! commit." Steady state (locks and pages cached), one client updating
+//! its working set: client-based logging commits with zero messages
+//! and one local force; server logging ships its records and pays a
+//! server round trip plus a server force per commit.
+
+use super::{cbl_cluster, csa_cluster, pages0};
+use crate::report::{f, Table};
+use cblog_common::NodeId;
+
+const TXNS: u64 = 100;
+
+/// Runs the sweep over updates-per-transaction.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E1 commit cost per transaction (steady state, 1 client)",
+        &[
+            "updates/txn",
+            "cbl msgs",
+            "cbl net bytes",
+            "cbl forces",
+            "csa msgs",
+            "csa net bytes",
+            "csa server forces",
+        ],
+    );
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let (cbl_m, cbl_b, cbl_f) = run_cbl(k);
+        let (csa_m, csa_b, csa_f) = run_csa(k);
+        t.row(vec![
+            k.to_string(),
+            f(cbl_m),
+            f(cbl_b),
+            f(cbl_f),
+            f(csa_m),
+            f(csa_b),
+            f(csa_f),
+        ]);
+    }
+    t
+}
+
+fn run_cbl(updates: usize) -> (f64, f64, f64) {
+    let mut c = cbl_cluster(1, 4, 16);
+    let client = NodeId(1);
+    let pages = pages0(4);
+    // Warm up: cache pages + X locks.
+    let t = c.begin(client).unwrap();
+    for p in &pages {
+        c.write_u64(t, *p, 0, 1).unwrap();
+    }
+    c.commit(t).unwrap();
+    let s0 = c.network().stats();
+    let f0 = c.node(client).log().forces();
+    for i in 0..TXNS {
+        let t = c.begin(client).unwrap();
+        for u in 0..updates {
+            let p = pages[u % pages.len()];
+            c.write_u64(t, p, u % 8, i * 100 + u as u64).unwrap();
+        }
+        c.commit(t).unwrap();
+    }
+    let d = c.network().stats().since(&s0);
+    let forces = c.node(client).log().forces() - f0;
+    (
+        d.total_messages() as f64 / TXNS as f64,
+        d.total_bytes() as f64 / TXNS as f64,
+        forces as f64 / TXNS as f64,
+    )
+}
+
+fn run_csa(updates: usize) -> (f64, f64, f64) {
+    let mut s = csa_cluster(1, 4, 16);
+    let client = NodeId(1);
+    let pages = pages0(4);
+    let t = s.begin(client).unwrap();
+    for p in &pages {
+        s.write_u64(t, *p, 0, 1).unwrap();
+    }
+    s.commit(t).unwrap();
+    let s0 = s.network().stats();
+    let f0 = s.server_log().forces();
+    for i in 0..TXNS {
+        let t = s.begin(client).unwrap();
+        for u in 0..updates {
+            let p = pages[u % pages.len()];
+            s.write_u64(t, p, u % 8, i * 100 + u as u64).unwrap();
+        }
+        s.commit(t).unwrap();
+    }
+    let d = s.network().stats().since(&s0);
+    let forces = s.server_log().forces() - f0;
+    (
+        d.total_messages() as f64 / TXNS as f64,
+        d.total_bytes() as f64 / TXNS as f64,
+        forces as f64 / TXNS as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbl_commits_with_zero_messages_csa_pays_round_trip() {
+        let (cbl_m, cbl_b, cbl_f) = run_cbl(4);
+        let (csa_m, csa_b, _csa_f) = run_csa(4);
+        assert_eq!(cbl_m, 0.0, "CBL steady-state commit is message-free");
+        assert_eq!(cbl_b, 0.0);
+        assert!((cbl_f - 1.0).abs() < 1e-9, "one local force per commit");
+        assert!(csa_m >= 3.0, "log-ship + commit-req + ack");
+        assert!(csa_b > 0.0);
+    }
+
+    #[test]
+    fn csa_bytes_grow_with_update_count() {
+        let (_, b1, _) = run_csa(1);
+        let (_, b32, _) = run_csa(32);
+        assert!(b32 > 4.0 * b1, "shipped log bytes scale with updates");
+    }
+
+    #[test]
+    fn table_has_six_rows() {
+        let t = run();
+        assert_eq!(t.len(), 6);
+    }
+}

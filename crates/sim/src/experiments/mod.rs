@@ -1,0 +1,109 @@
+//! The experiment suite (see DESIGN.md §4 for the claim → experiment
+//! mapping). Every experiment returns a [`Table`] whose rows are the
+//! series the harness reports; `EXPERIMENTS.md` embeds them next to
+//! the paper's qualitative claims.
+
+pub mod a1_ckpt_interval;
+pub mod e10_pca;
+pub mod e11_mobile;
+pub mod e1_commit_cost;
+pub mod e2_scalability;
+pub mod e3_log_volume;
+pub mod e4_page_transfer;
+pub mod e5_single_crash;
+pub mod e6_multi_crash;
+pub mod e7_checkpoint;
+pub mod e8_log_space;
+pub mod e9_rollback;
+pub mod t1_protocol_ops;
+
+use crate::report::Table;
+use cblog_baselines::{ServerClientConfig, ServerCluster};
+use cblog_common::{CostModel, NodeId, PageId};
+use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+
+/// Standard page size used by the experiments.
+pub const PAGE_SIZE: usize = 1024;
+
+/// Builds a client-based-logging cluster: node 0 owns `pages`;
+/// `clients` diskless logging client nodes follow.
+pub fn cbl_cluster(clients: usize, pages: u32, frames: usize) -> Cluster {
+    cbl_cluster_opts(clients, pages, frames, None, false)
+}
+
+/// As [`cbl_cluster`] with a bounded log and/or force-on-transfer.
+pub fn cbl_cluster_opts(
+    clients: usize,
+    pages: u32,
+    frames: usize,
+    log_capacity: Option<u64>,
+    force_on_transfer: bool,
+) -> Cluster {
+    let mut owned = vec![pages];
+    owned.extend(std::iter::repeat(0).take(clients));
+    Cluster::new(ClusterConfig {
+        node_count: clients + 1,
+        owned_pages: owned,
+        default_node: NodeConfig {
+            page_size: PAGE_SIZE,
+            buffer_frames: frames,
+            owned_pages: 0,
+            log_capacity,
+        },
+        cost: CostModel::default(),
+        force_on_transfer,
+    })
+    .expect("cluster config valid")
+}
+
+/// Builds the ARIES/CSA server-logging baseline with matching shape.
+pub fn csa_cluster(clients: usize, pages: u32, frames: usize) -> ServerCluster {
+    ServerCluster::new(ServerClientConfig {
+        clients,
+        pages,
+        page_size: PAGE_SIZE,
+        client_buffer_frames: frames,
+        server_buffer_frames: (pages as usize).max(frames) * 2,
+        cost: CostModel::default(),
+    })
+    .expect("server config valid")
+}
+
+/// Pages `0..count` of owner node 0.
+pub fn pages0(count: u32) -> Vec<PageId> {
+    (0..count).map(|i| PageId::new(NodeId(0), i)).collect()
+}
+
+/// Runs every experiment and returns the tables in order.
+pub fn run_all() -> Vec<Table> {
+    vec![
+        t1_protocol_ops::run(),
+        e1_commit_cost::run(),
+        e2_scalability::run(),
+        e3_log_volume::run(),
+        e4_page_transfer::run(),
+        e5_single_crash::run(),
+        e6_multi_crash::run(),
+        e7_checkpoint::run(),
+        e8_log_space::run(),
+        e9_rollback::run(),
+        e10_pca::run(),
+        e11_mobile::run(),
+        a1_ckpt_interval::run(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        let c = cbl_cluster(3, 8, 16);
+        assert_eq!(c.node_count(), 4);
+        assert!(c.node(NodeId(0)).is_owner());
+        assert!(!c.node(NodeId(2)).is_owner());
+        let _s = csa_cluster(2, 8, 16);
+        assert_eq!(pages0(3).len(), 3);
+    }
+}

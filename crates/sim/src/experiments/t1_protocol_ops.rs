@@ -1,0 +1,125 @@
+//! T1 — message counts of the canonical §2.2 protocol operations.
+//!
+//! The normal-processing protocol, one row per primitive: cold read
+//! (lock + page ship), warm read (nothing), exclusive upgrade with
+//! 0/1/2 remote sharers (callbacks), steady-state commit (nothing) and
+//! abort (nothing).
+
+use super::{cbl_cluster, pages0};
+use crate::report::Table;
+use cblog_common::NodeId;
+
+/// Builds the canonical-operation table.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "T1 protocol message counts per canonical operation (CBL)",
+        &["operation", "messages", "of which callbacks"],
+    );
+    for (name, msgs, cbs) in [
+        op_cold_read(),
+        op_warm_read(),
+        op_upgrade(0),
+        op_upgrade(1),
+        op_upgrade(2),
+        op_commit(),
+        op_abort(),
+    ] {
+        t.row(vec![name, msgs.to_string(), cbs.to_string()]);
+    }
+    t
+}
+
+fn op_cold_read() -> (String, u64, u64) {
+    let mut c = cbl_cluster(1, 2, 8);
+    let p = pages0(1)[0];
+    let t = c.begin(NodeId(1)).unwrap();
+    let s0 = c.network().stats();
+    c.read_u64(t, p, 0).unwrap();
+    let d = c.network().stats().since(&s0);
+    c.commit(t).unwrap();
+    ("cold read (miss both)".into(), d.total_messages(), 0)
+}
+
+fn op_warm_read() -> (String, u64, u64) {
+    let mut c = cbl_cluster(1, 2, 8);
+    let p = pages0(1)[0];
+    let t0 = c.begin(NodeId(1)).unwrap();
+    c.read_u64(t0, p, 0).unwrap();
+    c.commit(t0).unwrap();
+    let t = c.begin(NodeId(1)).unwrap();
+    let s0 = c.network().stats();
+    c.read_u64(t, p, 0).unwrap();
+    let d = c.network().stats().since(&s0);
+    c.commit(t).unwrap();
+    ("warm read (cached)".into(), d.total_messages(), 0)
+}
+
+fn op_upgrade(sharers: u32) -> (String, u64, u64) {
+    let mut c = cbl_cluster(sharers as usize + 1, 2, 8);
+    let p = pages0(1)[0];
+    // The upgrading client reads first (S cached), as do the sharers.
+    let me = NodeId(1);
+    let t0 = c.begin(me).unwrap();
+    c.read_u64(t0, p, 0).unwrap();
+    c.commit(t0).unwrap();
+    for s in 0..sharers {
+        let n = NodeId(2 + s);
+        let t = c.begin(n).unwrap();
+        c.read_u64(t, p, 0).unwrap();
+        c.commit(t).unwrap();
+    }
+    let t = c.begin(me).unwrap();
+    let s0 = c.network().stats();
+    c.write_u64(t, p, 0, 9).unwrap();
+    let d = c.network().stats().since(&s0);
+    c.commit(t).unwrap();
+    (
+        format!("S->X upgrade, {sharers} remote sharers"),
+        d.total_messages(),
+        d.count(cblog_net::MsgKind::Callback),
+    )
+}
+
+fn op_commit() -> (String, u64, u64) {
+    let mut c = cbl_cluster(1, 2, 8);
+    let p = pages0(1)[0];
+    let t = c.begin(NodeId(1)).unwrap();
+    c.write_u64(t, p, 0, 1).unwrap();
+    let s0 = c.network().stats();
+    c.commit(t).unwrap();
+    let d = c.network().stats().since(&s0);
+    ("commit (after updates)".into(), d.total_messages(), 0)
+}
+
+fn op_abort() -> (String, u64, u64) {
+    let mut c = cbl_cluster(1, 2, 8);
+    let p = pages0(1)[0];
+    let t = c.begin(NodeId(1)).unwrap();
+    c.write_u64(t, p, 0, 1).unwrap();
+    let s0 = c.network().stats();
+    c.abort(t).unwrap();
+    let d = c.network().stats().since(&s0);
+    ("abort (page cached)".into(), d.total_messages(), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_counts_match_the_protocol() {
+        let (_, cold, _) = op_cold_read();
+        assert_eq!(cold, 3, "lock-req + grant + page-ship");
+        let (_, warm, _) = op_warm_read();
+        assert_eq!(warm, 0);
+        let (_, up0, cb0) = op_upgrade(0);
+        assert_eq!((up0, cb0), (2, 0), "lock-req + grant, no page (cached)");
+        let (_, up2, cb2) = op_upgrade(2);
+        assert_eq!(cb2, 2, "one callback per sharer");
+        assert!(up2 >= 6, "req + grant + 2x(callback + ack)");
+        let (_, commit, _) = op_commit();
+        assert_eq!(commit, 0, "the paper's headline");
+        let (_, abort, _) = op_abort();
+        assert_eq!(abort, 0, "rollback is local");
+    }
+}

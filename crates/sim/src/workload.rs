@@ -1,0 +1,322 @@
+//! Parameterized workload generation (seeded, reproducible).
+
+use cblog_common::{NodeId, PageId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One operation of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read a counter slot.
+    Read {
+        /// Target page.
+        pid: PageId,
+        /// Slot within the page.
+        slot: usize,
+    },
+    /// Overwrite a counter slot.
+    Write {
+        /// Target page.
+        pid: PageId,
+        /// Slot within the page.
+        slot: usize,
+        /// Value written.
+        value: u64,
+    },
+}
+
+impl Op {
+    /// The page the operation touches.
+    pub fn pid(&self) -> PageId {
+        match self {
+            Op::Read { pid, .. } | Op::Write { pid, .. } => *pid,
+        }
+    }
+
+    /// True for writes.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+}
+
+/// A full transaction to execute at a client.
+#[derive(Clone, Debug)]
+pub struct TxnSpec {
+    /// Node the transaction runs on.
+    pub client: NodeId,
+    /// Operations in order.
+    pub ops: Vec<Op>,
+    /// If true the transaction is rolled back instead of committed
+    /// (user-initiated abort).
+    pub user_abort: bool,
+}
+
+/// Workload shape parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// RNG seed — identical seeds produce identical workloads.
+    pub seed: u64,
+    /// Transactions per client.
+    pub txns_per_client: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Fraction of operations that are writes.
+    pub write_ratio: f64,
+    /// Fraction of accesses that hit the hot set.
+    pub hot_access: f64,
+    /// Fraction of pages forming the hot set.
+    pub hot_fraction: f64,
+    /// Probability a transaction ends in a user abort.
+    pub abort_prob: f64,
+    /// Slots used per page (bounds slot choice).
+    pub slots_per_page: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            txns_per_client: 50,
+            ops_per_txn: 8,
+            write_ratio: 0.5,
+            hot_access: 0.0,
+            hot_fraction: 0.1,
+            abort_prob: 0.0,
+            slots_per_page: 16,
+        }
+    }
+}
+
+/// Generates per-client transaction queues over `pages`. Each client
+/// draws from the same page population (sharing governed by hot-set
+/// skew); `private_pages`, if given, maps each client to a disjoint
+/// page subset instead (contention-free workloads for bottleneck
+/// experiments).
+pub fn generate(
+    cfg: &WorkloadConfig,
+    clients: &[NodeId],
+    pages: &[PageId],
+    private_pages: Option<&dyn Fn(NodeId) -> Vec<PageId>>,
+) -> Vec<TxnSpec> {
+    assert!(!pages.is_empty(), "workload needs pages");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hot_n = ((pages.len() as f64 * cfg.hot_fraction).ceil() as usize)
+        .clamp(1, pages.len());
+    let mut specs = Vec::with_capacity(clients.len() * cfg.txns_per_client);
+    let mut val = 1u64;
+    for &client in clients {
+        let pool: Vec<PageId> = match private_pages {
+            Some(f) => f(client),
+            None => pages.to_vec(),
+        };
+        assert!(!pool.is_empty(), "client {client} has no pages");
+        let hot = hot_n.min(pool.len());
+        for _ in 0..cfg.txns_per_client {
+            let mut ops = Vec::with_capacity(cfg.ops_per_txn);
+            for _ in 0..cfg.ops_per_txn {
+                let pid = if cfg.hot_access > 0.0 && rng.gen_bool(cfg.hot_access) {
+                    pool[rng.gen_range(0..hot)]
+                } else {
+                    pool[rng.gen_range(0..pool.len())]
+                };
+                let slot = rng.gen_range(0..cfg.slots_per_page);
+                if rng.gen_bool(cfg.write_ratio) {
+                    val += 1;
+                    ops.push(Op::Write {
+                        pid,
+                        slot,
+                        value: val,
+                    });
+                } else {
+                    ops.push(Op::Read { pid, slot });
+                }
+            }
+            let user_abort = cfg.abort_prob > 0.0 && rng.gen_bool(cfg.abort_prob);
+            specs.push(TxnSpec {
+                client,
+                ops,
+                user_abort,
+            });
+        }
+    }
+    specs
+}
+
+/// All pages owned by `owner` for a cluster with `count` pages there.
+pub fn owned_pages(owner: NodeId, count: u32) -> Vec<PageId> {
+    (0..count).map(|i| PageId::new(owner, i)).collect()
+}
+
+/// A bank-transfer workload (TPC-B flavoured): every transaction moves
+/// an amount between two account slots, preserving the total balance.
+/// The conserved sum is a strong serializability + atomicity oracle —
+/// it holds under any interleaving, any aborts, and any crash/recovery
+/// sequence, which point-value oracles cannot check.
+#[derive(Clone, Debug)]
+pub struct TransferSpec {
+    /// Node the transfer runs on.
+    pub client: NodeId,
+    /// Source account (page, slot).
+    pub from: (PageId, usize),
+    /// Destination account (page, slot).
+    pub to: (PageId, usize),
+    /// Amount moved.
+    pub amount: u64,
+    /// Roll back instead of committing.
+    pub user_abort: bool,
+}
+
+/// Generates `txns_per_client` transfers per client over `accounts`
+/// (each account = (page, slot)). Amounts stay small relative to the
+/// initial balance so accounts never go negative.
+pub fn generate_transfers(
+    seed: u64,
+    clients: &[NodeId],
+    accounts: &[(PageId, usize)],
+    txns_per_client: usize,
+    abort_prob: f64,
+) -> Vec<TransferSpec> {
+    assert!(accounts.len() >= 2, "transfers need two accounts");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(clients.len() * txns_per_client);
+    for &client in clients {
+        for _ in 0..txns_per_client {
+            let a = rng.gen_range(0..accounts.len());
+            let mut b = rng.gen_range(0..accounts.len() - 1);
+            if b >= a {
+                b += 1;
+            }
+            out.push(TransferSpec {
+                client,
+                from: accounts[a],
+                to: accounts[b],
+                amount: rng.gen_range(1..5),
+                user_abort: abort_prob > 0.0 && rng.gen_bool(abort_prob),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = WorkloadConfig::default();
+        let clients = [NodeId(1), NodeId(2)];
+        let pages = owned_pages(NodeId(0), 8);
+        let a = generate(&cfg, &clients, &pages, None);
+        let b = generate(&cfg, &clients, &pages, None);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ops, y.ops);
+            assert_eq!(x.client, y.client);
+            assert_eq!(x.user_abort, y.user_abort);
+        }
+    }
+
+    #[test]
+    fn write_ratio_respected_roughly() {
+        let cfg = WorkloadConfig {
+            write_ratio: 0.25,
+            txns_per_client: 100,
+            ops_per_txn: 10,
+            ..WorkloadConfig::default()
+        };
+        let specs = generate(&cfg, &[NodeId(1)], &owned_pages(NodeId(0), 4), None);
+        let (mut w, mut total) = (0usize, 0usize);
+        for s in &specs {
+            for op in &s.ops {
+                total += 1;
+                if op.is_write() {
+                    w += 1;
+                }
+            }
+        }
+        let ratio = w as f64 / total as f64;
+        assert!((0.18..0.32).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn hot_skew_concentrates_accesses() {
+        let cfg = WorkloadConfig {
+            hot_access: 0.9,
+            hot_fraction: 0.1,
+            txns_per_client: 200,
+            ..WorkloadConfig::default()
+        };
+        let pages = owned_pages(NodeId(0), 20);
+        let specs = generate(&cfg, &[NodeId(1)], &pages, None);
+        let hot_set: Vec<PageId> = pages[..2].to_vec();
+        let (mut hot, mut total) = (0usize, 0usize);
+        for s in &specs {
+            for op in &s.ops {
+                total += 1;
+                if hot_set.contains(&op.pid()) {
+                    hot += 1;
+                }
+            }
+        }
+        assert!(
+            hot as f64 / total as f64 > 0.7,
+            "hot fraction {}",
+            hot as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn private_pages_partition() {
+        let cfg = WorkloadConfig::default();
+        let pages = owned_pages(NodeId(0), 8);
+        let private = |c: NodeId| -> Vec<PageId> {
+            if c == NodeId(1) {
+                pages[..4].to_vec()
+            } else {
+                pages[4..].to_vec()
+            }
+        };
+        let specs = generate(&cfg, &[NodeId(1), NodeId(2)], &pages, Some(&private));
+        for s in &specs {
+            for op in &s.ops {
+                if s.client == NodeId(1) {
+                    assert!(op.pid().index < 4);
+                } else {
+                    assert!(op.pid().index >= 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_pick_distinct_accounts() {
+        let accounts: Vec<(PageId, usize)> = (0..4u32)
+            .flat_map(|p| (0..4usize).map(move |s| (PageId::new(NodeId(0), p), s)))
+            .collect();
+        let specs = generate_transfers(9, &[NodeId(1), NodeId(2)], &accounts, 50, 0.2);
+        assert_eq!(specs.len(), 100);
+        for t in &specs {
+            assert_ne!(t.from, t.to);
+            assert!(t.amount >= 1 && t.amount < 5);
+        }
+        assert!(specs.iter().any(|t| t.user_abort));
+        // Deterministic.
+        let again = generate_transfers(9, &[NodeId(1), NodeId(2)], &accounts, 50, 0.2);
+        assert_eq!(specs.len(), again.len());
+        assert_eq!(specs[7].from, again[7].from);
+        assert_eq!(specs[7].amount, again[7].amount);
+    }
+
+    #[test]
+    fn abort_probability_generates_aborts() {
+        let cfg = WorkloadConfig {
+            abort_prob: 0.5,
+            txns_per_client: 100,
+            ..WorkloadConfig::default()
+        };
+        let specs = generate(&cfg, &[NodeId(1)], &owned_pages(NodeId(0), 4), None);
+        let aborts = specs.iter().filter(|s| s.user_abort).count();
+        assert!((20..80).contains(&aborts), "aborts {aborts}");
+    }
+}

@@ -1,0 +1,285 @@
+//! Block storage backends.
+//!
+//! The database and the experiments mostly run on [`MemStorage`] (fast,
+//! deterministic, I/O-counted); [`FileStorage`] provides a real
+//! file-backed implementation with identical semantics so examples can
+//! persist across process restarts.
+
+use cblog_common::{Counter, Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Fixed-size block device abstraction.
+///
+/// Blocks are `block_size` bytes; the device grows on demand when a
+/// block past the current end is written.
+pub trait Storage {
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Number of blocks currently allocated.
+    fn num_blocks(&self) -> u64;
+
+    /// Reads block `idx` into `buf` (must be exactly `block_size`).
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Writes block `idx` from `buf` (must be exactly `block_size`),
+    /// growing the device if needed.
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()>;
+
+    /// Durably flushes all written blocks.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Counter of read I/Os issued.
+    fn reads(&self) -> &Counter;
+
+    /// Counter of write I/Os issued.
+    fn writes(&self) -> &Counter;
+
+    /// Counter of sync operations issued.
+    fn syncs(&self) -> &Counter;
+}
+
+/// In-memory block storage with I/O accounting.
+#[derive(Debug)]
+pub struct MemStorage {
+    block_size: usize,
+    blocks: Vec<Vec<u8>>,
+    reads: Counter,
+    writes: Counter,
+    syncs: Counter,
+}
+
+impl MemStorage {
+    /// New empty device with `block_size`-byte blocks.
+    pub fn new(block_size: usize) -> Self {
+        MemStorage {
+            block_size,
+            blocks: Vec::new(),
+            reads: Counter::new(),
+            writes: Counter::new(),
+            syncs: Counter::new(),
+        }
+    }
+}
+
+impl Storage for MemStorage {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(Error::Invalid("bad read buffer size".into()));
+        }
+        let b = self
+            .blocks
+            .get(idx as usize)
+            .ok_or_else(|| Error::Invalid(format!("read past end: block {idx}")))?;
+        buf.copy_from_slice(b);
+        self.reads.bump();
+        Ok(())
+    }
+
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(Error::Invalid("bad write buffer size".into()));
+        }
+        let idx = idx as usize;
+        while self.blocks.len() <= idx {
+            self.blocks.push(vec![0; self.block_size]);
+        }
+        self.blocks[idx].copy_from_slice(buf);
+        self.writes.bump();
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.syncs.bump();
+        Ok(())
+    }
+
+    fn reads(&self) -> &Counter {
+        &self.reads
+    }
+
+    fn writes(&self) -> &Counter {
+        &self.writes
+    }
+
+    fn syncs(&self) -> &Counter {
+        &self.syncs
+    }
+}
+
+/// File-backed block storage.
+#[derive(Debug)]
+pub struct FileStorage {
+    block_size: usize,
+    file: File,
+    num_blocks: u64,
+    reads: Counter,
+    writes: Counter,
+    syncs: Counter,
+}
+
+impl FileStorage {
+    /// Opens (or creates) the file at `path`.
+    pub fn open(path: &Path, block_size: usize) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % block_size as u64 != 0 {
+            return Err(Error::Corrupt(format!(
+                "file length {len} not a multiple of block size {block_size}"
+            )));
+        }
+        Ok(FileStorage {
+            block_size,
+            file,
+            num_blocks: len / block_size as u64,
+            reads: Counter::new(),
+            writes: Counter::new(),
+            syncs: Counter::new(),
+        })
+    }
+}
+
+impl Storage for FileStorage {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn read_block(&mut self, idx: u64, buf: &mut [u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(Error::Invalid("bad read buffer size".into()));
+        }
+        if idx >= self.num_blocks {
+            return Err(Error::Invalid(format!("read past end: block {idx}")));
+        }
+        self.file
+            .seek(SeekFrom::Start(idx * self.block_size as u64))?;
+        self.file.read_exact(buf)?;
+        self.reads.bump();
+        Ok(())
+    }
+
+    fn write_block(&mut self, idx: u64, buf: &[u8]) -> Result<()> {
+        if buf.len() != self.block_size {
+            return Err(Error::Invalid("bad write buffer size".into()));
+        }
+        // Grow with zero blocks up to idx if needed.
+        if idx > self.num_blocks {
+            let zeros = vec![0u8; self.block_size];
+            for i in self.num_blocks..idx {
+                self.file
+                    .seek(SeekFrom::Start(i * self.block_size as u64))?;
+                self.file.write_all(&zeros)?;
+            }
+        }
+        self.file
+            .seek(SeekFrom::Start(idx * self.block_size as u64))?;
+        self.file.write_all(buf)?;
+        self.num_blocks = self.num_blocks.max(idx + 1);
+        self.writes.bump();
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.syncs.bump();
+        Ok(())
+    }
+
+    fn reads(&self) -> &Counter {
+        &self.reads
+    }
+
+    fn writes(&self) -> &Counter {
+        &self.writes
+    }
+
+    fn syncs(&self) -> &Counter {
+        &self.syncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(s: &mut dyn Storage) {
+        let bs = s.block_size();
+        let mut block = vec![0u8; bs];
+        block[0] = 0xAB;
+        block[bs - 1] = 0xCD;
+        s.write_block(0, &block).unwrap();
+        s.write_block(3, &block).unwrap(); // grows with zero fill
+        assert_eq!(s.num_blocks(), 4);
+        let mut out = vec![0u8; bs];
+        s.read_block(0, &mut out).unwrap();
+        assert_eq!(out, block);
+        s.read_block(2, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+        s.read_block(3, &mut out).unwrap();
+        assert_eq!(out, block);
+        assert!(s.read_block(9, &mut out).is_err());
+        s.sync().unwrap();
+        assert_eq!(s.reads().get(), 3);
+        assert_eq!(s.writes().get(), 2);
+        assert_eq!(s.syncs().get(), 1);
+    }
+
+    #[test]
+    fn mem_storage_basic() {
+        let mut s = MemStorage::new(128);
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn mem_storage_rejects_bad_buffer() {
+        let mut s = MemStorage::new(128);
+        assert!(s.write_block(0, &[0; 64]).is_err());
+        let mut small = [0u8; 64];
+        assert!(s.read_block(0, &mut small).is_err());
+    }
+
+    #[test]
+    fn file_storage_basic_and_persistent() {
+        let path = std::env::temp_dir().join(format!(
+            "cblog-storage-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = FileStorage::open(&path, 128).unwrap();
+            exercise(&mut s);
+        }
+        {
+            // Re-open: data persists.
+            let mut s = FileStorage::open(&path, 128).unwrap();
+            assert_eq!(s.num_blocks(), 4);
+            let mut out = vec![0u8; 128];
+            s.read_block(0, &mut out).unwrap();
+            assert_eq!(out[0], 0xAB);
+            assert_eq!(out[127], 0xCD);
+        }
+        // Wrong block size detected.
+        assert!(FileStorage::open(&path, 100).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,285 @@
+//! Byte-oriented backing stores for a node's local log.
+//!
+//! The log manager appends framed records; the store persists bytes and
+//! a small side "master record" holding the restart anchor (last
+//! checkpoint LSN and truncation point). Both an in-memory store (fast,
+//! deterministic, counted) and a file-backed store are provided.
+//!
+//! Crash semantics: bytes appended but not yet [`LogStore::sync`]ed are
+//! lost by [`LogStore::crash`]. The log manager only writes to the
+//! store at force time, so in practice crashes drop the manager's tail
+//! buffer plus any unsynced store bytes.
+
+use cblog_common::{Counter, Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Append-oriented durable byte store with a master record side-slot.
+pub trait LogStore {
+    /// Durable + appended (possibly unsynced) length in bytes.
+    fn len(&self) -> u64;
+
+    /// True if nothing has ever been appended.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends bytes at the current end.
+    fn append(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Reads `buf.len()` bytes at absolute offset `pos`.
+    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Makes all appended bytes durable.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Atomically replaces the master record.
+    fn write_master(&mut self, bytes: &[u8]) -> Result<()>;
+
+    /// Reads the master record (empty vec if never written).
+    fn read_master(&mut self) -> Result<Vec<u8>>;
+
+    /// Simulates a crash: discards appended-but-unsynced bytes. The
+    /// master record is always written synchronously and survives.
+    fn crash(&mut self);
+
+    /// Counter of sync operations (log forces hitting the device).
+    fn syncs(&self) -> &Counter;
+
+    /// Counter of bytes appended.
+    fn bytes_appended(&self) -> &Counter;
+}
+
+/// In-memory log store.
+#[derive(Debug, Default)]
+pub struct MemLogStore {
+    data: Vec<u8>,
+    durable_len: u64,
+    master: Vec<u8>,
+    syncs: Counter,
+    bytes: Counter,
+}
+
+impl MemLogStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        MemLogStore::default()
+    }
+}
+
+impl LogStore for MemLogStore {
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.data.extend_from_slice(bytes);
+        self.bytes.add(bytes.len() as u64);
+        Ok(())
+    }
+
+    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+        let end = pos as usize + buf.len();
+        if end > self.data.len() {
+            return Err(Error::Corrupt(format!(
+                "log read past end: {pos}+{} > {}",
+                buf.len(),
+                self.data.len()
+            )));
+        }
+        buf.copy_from_slice(&self.data[pos as usize..end]);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.durable_len = self.data.len() as u64;
+        self.syncs.bump();
+        Ok(())
+    }
+
+    fn write_master(&mut self, bytes: &[u8]) -> Result<()> {
+        self.master = bytes.to_vec();
+        Ok(())
+    }
+
+    fn read_master(&mut self) -> Result<Vec<u8>> {
+        Ok(self.master.clone())
+    }
+
+    fn crash(&mut self) {
+        self.data.truncate(self.durable_len as usize);
+    }
+
+    fn syncs(&self) -> &Counter {
+        &self.syncs
+    }
+
+    fn bytes_appended(&self) -> &Counter {
+        &self.bytes
+    }
+}
+
+/// File-backed log store (`<path>` data file + `<path>.master`).
+#[derive(Debug)]
+pub struct FileLogStore {
+    file: File,
+    master_path: PathBuf,
+    len: u64,
+    durable_len: u64,
+    syncs: Counter,
+    bytes: Counter,
+}
+
+impl FileLogStore {
+    /// Opens (creating if absent) the log at `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let mut master_path = path.as_os_str().to_owned();
+        master_path.push(".master");
+        Ok(FileLogStore {
+            file,
+            master_path: PathBuf::from(master_path),
+            len,
+            durable_len: len,
+            syncs: Counter::new(),
+            bytes: Counter::new(),
+        })
+    }
+}
+
+impl LogStore for FileLogStore {
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(bytes)?;
+        self.len += bytes.len() as u64;
+        self.bytes.add(bytes.len() as u64);
+        Ok(())
+    }
+
+    fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+        if pos + buf.len() as u64 > self.len {
+            return Err(Error::Corrupt("log read past end".into()));
+        }
+        self.file.seek(SeekFrom::Start(pos))?;
+        self.file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        self.durable_len = self.len;
+        self.syncs.bump();
+        Ok(())
+    }
+
+    fn write_master(&mut self, bytes: &[u8]) -> Result<()> {
+        // Write-then-rename for atomicity.
+        let tmp = self.master_path.with_extension("master.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.master_path)?;
+        Ok(())
+    }
+
+    fn read_master(&mut self) -> Result<Vec<u8>> {
+        match std::fs::read(&self.master_path) {
+            Ok(v) => Ok(v),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn crash(&mut self) {
+        let _ = self.file.set_len(self.durable_len);
+        self.len = self.durable_len;
+    }
+
+    fn syncs(&self) -> &Counter {
+        &self.syncs
+    }
+
+    fn bytes_appended(&self) -> &Counter {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(s: &mut dyn LogStore) {
+        assert!(s.is_empty());
+        s.append(b"hello ").unwrap();
+        s.append(b"world").unwrap();
+        assert_eq!(s.len(), 11);
+        let mut buf = [0u8; 5];
+        s.read_at(6, &mut buf).unwrap();
+        assert_eq!(&buf, b"world");
+        assert!(s.read_at(8, &mut [0u8; 5]).is_err());
+        s.sync().unwrap();
+        s.append(b" lost").unwrap();
+        s.crash();
+        assert_eq!(s.len(), 11, "unsynced tail dropped");
+        s.write_master(b"anchor").unwrap();
+        assert_eq!(s.read_master().unwrap(), b"anchor");
+        s.write_master(b"anchor2").unwrap();
+        assert_eq!(s.read_master().unwrap(), b"anchor2");
+        assert_eq!(s.syncs().get(), 1);
+        assert_eq!(s.bytes_appended().get(), 16);
+    }
+
+    #[test]
+    fn mem_store() {
+        let mut s = MemLogStore::new();
+        exercise(&mut s);
+    }
+
+    #[test]
+    fn file_store() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cblog-log-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let master = {
+            let mut m = path.as_os_str().to_owned();
+            m.push(".master");
+            PathBuf::from(m)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&master);
+        {
+            let mut s = FileLogStore::open(&path).unwrap();
+            exercise(&mut s);
+        }
+        {
+            // Reopen: synced bytes and master survive.
+            let mut s = FileLogStore::open(&path).unwrap();
+            assert_eq!(s.len(), 11);
+            assert_eq!(s.read_master().unwrap(), b"anchor2");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&master);
+    }
+
+    #[test]
+    fn master_missing_reads_empty() {
+        let mut s = MemLogStore::new();
+        assert_eq!(s.read_master().unwrap(), Vec::<u8>::new());
+    }
+}

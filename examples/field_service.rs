@@ -1,0 +1,99 @@
+//! Field service: the paper's §1.2 mobile-technician scenario.
+//!
+//! "Customer data is in a database attached to some other node. This
+//! data is copied into the hand-held notebook computer and cached
+//! there. Now, as the technician notes the status of the repair work
+//! … she may wish to achieve transactional durability guarantees for
+//! orders recorded in the notebook computer without repeatedly having
+//! to call the server in the central office."
+//!
+//! The notebook checks out customer record pages once, then performs a
+//! day of work-order transactions — each durably committed against the
+//! notebook's *local* log with zero calls to the office — survives a
+//! notebook crash in the field, and the office later recovers the
+//! notebook's committed work from the notebook's log alone.
+//!
+//! Run with: `cargo run -p cblog-bench --example field_service`
+
+use cblog_common::{NodeId, PageId};
+use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+
+fn main() {
+    let office = NodeId(0);
+    let notebook = NodeId(1);
+    let mut cluster = Cluster::new(ClusterConfig {
+        node_count: 2,
+        owned_pages: vec![4, 0],
+        default_node: NodeConfig::default(),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster");
+
+    // Customer work-order pages are slotted record pages.
+    let orders = PageId::new(office, 0);
+    cluster.format_slotted(orders).unwrap();
+
+    // --- Morning: check out the customer data (one round of calls). --
+    let t = cluster.begin(notebook).unwrap();
+    let rid_boiler = cluster
+        .insert_record(t, orders, b"boiler: scheduled")
+        .unwrap();
+    cluster.commit(t).unwrap();
+    let checkout_msgs = cluster.network().stats().total_messages();
+    println!("checked out customer pages ({checkout_msgs} messages)");
+
+    // --- In the field: a day of durable work orders, zero calls. ---
+    let day_start = cluster.network().stats().total_messages();
+    let t = cluster.begin(notebook).unwrap();
+    cluster
+        .update_record(t, rid_boiler, b"boiler: inspected, valve worn")
+        .unwrap();
+    cluster.commit(t).unwrap();
+
+    let t = cluster.begin(notebook).unwrap();
+    let rid_parts = cluster
+        .insert_record(t, orders, b"parts: valve x1 ordered")
+        .unwrap();
+    cluster.commit(t).unwrap();
+
+    // A mistaken entry, rolled back locally.
+    let t = cluster.begin(notebook).unwrap();
+    let rid_oops = cluster.insert_record(t, orders, b"oops wrong customer").unwrap();
+    cluster.abort(t).unwrap();
+
+    let t = cluster.begin(notebook).unwrap();
+    cluster
+        .update_record(t, rid_boiler, b"boiler: repaired, tested OK")
+        .unwrap();
+    cluster.commit(t).unwrap();
+    let day_msgs = cluster.network().stats().total_messages() - day_start;
+    println!("field day done: 3 durable commits + 1 rollback, {day_msgs} calls to the office");
+    assert_eq!(day_msgs, 0, "durability without calling the server");
+
+    // --- The notebook is dropped in a puddle (crash). Its log (on its
+    // local disk) survives; the cached pages do not. ---
+    cluster.crash(notebook);
+    println!("notebook crashed in the field");
+    let report = recovery::recover_single(&mut cluster, notebook).expect("recovery");
+    println!(
+        "notebook recovered: {} page(s) rebuilt from its own log, {} records replayed",
+        report.pages_recovered, report.records_replayed
+    );
+
+    // --- Back at the office: the committed day is all there. ---
+    let t = cluster.begin(office).unwrap();
+    let boiler = cluster.read_record(t, rid_boiler).unwrap();
+    let parts = cluster.read_record(t, rid_parts).unwrap();
+    let oops_gone = cluster.read_record(t, rid_oops).is_err();
+    cluster.commit(t).unwrap();
+    println!(
+        "office sees: {:?} / {:?}; mistaken entry gone: {}",
+        String::from_utf8_lossy(&boiler),
+        String::from_utf8_lossy(&parts),
+        oops_gone
+    );
+    assert_eq!(boiler, b"boiler: repaired, tested OK");
+    assert_eq!(parts, b"parts: valve x1 ordered");
+    assert!(oops_gone);
+    println!("field-service scenario verified");
+}

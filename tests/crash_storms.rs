@@ -1,0 +1,200 @@
+//! Crash-storm integration tests: crashes injected between workload
+//! phases, repeated and combined, always ending in a full oracle
+//! verification. Exercises §2.3 and §2.4 under messier histories than
+//! the unit tests.
+
+use cblog_common::{CostModel, NodeId, PageId};
+use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_sim::{run_workload, workload, Oracle, WorkloadConfig};
+
+fn cluster(owned: Vec<u32>, frames: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        node_count: owned.len(),
+        owned_pages: owned,
+        default_node: NodeConfig {
+            page_size: 1024,
+            buffer_frames: frames,
+            owned_pages: 0,
+            log_capacity: None,
+        },
+        cost: CostModel::unit(),
+        force_on_transfer: false,
+    })
+    .unwrap()
+}
+
+fn pages(owner: u32, n: u32) -> Vec<PageId> {
+    (0..n).map(|i| PageId::new(NodeId(owner), i)).collect()
+}
+
+fn phase(c: &mut Cluster, clients: &[NodeId], pgs: &[PageId], seed: u64, oracle: &mut Oracle) {
+    let cfg = WorkloadConfig {
+        txns_per_client: 15,
+        ops_per_txn: 5,
+        write_ratio: 0.7,
+        seed,
+        ..WorkloadConfig::default()
+    };
+    let specs = workload::generate(&cfg, clients, pgs, None);
+    let stats = run_workload(c, specs).unwrap();
+    merge_oracle(oracle, stats.oracle);
+}
+
+fn merge_oracle(into: &mut Oracle, from: Oracle) {
+    // Later phases overwrite earlier committed values; keys are stable
+    // so re-staging through a fresh key works.
+    // (Oracle exposes only expect(); rebuild via its committed view.)
+    // Simplest correct merge: stage+commit each known slot.
+    let mut key = u64::MAX; // disjoint from driver keys
+    for (pid, slot, v) in drain_committed(&from) {
+        into.stage(key, pid, slot, v);
+        into.commit(key);
+        key -= 1;
+    }
+}
+
+fn drain_committed(o: &Oracle) -> Vec<(PageId, usize, u64)> {
+    // The oracle keeps committed values private; enumerate via its
+    // public probe over the page/slot space used in these tests.
+    let mut out = Vec::new();
+    for owner in 0..4u32 {
+        for idx in 0..16u32 {
+            let pid = PageId::new(NodeId(owner), idx);
+            for slot in 0..16usize {
+                if let Some(v) = o.expect(pid, slot) {
+                    out.push((pid, slot, v));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn owner_crash_between_phases() {
+    let mut c = cluster(vec![8, 0, 0], 16);
+    let clients = [NodeId(1), NodeId(2)];
+    let pgs = pages(0, 8);
+    let mut oracle = Oracle::new();
+    phase(&mut c, &clients, &pgs, 10, &mut oracle);
+    // Make the owner's buffer the only holder of some current images.
+    for p in &pgs {
+        let _ = c.evict_page(NodeId(1), *p);
+        let _ = c.evict_page(NodeId(2), *p);
+    }
+    c.crash(NodeId(0));
+    recovery::recover_single(&mut c, NodeId(0)).unwrap();
+    phase(&mut c, &clients, &pgs, 11, &mut oracle);
+    oracle.verify(&mut c, NodeId(1)).unwrap();
+}
+
+#[test]
+fn client_crash_between_phases() {
+    let mut c = cluster(vec![8, 0, 0], 16);
+    let clients = [NodeId(1), NodeId(2)];
+    let pgs = pages(0, 8);
+    let mut oracle = Oracle::new();
+    phase(&mut c, &clients, &pgs, 20, &mut oracle);
+    c.crash(NodeId(1));
+    recovery::recover_single(&mut c, NodeId(1)).unwrap();
+    phase(&mut c, &clients, &pgs, 21, &mut oracle);
+    oracle.verify(&mut c, NodeId(2)).unwrap();
+}
+
+#[test]
+fn repeated_crashes_of_the_same_owner() {
+    let mut c = cluster(vec![8, 0], 16);
+    let clients = [NodeId(1)];
+    let pgs = pages(0, 8);
+    let mut oracle = Oracle::new();
+    for round in 0..4u64 {
+        phase(&mut c, &clients, &pgs, 30 + round, &mut oracle);
+        for p in &pgs {
+            let _ = c.evict_page(NodeId(1), *p);
+        }
+        c.crash(NodeId(0));
+        recovery::recover_single(&mut c, NodeId(0)).unwrap();
+        oracle.verify(&mut c, NodeId(1)).unwrap();
+    }
+}
+
+#[test]
+fn alternating_owner_and_client_crashes() {
+    let mut c = cluster(vec![8, 0, 0], 16);
+    let clients = [NodeId(1), NodeId(2)];
+    let pgs = pages(0, 8);
+    let mut oracle = Oracle::new();
+    for round in 0..3u64 {
+        phase(&mut c, &clients, &pgs, 40 + round, &mut oracle);
+        let victim = if round % 2 == 0 { NodeId(0) } else { NodeId(2) };
+        if victim == NodeId(0) {
+            for p in &pgs {
+                let _ = c.evict_page(NodeId(1), *p);
+                let _ = c.evict_page(NodeId(2), *p);
+            }
+        }
+        c.crash(victim);
+        recovery::recover_single(&mut c, victim).unwrap();
+        oracle.verify(&mut c, NodeId(1)).unwrap();
+    }
+}
+
+#[test]
+fn simultaneous_owner_and_client_crash() {
+    let mut c = cluster(vec![8, 0, 0], 16);
+    let clients = [NodeId(1), NodeId(2)];
+    let pgs = pages(0, 8);
+    let mut oracle = Oracle::new();
+    phase(&mut c, &clients, &pgs, 50, &mut oracle);
+    for p in &pgs {
+        let _ = c.evict_page(NodeId(1), *p);
+    }
+    c.crash(NodeId(0));
+    c.crash(NodeId(1));
+    let rep = recovery::recover(&mut c, &[NodeId(0), NodeId(1)]).unwrap();
+    assert_eq!(rep.recovered_nodes.len(), 2);
+    oracle.verify(&mut c, NodeId(2)).unwrap();
+    phase(&mut c, &clients, &pgs, 51, &mut oracle);
+    oracle.verify(&mut c, NodeId(1)).unwrap();
+}
+
+#[test]
+fn all_nodes_crash_and_recover_together() {
+    let mut c = cluster(vec![6, 0, 6, 0], 16);
+    let clients: Vec<NodeId> = (0..4).map(NodeId).collect();
+    let mut pgs = pages(0, 6);
+    pgs.extend(pages(2, 6));
+    let mut oracle = Oracle::new();
+    phase(&mut c, &clients, &pgs, 60, &mut oracle);
+    for n in 0..4u32 {
+        c.crash(NodeId(n));
+    }
+    let all: Vec<NodeId> = (0..4).map(NodeId).collect();
+    recovery::recover(&mut c, &all).unwrap();
+    oracle.verify(&mut c, NodeId(3)).unwrap();
+}
+
+#[test]
+fn losers_at_crash_are_invisible_afterwards() {
+    let mut c = cluster(vec![8, 0, 0], 16);
+    let pgs = pages(0, 8);
+    // Commit a baseline.
+    let t = c.begin(NodeId(1)).unwrap();
+    for (i, p) in pgs.iter().enumerate() {
+        c.write_u64(t, *p, 0, 1000 + i as u64).unwrap();
+    }
+    c.commit(t).unwrap();
+    // Leave an in-flight transaction with durable-but-uncommitted
+    // records on node 2, and crash node 2.
+    let loser = c.begin(NodeId(2)).unwrap();
+    c.write_u64(loser, pgs[0], 0, 9999).unwrap();
+    c.write_u64(loser, pgs[1], 0, 9999).unwrap();
+    c.node_mut(NodeId(2)).force_log().unwrap();
+    c.crash(NodeId(2));
+    let rep = recovery::recover_single(&mut c, NodeId(2)).unwrap();
+    assert_eq!(rep.losers_undone, 1);
+    let t = c.begin(NodeId(1)).unwrap();
+    assert_eq!(c.read_u64(t, pgs[0], 0).unwrap(), 1000);
+    assert_eq!(c.read_u64(t, pgs[1], 0).unwrap(), 1001);
+    c.commit(t).unwrap();
+}
