@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Offline CI gate: everything runs from the vendored toolchain and the
+# in-repo code — no network, no crates.io. Run before every push.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "CI OK"

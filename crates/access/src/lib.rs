@@ -292,9 +292,7 @@ impl BTree {
             NodeKind::Leaf => {
                 for (k, _) in node.leaf_entries() {
                     if k < lo || k > hi {
-                        return Err(Error::Protocol(format!(
-                            "leaf key {k} outside [{lo},{hi}]"
-                        )));
+                        return Err(Error::Protocol(format!("leaf key {k} outside [{lo},{hi}]")));
                     }
                 }
                 Ok(node.len())

@@ -75,10 +75,7 @@ impl TreeNode {
     /// Value for `key`, if present (leaf only).
     pub fn leaf_get(&self, key: u64) -> Option<u64> {
         debug_assert_eq!(self.kind, NodeKind::Leaf);
-        self.keys
-            .binary_search(&key)
-            .ok()
-            .map(|i| self.values[i])
+        self.keys.binary_search(&key).ok().map(|i| self.values[i])
     }
 
     /// Inserts/overwrites an entry (leaf only).

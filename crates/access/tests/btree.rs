@@ -3,11 +3,8 @@
 //! the tree structure, and multi-node access.
 
 use cblog_access::BTree;
-use cblog_common::{CostModel, NodeId, PageId};
+use cblog_common::{CostModel, NodeId, PageId, Rng};
 use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 const TREE_PAGES: u32 = 24;
@@ -41,9 +38,9 @@ fn insert_get_matches_btreemap_through_splits() {
     let t = c.begin(NodeId(1)).unwrap();
     let tree = BTree::create(&mut c, t, pages, 8).unwrap();
     let mut model = BTreeMap::new();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let mut keys: Vec<u64> = (0..400).map(|i| i * 3).collect();
-    keys.shuffle(&mut rng);
+    rng.shuffle(&mut keys);
     for &k in &keys {
         tree.insert(&mut c, t, k, k + 1).unwrap();
         model.insert(k, k + 1);
@@ -65,10 +62,10 @@ fn overwrite_and_delete_match_model() {
     let t = c.begin(NodeId(1)).unwrap();
     let tree = BTree::create(&mut c, t, pages, 6).unwrap();
     let mut model = BTreeMap::new();
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = Rng::seed_from_u64(8);
     for _ in 0..600 {
         let k = rng.gen_range(0..200u64);
-        match rng.gen_range(0..3) {
+        match rng.gen_range(0..3u64) {
             0 | 1 => {
                 let v = rng.gen_range(0..1_000_000u64);
                 tree.insert(&mut c, t, k, v).unwrap();
@@ -97,12 +94,15 @@ fn range_scans_match_model() {
         tree.insert(&mut c, t, k, k * 7).unwrap();
         model.insert(k, k * 7);
     }
-    for (lo, hi) in [(0u64, 10u64), (37, 153), (0, u64::MAX), (299, 299), (500, 600)] {
+    for (lo, hi) in [
+        (0u64, 10u64),
+        (37, 153),
+        (0, u64::MAX),
+        (299, 299),
+        (500, 600),
+    ] {
         let got = tree.range(&mut c, t, lo, hi).unwrap();
-        let want: Vec<(u64, u64)> = model
-            .range(lo..=hi)
-            .map(|(k, v)| (*k, *v))
-            .collect();
+        let want: Vec<(u64, u64)> = model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
         assert_eq!(got, want, "range [{lo},{hi}]");
     }
     c.commit(t).unwrap();
@@ -218,9 +218,7 @@ fn index_spanning_two_owners_survives_either_owner_crash() {
         }
     }
     // Interleave so node records land on both owners.
-    let interleaved: Vec<PageId> = (0..12)
-        .flat_map(|i| [pages[i], pages[12 + i]])
-        .collect();
+    let interleaved: Vec<PageId> = (0..12).flat_map(|i| [pages[i], pages[12 + i]]).collect();
     let t = c.begin(NodeId(2)).unwrap();
     let tree = BTree::create(&mut c, t, interleaved.clone(), 6).unwrap();
     for k in 0..250u64 {

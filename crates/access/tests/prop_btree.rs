@@ -1,11 +1,14 @@
-//! Property test: random operation sequences on the B+-tree match a
-//! `BTreeMap` model, across random fan-outs, with a structural check
-//! and a crash/recovery round at the end of every case.
+//! Randomized model test: random operation sequences on the B+-tree
+//! match a `BTreeMap` model, across random fan-outs, with a structural
+//! check and a crash/recovery round at the end of every case.
+//!
+//! Uses the workspace's deterministic `Rng` (the build has no
+//! crates.io access, so no proptest); every case is reproducible from
+//! its printed seed.
 
 use cblog_access::BTree;
-use cblog_common::{CostModel, NodeId, PageId};
+use cblog_common::{CostModel, NodeId, PageId, Rng};
 use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const TREE_PAGES: u32 = 16;
@@ -39,49 +42,56 @@ enum TreeOp {
     Range(u64, u64),
 }
 
-fn tree_op() -> impl Strategy<Value = TreeOp> {
-    prop_oneof![
-        3 => (0u64..64, any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
-        1 => (0u64..64).prop_map(TreeOp::Delete),
-        1 => (0u64..64).prop_map(TreeOp::Get),
-        1 => (0u64..64, 0u64..64).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
-    ]
+fn gen_op(rng: &mut Rng) -> TreeOp {
+    // Weights mirror the original proptest strategy: 3:1:1:1.
+    match rng.gen_range(0..6) {
+        0..=2 => TreeOp::Insert(rng.gen_range(0..64), rng.next_u64()),
+        3 => TreeOp::Delete(rng.gen_range(0..64)),
+        4 => TreeOp::Get(rng.gen_range(0..64)),
+        _ => {
+            let a = rng.gen_range(0..64);
+            let b = rng.gen_range(0..64);
+            TreeOp::Range(a.min(b), a.max(b))
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn btree_matches_model_and_survives_crash(
-        ops in prop::collection::vec(tree_op(), 1..120),
-        fanout in 3usize..10,
-    ) {
+#[test]
+fn btree_matches_model_and_survives_crash() {
+    for case in 0u64..16 {
+        let mut rng = Rng::seed_from_u64(0xB7EE_0000 + case);
+        let n_ops = rng.gen_range_usize(1..120);
+        let fanout = rng.gen_range_usize(3..10);
         let (mut c, pages) = cluster();
         let t = c.begin(NodeId(1)).unwrap();
         let tree = BTree::create(&mut c, t, pages.clone(), fanout).unwrap();
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
-        for op in &ops {
-            match op {
+        for _ in 0..n_ops {
+            match gen_op(&mut rng) {
                 TreeOp::Insert(k, v) => {
-                    tree.insert(&mut c, t, *k, *v).unwrap();
-                    model.insert(*k, *v);
+                    tree.insert(&mut c, t, k, v).unwrap();
+                    model.insert(k, v);
                 }
                 TreeOp::Delete(k) => {
-                    let got = tree.delete(&mut c, t, *k).unwrap();
-                    prop_assert_eq!(got, model.remove(k));
+                    let got = tree.delete(&mut c, t, k).unwrap();
+                    assert_eq!(got, model.remove(&k), "case {case}");
                 }
                 TreeOp::Get(k) => {
-                    prop_assert_eq!(tree.get(&mut c, t, *k).unwrap(), model.get(k).copied());
+                    assert_eq!(
+                        tree.get(&mut c, t, k).unwrap(),
+                        model.get(&k).copied(),
+                        "case {case}"
+                    );
                 }
                 TreeOp::Range(lo, hi) => {
-                    let got = tree.range(&mut c, t, *lo, *hi).unwrap();
+                    let got = tree.range(&mut c, t, lo, hi).unwrap();
                     let want: Vec<(u64, u64)> =
-                        model.range(*lo..=*hi).map(|(k, v)| (*k, *v)).collect();
-                    prop_assert_eq!(got, want);
+                        model.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    assert_eq!(got, want, "case {case}");
                 }
             }
         }
-        prop_assert_eq!(tree.check(&mut c, t).unwrap(), model.len());
+        assert_eq!(tree.check(&mut c, t).unwrap(), model.len(), "case {case}");
         c.commit(t).unwrap();
         // Crash the owner with the current images only in its buffer;
         // the recovered tree must still match the model.
@@ -91,9 +101,9 @@ proptest! {
         c.crash(NodeId(0));
         recovery::recover_single(&mut c, NodeId(0)).unwrap();
         let t = c.begin(NodeId(1)).unwrap();
-        prop_assert_eq!(tree.check(&mut c, t).unwrap(), model.len());
+        assert_eq!(tree.check(&mut c, t).unwrap(), model.len(), "case {case}");
         for (k, v) in &model {
-            prop_assert_eq!(tree.get(&mut c, t, *k).unwrap(), Some(*v));
+            assert_eq!(tree.get(&mut c, t, *k).unwrap(), Some(*v), "case {case}");
         }
         c.commit(t).unwrap();
     }

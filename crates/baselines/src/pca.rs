@@ -22,9 +22,7 @@
 //! second copy of any log record, steal buffering. Experiment E10
 //! prints the resulting per-commit costs side by side.
 
-use cblog_common::{
-    CostModel, Error, Lsn, NodeId, PageId, Psn, Result, TxnId,
-};
+use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
     LocalRequestOutcome, LockMode,
@@ -106,11 +104,8 @@ impl PcaCluster {
         for i in 0..cfg.nodes {
             let id = NodeId(i as u32);
             let db = if i == 0 {
-                let mut db = Database::create(
-                    Box::new(MemStorage::new(cfg.page_size)),
-                    id,
-                    cfg.pages,
-                )?;
+                let mut db =
+                    Database::create(Box::new(MemStorage::new(cfg.page_size)), id, cfg.pages)?;
                 for _ in 0..cfg.pages {
                     db.allocate_page(PageKind::Raw)?;
                 }
@@ -253,7 +248,8 @@ impl PcaCluster {
                 .peek(*pid)
                 .ok_or(Error::NoSuchPage(*pid))?
                 .clone();
-            self.net.send(node, pca, MsgKind::PageShip, self.page_bytes())?;
+            self.net
+                .send(node, pca, MsgKind::PageShip, self.page_bytes())?;
             let recs: Vec<LogRecord> = ops
                 .iter()
                 .filter(|(p, _, _)| p == pid)
@@ -291,8 +287,12 @@ impl PcaCluster {
         // Unpin local pages too (they are committed now).
         {
             let n = &mut self.nodes[ni];
-            let local_pins: Vec<PageId> =
-                n.pinned.iter().copied().filter(|p| p.owner == node).collect();
+            let local_pins: Vec<PageId> = n
+                .pinned
+                .iter()
+                .copied()
+                .filter(|p| p.owner == node)
+                .collect();
             for p in local_pins {
                 n.pinned.remove(&p);
                 n.buffer.unpin(p)?;
@@ -367,8 +367,7 @@ impl PcaCluster {
                 self.net.send(node, pca, MsgKind::LockRequest, CTRL)?;
             }
             loop {
-                let outcome =
-                    self.nodes[pca.0 as usize].global.request(pid, node, mode);
+                let outcome = self.nodes[pca.0 as usize].global.request(pid, node, mode);
                 match outcome {
                     GlobalRequestOutcome::Granted => break,
                     GlobalRequestOutcome::NeedsCallbacks(victims) => {
@@ -461,7 +460,8 @@ impl PcaCluster {
             }
         };
         if pca != node {
-            self.net.send(pca, node, MsgKind::PageShip, self.page_bytes())?;
+            self.net
+                .send(pca, node, MsgKind::PageShip, self.page_bytes())?;
         }
         if let Some(ev) = self.nodes[node.0 as usize].buffer.insert(page, false)? {
             // Evicted pages are clean or committed under no-steal;

@@ -20,9 +20,7 @@
 //! * a server checkpoint "requires communication with all connected
 //!   clients" — it synchronously collects their dirty-page lists.
 
-use cblog_common::{
-    CostModel, Error, Lsn, NodeId, PageId, Psn, Result, TxnId,
-};
+use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
     LocalRequestOutcome, LockMode,
@@ -119,11 +117,7 @@ impl ServerCluster {
     /// Builds the system: server with all pages pre-allocated, plus
     /// `cfg.clients` diskless clients.
     pub fn new(cfg: ServerClientConfig) -> Result<Self> {
-        let mut db = Database::create(
-            Box::new(MemStorage::new(cfg.page_size)),
-            SERVER,
-            cfg.pages,
-        )?;
+        let mut db = Database::create(Box::new(MemStorage::new(cfg.page_size)), SERVER, cfg.pages)?;
         for _ in 0..cfg.pages {
             db.allocate_page(PageKind::Raw)?;
         }
@@ -328,7 +322,8 @@ impl ServerCluster {
             for r in &recs {
                 bytes += r.encode().len();
             }
-            self.net.send(node, SERVER, MsgKind::LogShip, bytes + CTRL)?;
+            self.net
+                .send(node, SERVER, MsgKind::LogShip, bytes + CTRL)?;
             let mut prev = {
                 let c = self.client(node)?;
                 c.txns.get(&txn).expect("checked").server_last_lsn
@@ -389,7 +384,8 @@ impl ServerCluster {
             t.begun_at_server = true;
             (records, bytes)
         };
-        self.net.send(node, SERVER, MsgKind::LogShip, bytes + CTRL)?;
+        self.net
+            .send(node, SERVER, MsgKind::LogShip, bytes + CTRL)?;
         let mut prev = {
             let c = self.client(node)?;
             c.txns.get(&txn).expect("checked").server_last_lsn
@@ -397,7 +393,10 @@ impl ServerCluster {
         for mut r in records {
             r.prev_lsn = prev;
             prev = self.log.append(&r)?;
-            if let LogPayload::Update { pid, psn_before, .. } = r.payload {
+            if let LogPayload::Update {
+                pid, psn_before, ..
+            } = r.payload
+            {
                 if !self.sdpt.contains(pid) {
                     self.sdpt.insert(DptEntry::new(pid, psn_before, prev));
                 }
@@ -567,7 +566,8 @@ impl ServerCluster {
                 p
             }
         };
-        self.net.send(SERVER, node, MsgKind::PageShip, self.page_bytes())?;
+        self.net
+            .send(SERVER, node, MsgKind::PageShip, self.page_bytes())?;
         let v = node.0 as usize - 1;
         if let Some(ev) = self.clients[v].buffer.insert(page, false)? {
             if ev.dirty {
@@ -597,12 +597,8 @@ impl ServerCluster {
             }
             self.net.send(SERVER, id, MsgKind::CheckpointSync, CTRL)?;
             let dirty = self.clients[ci].buffer.dirty_ids();
-            self.net.send(
-                id,
-                SERVER,
-                MsgKind::CheckpointSync,
-                CTRL + dirty.len() * 16,
-            )?;
+            self.net
+                .send(id, SERVER, MsgKind::CheckpointSync, CTRL + dirty.len() * 16)?;
             for pid in dirty {
                 if !dpt.iter().any(|e| e.pid == pid) {
                     let psn = self.clients[ci].buffer.peek(pid).expect("dirty").psn();
@@ -687,7 +683,11 @@ impl ServerCluster {
                     LogPayload::Abort => {
                         loser_ops.remove(&rec.txn);
                     }
-                    LogPayload::Update { pid, psn_before, op } => {
+                    LogPayload::Update {
+                        pid,
+                        psn_before,
+                        op,
+                    } => {
                         if exclusive.contains(pid) {
                             page_recs.push((*pid, *psn_before, op.clone()));
                         }
@@ -696,15 +696,27 @@ impl ServerCluster {
                             .or_default()
                             .push((*pid, *psn_before, op.clone()));
                     }
-                    LogPayload::Clr { pid, psn_before, op, .. }
-                        if exclusive.contains(pid) =>
-                    {
+                    LogPayload::Clr {
+                        pid,
+                        psn_before,
+                        op,
+                        ..
+                    } if exclusive.contains(pid) => {
                         page_recs.push((*pid, *psn_before, op.clone()));
                     }
                     _ => {}
                 }
-            } else if let LogPayload::Update { pid, psn_before, op }
-            | LogPayload::Clr { pid, psn_before, op, .. } = &rec.payload
+            } else if let LogPayload::Update {
+                pid,
+                psn_before,
+                op,
+            }
+            | LogPayload::Clr {
+                pid,
+                psn_before,
+                op,
+                ..
+            } = &rec.payload
             {
                 if exclusive.contains(pid) {
                     page_recs.push((*pid, *psn_before, op.clone()));

@@ -1,117 +1,59 @@
-//! Criterion benches, one per experiment table (DESIGN.md §4). Each
-//! bench times a representative configuration of the experiment; the
+//! Experiment benches, one per experiment table (DESIGN.md §4). Each
+//! case times a representative configuration of the experiment; the
 //! full sweeps/tables come from `cargo run -p cblog-bench --bin
 //! experiments`.
+//!
+//! Plain `harness = false` timers (the build has no crates.io access,
+//! so no criterion).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cblog_sim::experiments::{
     a1_ckpt_interval, e1_commit_cost, e2_scalability, e3_log_volume, e4_page_transfer,
-    e5_single_crash, e6_multi_crash, e7_checkpoint, e8_log_space, e9_rollback,
-    t1_protocol_ops,
+    e5_single_crash, e6_multi_crash, e7_checkpoint, e8_log_space, e9_rollback, t1_protocol_ops,
 };
 
-fn bench_t1(c: &mut Criterion) {
-    c.bench_function("t1_protocol_ops", |b| {
-        b.iter(|| black_box(t1_protocol_ops::run()))
-    });
+fn bench<T, F: FnMut() -> T>(name: &str, iters: u32, mut f: F) {
+    black_box(f()); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per = start.elapsed().as_micros() / iters as u128;
+    println!("{name:<40} {per:>12} us/iter   ({iters} iters)");
 }
 
-fn bench_e1(c: &mut Criterion) {
-    c.bench_function("e1_commit_cost_sweep", |b| {
-        b.iter(|| black_box(e1_commit_cost::run()))
+fn main() {
+    bench("t1_protocol_ops", 10, t1_protocol_ops::run);
+    bench("e1_commit_cost_sweep", 5, e1_commit_cost::run);
+    bench("e2_scalability/cbl_8_clients", 5, || {
+        e2_scalability::run_one(8, true)
+    });
+    bench("e2_scalability/csa_8_clients", 5, || {
+        e2_scalability::run_one(8, false)
+    });
+    bench("e3_log_volume/sweep", 3, e3_log_volume::run);
+    bench("e4_page_transfer/cbl_4_sharers", 5, || {
+        e4_page_transfer::run_one(4, false)
+    });
+    bench("e4_page_transfer/force_on_transfer", 5, || {
+        e4_page_transfer::run_one(4, true)
+    });
+    bench("e5_single_crash/recover_8_dirty", 5, || {
+        e5_single_crash::run_one(8)
+    });
+    bench("e6_multi_crash/owner_and_client", 5, || {
+        e6_multi_crash::run_one(&[cblog_common::NodeId(0), cblog_common::NodeId(2)])
+    });
+    bench("e7_checkpoint_sweep", 3, e7_checkpoint::run);
+    bench("e8_log_space/bounded_8k_log", 5, || {
+        e8_log_space::run_one(8192)
+    });
+    bench("e9_rollback/abort_30pct_small_cache", 5, || {
+        e9_rollback::run_one(0.3, 2)
+    });
+    bench("a1_ckpt_interval/maintain_every_25", 3, || {
+        a1_ckpt_interval::run_one(25)
     });
 }
-
-fn bench_e2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2_scalability");
-    g.sample_size(20);
-    g.bench_function("cbl_8_clients", |b| {
-        b.iter(|| black_box(e2_scalability::run_one(8, true)))
-    });
-    g.bench_function("csa_8_clients", |b| {
-        b.iter(|| black_box(e2_scalability::run_one(8, false)))
-    });
-    g.finish();
-}
-
-fn bench_e3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e3_log_volume");
-    g.sample_size(10);
-    g.bench_function("sweep", |b| b.iter(|| black_box(e3_log_volume::run())));
-    g.finish();
-}
-
-fn bench_e4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4_page_transfer");
-    g.bench_function("cbl_4_sharers", |b| {
-        b.iter(|| black_box(e4_page_transfer::run_one(4, false)))
-    });
-    g.bench_function("force_on_transfer_4_sharers", |b| {
-        b.iter(|| black_box(e4_page_transfer::run_one(4, true)))
-    });
-    g.finish();
-}
-
-fn bench_e5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e5_single_crash");
-    g.sample_size(20);
-    g.bench_function("recover_8_dirty_pages", |b| {
-        b.iter(|| black_box(e5_single_crash::run_one(8)))
-    });
-    g.finish();
-}
-
-fn bench_e6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6_multi_crash");
-    g.sample_size(20);
-    g.bench_function("recover_owner_and_client", |b| {
-        b.iter(|| {
-            black_box(e6_multi_crash::run_one(&[
-                cblog_common::NodeId(0),
-                cblog_common::NodeId(2),
-            ]))
-        })
-    });
-    g.finish();
-}
-
-fn bench_e7(c: &mut Criterion) {
-    c.bench_function("e7_checkpoint_sweep", |b| {
-        b.iter(|| black_box(e7_checkpoint::run()))
-    });
-}
-
-fn bench_e8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_log_space");
-    g.sample_size(20);
-    g.bench_function("bounded_8k_log", |b| {
-        b.iter(|| black_box(e8_log_space::run_one(8192)))
-    });
-    g.finish();
-}
-
-fn bench_e9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9_rollback");
-    g.sample_size(20);
-    g.bench_function("abort_30pct_small_cache", |b| {
-        b.iter(|| black_box(e9_rollback::run_one(0.3, 2)))
-    });
-    g.finish();
-}
-
-fn bench_a1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("a1_ckpt_interval");
-    g.sample_size(10);
-    g.bench_function("maintain_every_25", |b| {
-        b.iter(|| black_box(a1_ckpt_interval::run_one(25)))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    benches, bench_t1, bench_e1, bench_e2, bench_e3, bench_e4, bench_e5, bench_e6, bench_e7,
-    bench_e8, bench_e9, bench_a1
-);
-criterion_main!(benches);

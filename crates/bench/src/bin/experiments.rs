@@ -1,12 +1,29 @@
-//! Prints every experiment table (T1, E1–E9). Usage:
+//! Prints every experiment table (T1, E1–E11, A1). Usage:
 //!
 //! ```text
-//! cargo run --release -p cblog-bench --bin experiments [--csv]
+//! cargo run --release -p cblog-bench --bin experiments [--csv | --json]
 //! ```
+//!
+//! `--json` emits one JSON array of table objects (`{"title",
+//! "headers", "rows"}`), suitable for scripted post-processing.
 
 fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
-    for table in cblog_bench::experiments::run_all() {
+    let json = std::env::args().any(|a| a == "--json");
+    let tables = cblog_bench::experiments::run_all();
+    if json {
+        print!("[");
+        for (i, table) in tables.iter().enumerate() {
+            if i > 0 {
+                print!(",");
+            }
+            println!();
+            print!("{}", table.to_json());
+        }
+        println!("\n]");
+        return;
+    }
+    for table in tables {
         if csv {
             print!("{}", table.to_csv());
         } else {

@@ -24,7 +24,9 @@ mod tests {
     #[test]
     fn report_contains_every_experiment() {
         let r = super::full_report();
-        for needle in ["T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1"] {
+        for needle in [
+            "T1", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1",
+        ] {
             assert!(r.contains(needle), "missing {needle}");
         }
     }

@@ -22,11 +22,17 @@
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod obs;
+pub mod rng;
 pub mod simclock;
 pub mod stats;
+pub mod trace;
 
 pub use codec::{crc32, Decoder, Encoder};
 pub use error::{Error, Result};
 pub use ids::{Lsn, NodeId, PageId, Psn, Rid, TxnId};
+pub use obs::{Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot};
+pub use rng::Rng;
 pub use simclock::{CostModel, SimClock, SimTime};
 pub use stats::Counter;
+pub use trace::{FlightRecorder, TraceEvent, TraceRecord};

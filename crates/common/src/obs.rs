@@ -1,0 +1,640 @@
+//! Observability: a per-node metrics registry with counters, gauges
+//! and sim-time histograms, plus snapshot/diff/JSON export.
+//!
+//! The paper's claims are quantitative (one local log force per
+//! commit, bounded replay shuttling, no log merging), so every
+//! subsystem registers its counters here under a stable
+//! `subsystem/metric` name; the cluster prefixes each node's entries
+//! with `n<id>/` so a full snapshot is addressable as
+//! `node/subsystem/metric` (e.g. `n1/wal/forces`).
+//!
+//! Like [`Counter`](crate::Counter), all handles are cheap clones
+//! sharing interior state via `Rc` — the simulator is single-threaded
+//! by design, so no atomics are needed (see `common::stats`).
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::stats::Counter;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket
+/// `i` (1..=64) holds values whose bit length is `i`, i.e. the range
+/// `[2^(i-1), 2^i - 1]`. Bucket 64 is the overflow bucket for values
+/// `>= 2^63`.
+pub const HIST_BUCKETS: usize = 65;
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+fn bucket_upper(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+fn bucket_lower(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A shared, cheaply-clonable signed gauge (current value, not rate).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    inner: Rc<Cell<i64>>,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the current value.
+    pub fn set(&self, v: i64) {
+        self.inner.set(v);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.inner.set(self.inner.get() + d);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.inner.get()
+    }
+}
+
+#[derive(Debug)]
+struct HistInner {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistInner {
+    fn default() -> Self {
+        HistInner {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+/// A shared sim-time histogram with fixed logarithmic bucketing.
+///
+/// Values are `u64` (typically µs of simulated time). Percentiles are
+/// estimated from the bucket boundaries; exact `min`/`max` are kept so
+/// single-sample and tail queries stay exact.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    inner: Rc<RefCell<HistInner>>,
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let mut h = self.inner.borrow_mut();
+        if h.count == 0 || v < h.min {
+            h.min = v;
+        }
+        if v > h.max {
+            h.max = v;
+        }
+        h.count += 1;
+        h.sum = h.sum.saturating_add(v);
+        h.buckets[bucket_of(v)] += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.borrow().count
+    }
+
+    /// Immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = self.inner.borrow();
+        HistogramSnapshot {
+            count: h.count,
+            sum: h.sum,
+            min: h.min,
+            max: h.max,
+            buckets: h.buckets,
+        }
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        *self.inner.borrow_mut() = HistInner::default();
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Per-bucket sample counts (see [`HIST_BUCKETS`]).
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Estimated value at quantile `q` in `[0, 1]`: the upper bound of
+    /// the bucket containing the rank-`ceil(q·count)` sample, clamped
+    /// to the exact `[min, max]` range. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Samples recorded since an `earlier` snapshot of the same
+    /// histogram (mirrors `NetStats::since`). `min`/`max` of the delta
+    /// are re-derived from its occupied bucket boundaries, so they are
+    /// bucket-resolution approximations rather than exact values.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: 0,
+            max: 0,
+            buckets: [0; HIST_BUCKETS],
+        };
+        for i in 0..HIST_BUCKETS {
+            out.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        if out.count > 0 {
+            let lo = out.buckets.iter().position(|&c| c > 0).unwrap_or(0);
+            let hi = HIST_BUCKETS - 1 - out.buckets.iter().rev().position(|&c| c > 0).unwrap_or(0);
+            out.min = bucket_lower(lo).max(earlier.min.min(self.min));
+            out.max = bucket_upper(hi).min(self.max);
+        }
+        out
+    }
+}
+
+/// One exported metric value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotone event count.
+    Counter(u64),
+    /// Current signed level.
+    Gauge(i64),
+    /// Distribution summary (boxed: ~70× larger than the scalars).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A named collection of metrics for one node (or one shared
+/// facility like the network).
+///
+/// Handles returned by [`counter`](Registry::counter) etc. are cheap
+/// clones; hot paths keep the handle instead of re-resolving the name.
+/// Existing `Counter`s (e.g. the WAL manager's) can be registered
+/// as-is via [`register_counter`](Registry::register_counter) — the
+/// registry then observes the very cells the subsystem bumps.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Returns (creating if absent) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .borrow_mut()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Registers an existing counter handle under `name` (replacing
+    /// any previous registration).
+    pub fn register_counter(&self, name: &str, c: &Counter) {
+        self.inner
+            .borrow_mut()
+            .counters
+            .insert(name.to_string(), c.clone());
+    }
+
+    /// Returns (creating if absent) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .borrow_mut()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns (creating if absent) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .borrow_mut()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let r = self.inner.borrow();
+        let mut entries = BTreeMap::new();
+        for (k, c) in &r.counters {
+            entries.insert(k.clone(), MetricValue::Counter(c.get()));
+        }
+        for (k, g) in &r.gauges {
+            entries.insert(k.clone(), MetricValue::Gauge(g.get()));
+        }
+        for (k, h) in &r.histograms {
+            entries.insert(k.clone(), MetricValue::Histogram(Box::new(h.snapshot())));
+        }
+        Snapshot { entries }
+    }
+
+    /// Resets every metric to its empty state (e.g. after warmup).
+    pub fn reset(&self) {
+        let r = self.inner.borrow();
+        for c in r.counters.values() {
+            c.reset();
+        }
+        for g in r.gauges.values() {
+            g.set(0);
+        }
+        for h in r.histograms.values() {
+            h.reset();
+        }
+    }
+}
+
+/// Immutable point-in-time view of a [`Registry`] (possibly merged
+/// across nodes), with diff and JSON export.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric name → value, sorted by name.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Looks up one metric.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Counter value (0 if absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value (0 if absent or not a gauge).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram summary, if `name` is a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.entries.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Absorbs every entry of `other` with `prefix` prepended to its
+    /// name — how a cluster-wide snapshot is assembled from per-node
+    /// registries (`n0/`, `n1/`, …).
+    pub fn merge_prefixed(&mut self, prefix: &str, other: Snapshot) {
+        for (k, v) in other.entries {
+            self.entries.insert(format!("{prefix}{k}"), v);
+        }
+    }
+
+    /// Change since an `earlier` snapshot (mirrors `NetStats::since`):
+    /// counters and histograms subtract; gauges keep their current
+    /// value (a level has no meaningful delta). Entries absent from
+    /// `earlier` are treated as zero/empty.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let mut entries = BTreeMap::new();
+        for (k, v) in &self.entries {
+            let dv = match (v, earlier.entries.get(k)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                    MetricValue::Histogram(Box::new(now.since(then)))
+                }
+                _ => v.clone(),
+            };
+            entries.insert(k.clone(), dv);
+        }
+        Snapshot { entries }
+    }
+
+    /// Serializes to a JSON object. Counters and gauges become
+    /// numbers; histograms become objects with `count`, `sum`, `min`,
+    /// `max`, `mean`, `p50`, `p95`, `p99`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in &self.entries {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\"{}\":", json_escape(k)));
+            match v {
+                MetricValue::Counter(c) => out.push_str(&c.to_string()),
+                MetricValue::Gauge(g) => out.push_str(&g.to_string()),
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean(),
+                        h.p50(),
+                        h.p95(),
+                        h.p99()
+                    ));
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_are_exact() {
+        let h = Histogram::new();
+        h.record(1234);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 1234);
+        assert_eq!(s.max, 1234);
+        // Bucket upper bound is clamped to the exact max.
+        assert_eq!(s.p50(), 1234);
+        assert_eq!(s.p95(), 1234);
+        assert_eq!(s.p99(), 1234);
+    }
+
+    #[test]
+    fn zero_sample_goes_to_bucket_zero() {
+        let h = Histogram::new();
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_holds_huge_values() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99(), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bucket_accurate() {
+        let h = Histogram::new();
+        // 90 fast samples, 10 slow ones.
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        let s = h.snapshot();
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // p50 falls in 100's bucket [64,127]; p95/p99 in 10_000's
+        // bucket [8192,16383], clamped by max.
+        assert!((64..=127).contains(&p50), "p50 {p50}");
+        assert!((8192..=10_000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn histogram_since_mirrors_netstats_since() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        let before = h.snapshot();
+        h.record(5000);
+        let delta = h.snapshot().since(&before);
+        assert_eq!(delta.count, 1);
+        assert_eq!(delta.sum, 5000);
+        // The only delta sample lives in 5000's bucket.
+        assert_eq!(delta.buckets[bucket_of(5000)], 1);
+        assert!(delta.min >= 4096 && delta.max <= 5000);
+    }
+
+    #[test]
+    fn histogram_reset_clears_samples() {
+        let h = Histogram::new();
+        h.record(7);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.snapshot().p50(), 0);
+    }
+
+    #[test]
+    fn registry_round_trips_counters_gauges_histograms() {
+        let r = Registry::new();
+        r.counter("wal/forces").add(3);
+        r.gauge("buf/dirty").set(-2);
+        r.histogram("wal/force_us").record(1000);
+        // Re-resolving a name yields the same underlying metric.
+        assert_eq!(r.counter("wal/forces").get(), 3);
+        let s = r.snapshot();
+        assert_eq!(s.counter("wal/forces"), 3);
+        assert_eq!(s.gauge("buf/dirty"), -2);
+        assert_eq!(s.histogram("wal/force_us").unwrap().count, 1);
+        assert!(s.get("missing").is_none());
+    }
+
+    #[test]
+    fn register_existing_counter_shares_cells() {
+        let r = Registry::new();
+        let c = Counter::new();
+        r.register_counter("db/reads", &c);
+        c.add(5);
+        assert_eq!(r.snapshot().counter("db/reads"), 5);
+    }
+
+    #[test]
+    fn snapshot_since_subtracts_counters_keeps_gauges() {
+        let r = Registry::new();
+        let c = r.counter("x/events");
+        let g = r.gauge("x/level");
+        c.add(10);
+        g.set(4);
+        let before = r.snapshot();
+        c.add(7);
+        g.set(9);
+        let d = r.snapshot().since(&before);
+        assert_eq!(d.counter("x/events"), 7);
+        assert_eq!(d.gauge("x/level"), 9, "gauges report current level");
+    }
+
+    #[test]
+    fn registry_reset_zeroes_everything() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.gauge("b").set(5);
+        r.histogram("c").record(9);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 0);
+        assert_eq!(s.gauge("b"), 0);
+        assert_eq!(s.histogram("c").unwrap().count, 0);
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_nodes() {
+        let r0 = Registry::new();
+        r0.counter("wal/forces").add(1);
+        let r1 = Registry::new();
+        r1.counter("wal/forces").add(2);
+        let mut all = Snapshot::default();
+        all.merge_prefixed("n0/", r0.snapshot());
+        all.merge_prefixed("n1/", r1.snapshot());
+        assert_eq!(all.counter("n0/wal/forces"), 1);
+        assert_eq!(all.counter("n1/wal/forces"), 2);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let r = Registry::new();
+        r.counter("n0/wal/forces").add(2);
+        r.gauge("n0/buf/dirty").set(1);
+        r.histogram("n0/wal/force_us").record(500);
+        let j = r.snapshot().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"n0/wal/forces\":2"));
+        assert!(j.contains("\"p99\":500"));
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

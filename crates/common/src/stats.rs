@@ -1,4 +1,18 @@
 //! Lightweight event counters used by every subsystem.
+//!
+//! # Single-threaded by design
+//!
+//! `Counter` (and the richer metrics in [`crate::obs`] and the ring in
+//! [`crate::trace`]) share state through `Rc<Cell<_>>` /
+//! `Rc<RefCell<_>>`, so none of them are `Send`/`Sync`. This is a
+//! deliberate contract, not an oversight: the simulator executes the
+//! whole cluster on one thread to stay deterministic (identical seeds
+//! must replay identical histories), and `Rc<Cell>` makes every bump a
+//! plain load/store with zero synchronization cost on the hot paths
+//! being measured. Lifting the assumption later means swapping the
+//! interiors for `Arc<AtomicU64>` (counters/gauges) and a lock-free or
+//! sharded histogram — the public API here is shaped so that swap does
+//! not ripple into call sites.
 
 use std::cell::Cell;
 use std::rc::Rc;
@@ -8,7 +22,7 @@ use std::rc::Rc;
 /// Subsystems hand out clones so the experiment harness can observe
 /// buffer-pool, log and network activity without threading references
 /// through every call. The simulator is single-threaded by design, so a
-/// `Cell` suffices.
+/// `Cell` suffices (see the module docs for the full contract).
 #[derive(Clone, Debug, Default)]
 pub struct Counter {
     inner: Rc<Cell<u64>>,

@@ -1,0 +1,283 @@
+//! Flight recorder: a bounded per-node ring of structured trace
+//! events with sim-timestamps.
+//!
+//! The ring keeps the most recent `capacity` events; older events are
+//! overwritten. When an invariant or oracle check fails, the rings are
+//! dumped so recovery-protocol bugs come with the recent protocol
+//! history attached instead of just a final-state mismatch.
+//!
+//! Handles are cheap `Rc` clones (single-threaded simulator — see
+//! `common::stats`).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ids::{NodeId, PageId, TxnId};
+use crate::simclock::SimTime;
+
+/// A structured event on a node's timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Transaction started.
+    TxnBegin {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Transaction committed (after its local log force).
+    TxnCommit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Transaction aborted (user abort, deadlock victim, or loser).
+    TxnAbort {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Local log forced to disk.
+    LogForce {
+        /// Bytes made durable by this force.
+        bytes: u64,
+        /// Simulated duration of the force, µs.
+        us: SimTime,
+    },
+    /// Page image moved between nodes (ship, replace, or recovery
+    /// shuttle hop).
+    PageTransfer {
+        /// The page.
+        pid: PageId,
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+    },
+    /// A lock request blocked on a conflicting holder.
+    LockWait {
+        /// The waiting transaction.
+        txn: TxnId,
+        /// The contested page.
+        pid: PageId,
+    },
+    /// A deadlock was broken by aborting `victim`.
+    Deadlock {
+        /// The aborted transaction.
+        victim: TxnId,
+    },
+    /// This node crashed (volatile state lost).
+    Crash,
+    /// One recovery phase finished on this node's behalf.
+    RecoveryPhase {
+        /// Phase name (see `core::recovery`).
+        phase: &'static str,
+        /// Simulated duration of the phase, µs.
+        us: SimTime,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::TxnBegin { txn } => write!(f, "txn-begin {txn}"),
+            TraceEvent::TxnCommit { txn } => write!(f, "txn-commit {txn}"),
+            TraceEvent::TxnAbort { txn } => write!(f, "txn-abort {txn}"),
+            TraceEvent::LogForce { bytes, us } => write!(f, "log-force {bytes}B {us}us"),
+            TraceEvent::PageTransfer { pid, from, to } => {
+                write!(f, "page-transfer {pid} {from}->{to}")
+            }
+            TraceEvent::LockWait { txn, pid } => write!(f, "lock-wait {txn} on {pid}"),
+            TraceEvent::Deadlock { victim } => write!(f, "deadlock victim {victim}"),
+            TraceEvent::Crash => write!(f, "crash"),
+            TraceEvent::RecoveryPhase { phase, us } => {
+                write!(f, "recovery-phase {phase} {us}us")
+            }
+        }
+    }
+}
+
+/// One recorded event: global sequence number, sim-timestamp, event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotone per-recorder sequence number (never reused).
+    pub seq: u64,
+    /// Simulated time at which the event was recorded, µs.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct RingInner {
+    cap: usize,
+    next_seq: u64,
+    buf: Vec<TraceRecord>,
+    write: usize,
+}
+
+/// Bounded ring of [`TraceRecord`]s; cheap-clone shared handle.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    inner: Rc<RefCell<RingInner>>,
+}
+
+impl FlightRecorder {
+    /// New recorder keeping the most recent `capacity` events
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Rc::new(RefCell::new(RingInner {
+                cap: capacity.max(1),
+                next_seq: 0,
+                buf: Vec::new(),
+                write: 0,
+            })),
+        }
+    }
+
+    /// Appends an event at sim-time `at`, evicting the oldest if full.
+    pub fn record(&self, at: SimTime, event: TraceEvent) {
+        let mut r = self.inner.borrow_mut();
+        let seq = r.next_seq;
+        r.next_seq += 1;
+        let rec = TraceRecord { seq, at, event };
+        if r.buf.len() < r.cap {
+            r.buf.push(rec);
+        } else {
+            let w = r.write;
+            r.buf[w] = rec;
+            r.write = (w + 1) % r.cap;
+        }
+    }
+
+    /// Events currently retained, oldest first (sequence order is
+    /// preserved across wraparound).
+    pub fn events(&self) -> Vec<TraceRecord> {
+        let r = self.inner.borrow();
+        if r.buf.len() < r.cap {
+            r.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(r.cap);
+            out.extend_from_slice(&r.buf[r.write..]);
+            out.extend_from_slice(&r.buf[..r.write]);
+            out
+        }
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.borrow().next_seq
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        let r = self.inner.borrow();
+        r.next_seq - r.buf.len() as u64
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.borrow().cap
+    }
+
+    /// Discards all retained events (sequence numbers keep counting).
+    pub fn clear(&self) {
+        let mut r = self.inner.borrow_mut();
+        r.buf.clear();
+        r.write = 0;
+    }
+
+    /// Human-readable dump, one line per event, oldest first.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let dropped = self.dropped();
+        if dropped > 0 {
+            out.push_str(&format!("  … {dropped} older events dropped\n"));
+        }
+        for ev in self.events() {
+            out.push_str(&format!(
+                "  [{:>10}us #{:<5}] {}\n",
+                ev.at, ev.seq, ev.event
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(i: u64) -> TxnId {
+        TxnId::new(NodeId(1), i)
+    }
+
+    #[test]
+    fn retains_in_order_below_capacity() {
+        let r = FlightRecorder::new(8);
+        for i in 0..5 {
+            r.record(i * 10, TraceEvent::TxnBegin { txn: txn(i) });
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.at, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_in_sequence_order() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(i, TraceEvent::TxnBegin { txn: txn(i) });
+        }
+        let evs = r.events();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(r.recorded(), 10);
+        assert_eq!(r.dropped(), 6);
+        let seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest dropped, order kept");
+    }
+
+    #[test]
+    fn wraparound_order_survives_partial_laps() {
+        let r = FlightRecorder::new(3);
+        for i in 0..4 {
+            // One past capacity: write index sits mid-ring.
+            r.record(i, TraceEvent::Crash);
+        }
+        let seqs: Vec<u64> = r.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counting() {
+        let r = FlightRecorder::new(4);
+        r.record(1, TraceEvent::Crash);
+        r.clear();
+        assert!(r.events().is_empty());
+        r.record(2, TraceEvent::Crash);
+        assert_eq!(r.events()[0].seq, 1, "sequence numbers continue");
+    }
+
+    #[test]
+    fn render_mentions_drops_and_events() {
+        let r = FlightRecorder::new(2);
+        for i in 0..3 {
+            r.record(i, TraceEvent::LogForce { bytes: 64, us: 5 });
+        }
+        let s = r.render();
+        assert!(s.contains("1 older events dropped"), "{s}");
+        assert!(s.contains("log-force 64B 5us"), "{s}");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let r = FlightRecorder::new(0);
+        r.record(1, TraceEvent::Crash);
+        r.record(2, TraceEvent::Crash);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].seq, 1);
+    }
+}

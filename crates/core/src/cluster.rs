@@ -13,13 +13,17 @@
 use crate::config::ClusterConfig;
 use crate::node::{Node, RollbackStep};
 use crate::txn::Savepoint;
-use cblog_common::{Error, Lsn, NodeId, PageId, Result, Rid, TxnId};
+use cblog_common::{
+    Error, Lsn, MetricValue, NodeId, PageId, Result, Rid, SimTime, Snapshot, TraceEvent, TxnId,
+};
 use cblog_locks::{
     CallbackAction, GlobalRequestOutcome, LocalRequestOutcome, LockMode, WaitsForGraph,
 };
 use cblog_net::{MsgKind, Network};
 use cblog_storage::{EvictedPage, PageKind, SlottedPage};
 use cblog_wal::PageOp;
+use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// Control-message payload size used for accounting.
 pub const CTRL_BYTES: usize = 48;
@@ -35,6 +39,10 @@ pub struct Cluster {
     net: Network,
     cfg: ClusterConfig,
     wfg: WaitsForGraph,
+    /// Sim-time at which each currently-blocked transaction first hit
+    /// a lock conflict; drained into the `locks/wait_us` histogram
+    /// when the access finally succeeds.
+    wait_since: HashMap<TxnId, SimTime>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -56,7 +64,12 @@ impl Cluster {
             net,
             cfg,
             wfg: WaitsForGraph::new(),
+            wait_since: HashMap::new(),
         })
+    }
+
+    fn now(&self) -> SimTime {
+        self.net.clock().now()
     }
 
     /// Number of nodes.
@@ -98,9 +111,16 @@ impl Cluster {
 
     /// Charges the clock for a log force if the node forced between
     /// `forces_before` and now (the force wrote `bytes` tail bytes).
+    /// The force's simulated latency feeds the node's `wal/force_us`
+    /// histogram and flight recorder.
     fn charge_force(&mut self, node: NodeId, forces_before: u64, bytes: u64) {
         if self.nodes[ix(node)].log.forces() > forces_before {
             self.net.disk_io(node, bytes as usize);
+            let us = self.cfg.cost.io_cost(bytes as usize);
+            let n = &self.nodes[ix(node)];
+            n.registry.histogram("wal/force_us").record(us);
+            n.recorder
+                .record(self.net.clock().now(), TraceEvent::LogForce { bytes, us });
         }
     }
 
@@ -125,13 +145,19 @@ impl Cluster {
 
     /// Starts a transaction on `node`.
     pub fn begin(&mut self, node: NodeId) -> Result<TxnId> {
-        match self.nodes[ix(node)].begin() {
+        let r = match self.nodes[ix(node)].begin() {
             Err(Error::LogFull(_)) => {
                 self.ensure_log_space(node)?;
                 self.nodes[ix(node)].begin()
             }
             r => r,
+        };
+        if let Ok(txn) = r {
+            self.nodes[ix(node)]
+                .recorder
+                .record(self.now(), TraceEvent::TxnBegin { txn });
         }
+        r
     }
 
     /// Reads counter slot `slot` of `pid` under a shared lock.
@@ -286,6 +312,18 @@ impl Cluster {
             Err(e) => return Err(e),
         }
         self.charge_force(node, forces0, pending);
+        if self.nodes[n].log.forces() > forces0 {
+            // The paper's headline metric: what the one local force at
+            // commit costs (distinct from forces taken for the WAL rule
+            // or checkpoints, which land only in `wal/force_us`).
+            self.nodes[n]
+                .registry
+                .histogram("wal/commit_force_us")
+                .record(self.cfg.cost.io_cost(pending as usize));
+        }
+        self.nodes[n]
+            .recorder
+            .record(self.now(), TraceEvent::TxnCommit { txn });
         self.wfg.remove(txn);
         Ok(())
     }
@@ -312,6 +350,10 @@ impl Cluster {
         self.nodes[n].start_abort(txn)?;
         self.drive_rollback(txn, Lsn::ZERO)?;
         self.nodes[n].finish_abort(txn)?;
+        self.nodes[n]
+            .recorder
+            .record(self.now(), TraceEvent::TxnAbort { txn });
+        self.wait_since.remove(&txn);
         self.wfg.remove(txn);
         Ok(())
     }
@@ -362,9 +404,17 @@ impl Cluster {
         self.wfg.remove(txn);
     }
 
-    /// Finds a deadlock victim, if a cycle exists.
+    /// Finds a deadlock victim, if a cycle exists. Detection is
+    /// counted on the victim's node (`locks/deadlocks`) and noted in
+    /// its flight recorder — both use interior mutability, so `&self`
+    /// suffices.
     pub fn find_deadlock_victim(&self) -> Option<TxnId> {
-        self.wfg.find_victim()
+        let victim = self.wfg.find_victim()?;
+        let n = &self.nodes[ix(victim.node)];
+        n.registry.counter("locks/deadlocks").bump();
+        n.recorder
+            .record(self.now(), TraceEvent::Deadlock { victim });
+        Some(victim)
     }
 
     // ------------------------------------------------------------------
@@ -372,8 +422,38 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Ensures `txn` holds `mode` on `pid` at both levels and that the
-    /// page is cached at its node.
+    /// page is cached at its node. Lock outcomes feed the node's
+    /// `locks/*` metrics: a grant bumps `locks/acquisitions` (and, if
+    /// the transaction had been blocked, records the full blocked span
+    /// in the `locks/wait_us` histogram); a conflict bumps
+    /// `locks/waits` and leaves a [`TraceEvent::LockWait`] in the
+    /// flight recorder.
     pub fn ensure_access(&mut self, txn: TxnId, pid: PageId, mode: LockMode) -> Result<()> {
+        let r = self.ensure_access_inner(txn, pid, mode);
+        let reg = &self.nodes[ix(txn.node)].registry;
+        match &r {
+            Ok(()) => {
+                reg.counter("locks/acquisitions").bump();
+                if let Some(t0) = self.wait_since.remove(&txn) {
+                    let now = self.net.clock().now();
+                    reg.histogram("locks/wait_us")
+                        .record(now.saturating_sub(t0));
+                }
+            }
+            Err(Error::WouldBlock { .. }) => {
+                reg.counter("locks/waits").bump();
+                let now = self.net.clock().now();
+                self.wait_since.entry(txn).or_insert(now);
+                self.nodes[ix(txn.node)]
+                    .recorder
+                    .record(now, TraceEvent::LockWait { txn, pid });
+            }
+            Err(_) => {}
+        }
+        r
+    }
+
+    fn ensure_access_inner(&mut self, txn: TxnId, pid: PageId, mode: LockMode) -> Result<()> {
         let node = txn.node;
         let n = ix(node);
         if self.nodes[n].is_crashed() {
@@ -413,11 +493,7 @@ impl Cluster {
         // exclusive lock and no entry exists, with RedoLSN set
         // conservatively to the current end of the log.
         if mode == LockMode::Exclusive {
-            let psn = self.nodes[n]
-                .buffer
-                .peek(pid)
-                .expect("fetched above")
-                .psn();
+            let psn = self.nodes[n].buffer.peek(pid).expect("fetched above").psn();
             let end = self.nodes[n].log.end_lsn();
             self.nodes[n].dpt.ensure(pid, psn, end);
         }
@@ -432,13 +508,11 @@ impl Cluster {
             return Err(Error::OwnerDown { owner, page: pid });
         }
         if owner != node {
-            self.net.send(node, owner, MsgKind::LockRequest, CTRL_BYTES)?;
+            self.net
+                .send(node, owner, MsgKind::LockRequest, CTRL_BYTES)?;
         }
         loop {
-            let outcome =
-                self.nodes[ix(owner)]
-                    .global_locks
-                    .request(pid, node, mode);
+            let outcome = self.nodes[ix(owner)].global_locks.request(pid, node, mode);
             match outcome {
                 GlobalRequestOutcome::Granted => break,
                 GlobalRequestOutcome::NeedsCallbacks(victims) => {
@@ -503,10 +577,13 @@ impl Cluster {
                     self.nodes[v].cached_locks.release(pid);
                 }
             }
-            self.nodes[v].global_locks.callback_applied(pid, victim, action);
+            self.nodes[v]
+                .global_locks
+                .callback_applied(pid, victim, action);
             return Ok(());
         }
-        self.net.send(owner, victim, MsgKind::Callback, CTRL_BYTES)?;
+        self.net
+            .send(owner, victim, MsgKind::Callback, CTRL_BYTES)?;
         // Callbacks are deferred while a local transaction of the
         // victim holds a conflicting transaction-level lock.
         let blocking: Vec<TxnId> = self.nodes[v]
@@ -542,13 +619,17 @@ impl Cluster {
             let pending = self.pending_log_bytes(victim);
             self.nodes[v].prepare_replace_to_owner(pid)?;
             self.charge_force(victim, forces0, pending);
-            let copy = self.nodes[v]
-                .buffer
-                .peek(pid)
-                .expect("had_page")
-                .clone();
+            let copy = self.nodes[v].buffer.peek(pid).expect("had_page").clone();
             self.net
                 .send(victim, owner, MsgKind::CallbackAck, self.page_bytes())?;
+            self.nodes[v].recorder.record(
+                self.net.clock().now(),
+                TraceEvent::PageTransfer {
+                    pid,
+                    from: victim,
+                    to: owner,
+                },
+            );
             let ev = self.nodes[ix(owner)].receive_replaced(victim, copy)?;
             if let Some(ev) = ev {
                 self.route_eviction(owner, ev)?;
@@ -590,7 +671,16 @@ impl Cluster {
             self.net.disk_io(owner, self.page_size());
         }
         if owner != node {
-            self.net.send(owner, node, MsgKind::PageShip, self.page_bytes())?;
+            self.net
+                .send(owner, node, MsgKind::PageShip, self.page_bytes())?;
+            self.nodes[ix(node)].recorder.record(
+                self.net.clock().now(),
+                TraceEvent::PageTransfer {
+                    pid,
+                    from: owner,
+                    to: node,
+                },
+            );
         }
         let ev = self.nodes[ix(node)].cache_page(page, false)?;
         if let Some(ev) = ev {
@@ -608,6 +698,11 @@ impl Cluster {
         if !ev.dirty {
             return Ok(());
         }
+        // A dirty frame left the pool before its owner forced it.
+        self.nodes[ix(node)]
+            .registry
+            .counter("buf/dirty_steals")
+            .bump();
         if pid.owner == node {
             let acks = {
                 let n = ix(node);
@@ -639,6 +734,14 @@ impl Cluster {
             self.charge_force(node, forces0, pending);
             self.net
                 .send(node, owner, MsgKind::ReplacePage, self.page_bytes())?;
+            self.nodes[ix(node)].recorder.record(
+                self.net.clock().now(),
+                TraceEvent::PageTransfer {
+                    pid,
+                    from: node,
+                    to: owner,
+                },
+            );
             let ev2 = self.nodes[ix(owner)].receive_replaced(node, ev.page)?;
             if let Some(ev2) = ev2 {
                 self.route_eviction(owner, ev2)?;
@@ -703,8 +806,8 @@ impl Cluster {
                 }
             }
         }
-        let dirty = self.nodes[o].buffer.is_dirty(pid).unwrap_or(false)
-            || self.nodes[o].dpt.contains(pid);
+        let dirty =
+            self.nodes[o].buffer.is_dirty(pid).unwrap_or(false) || self.nodes[o].dpt.contains(pid);
         let acks = if dirty {
             let (page, did_io) = self.nodes[o].authoritative_copy(pid)?;
             if did_io {
@@ -806,6 +909,9 @@ impl Cluster {
     /// unreachable. Lock and data requests against pages it owns stall
     /// until it recovers; all other nodes keep processing (paper §2.3).
     pub fn crash(&mut self, node: NodeId) {
+        self.nodes[ix(node)]
+            .recorder
+            .record(self.now(), TraceEvent::Crash);
         self.nodes[ix(node)].crash();
         self.net.mark_crashed(node);
         // Transactions of the crashed node disappear from the global
@@ -824,6 +930,55 @@ impl Cluster {
     /// True if `node` is crashed and unrecovered.
     pub fn is_crashed(&self, node: NodeId) -> bool {
         self.nodes[ix(node)].is_crashed()
+    }
+
+    // ------------------------------------------------------------------
+    // Observability export
+    // ------------------------------------------------------------------
+
+    /// One cluster-wide metrics snapshot: every node's registry under
+    /// an `n<id>/` prefix, plus the network's per-message-kind counts
+    /// and bytes under `net/`.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut out = Snapshot::default();
+        for node in &self.nodes {
+            out.merge_prefixed(&format!("n{}/", node.id().0), node.registry().snapshot());
+        }
+        let stats = self.net.stats();
+        for kind in MsgKind::ALL {
+            let msgs = stats.count(kind);
+            if msgs == 0 {
+                continue;
+            }
+            out.entries.insert(
+                format!("net/{}/msgs", kind.label()),
+                MetricValue::Counter(msgs),
+            );
+            out.entries.insert(
+                format!("net/{}/bytes", kind.label()),
+                MetricValue::Counter(stats.bytes_of(kind)),
+            );
+        }
+        out.entries.insert(
+            "net/total/msgs".into(),
+            MetricValue::Counter(stats.total_messages()),
+        );
+        out.entries.insert(
+            "net/total/bytes".into(),
+            MetricValue::Counter(stats.total_bytes()),
+        );
+        out
+    }
+
+    /// Renders every node's flight-recorder ring, oldest event first —
+    /// the post-mortem dump printed when an oracle check fails.
+    pub fn flight_dump(&self) -> String {
+        let mut out = String::new();
+        for node in &self.nodes {
+            let _ = writeln!(out, "--- flight recorder {} ---", node.id());
+            out.push_str(&node.recorder().render());
+        }
+        out
     }
 }
 
@@ -1119,10 +1274,7 @@ mod tests {
         let p = pid(0, 0);
         let t = c.begin(NodeId(1)).unwrap();
         // Slot out of range.
-        assert!(matches!(
-            c.read_u64(t, p, 10_000),
-            Err(Error::Invalid(_))
-        ));
+        assert!(matches!(c.read_u64(t, p, 10_000), Err(Error::Invalid(_))));
         // Unknown page index (outside the owner's space map).
         assert!(c.read_u64(t, pid(0, 99), 0).is_err());
         // Record ops on a raw (non-slotted) page fail without
@@ -1165,6 +1317,80 @@ mod tests {
     }
 
     #[test]
+    fn metrics_snapshot_covers_nodes_and_network() {
+        let mut c = cluster(vec![4, 0]);
+        let p = pid(0, 0);
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, p, 0, 9).unwrap();
+        c.commit(t).unwrap();
+        let snap = c.metrics_snapshot();
+        assert_eq!(snap.counter("n1/txn/commits"), 1);
+        assert!(snap.counter("n1/wal/records") >= 2, "update + commit");
+        assert_eq!(snap.counter("n1/wal/forces"), 1);
+        assert!(snap.counter("n1/locks/acquisitions") >= 1);
+        assert!(snap.counter("net/page-ship/msgs") >= 1);
+        assert!(snap.counter("net/total/bytes") > 0);
+        // The commit-force latency distribution is in the snapshot too.
+        let h = snap.histogram("n1/wal/commit_force_us").expect("histogram");
+        assert_eq!(h.count, 1);
+        assert!(h.p50() > 0);
+        // JSON export carries the same keys.
+        let json = snap.to_json();
+        assert!(json.contains("\"n1/txn/commits\""));
+        assert!(json.contains("\"n1/wal/commit_force_us\""));
+        // Owner-side registry shows served work (its device counters).
+        assert!(snap.counter("n0/db/reads") + snap.counter("n0/buf/hits") > 0);
+    }
+
+    #[test]
+    fn flight_recorder_traces_txn_lifecycle_and_transfers() {
+        let mut c = cluster(vec![4, 0, 0]);
+        let p = pid(0, 0);
+        let t1 = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t1, p, 0, 1).unwrap();
+        // A second node's request while t1 holds the lock → lock-wait.
+        let t2 = c.begin(NodeId(2)).unwrap();
+        assert!(matches!(
+            c.read_u64(t2, p, 0),
+            Err(Error::WouldBlock { .. })
+        ));
+        c.commit(t1).unwrap();
+        assert_eq!(c.read_u64(t2, p, 0).unwrap(), 1);
+        c.commit(t2).unwrap();
+        let n1 = c.node(NodeId(1)).recorder().render();
+        assert!(n1.contains("txn-begin"), "missing begin: {n1}");
+        assert!(n1.contains("txn-commit"), "missing commit: {n1}");
+        assert!(n1.contains("log-force"), "missing force: {n1}");
+        let n2 = c.node(NodeId(2)).recorder().render();
+        assert!(n2.contains("lock-wait"), "missing wait: {n2}");
+        assert!(n2.contains("page-transfer"), "missing transfer: {n2}");
+        // Waiting was measured on node 2 once the lock was granted.
+        let snap = c.metrics_snapshot();
+        assert!(snap.counter("n2/locks/waits") >= 1);
+        let w = snap.histogram("n2/locks/wait_us").expect("wait histogram");
+        assert_eq!(w.count, 1);
+        // The combined dump names every node.
+        let dump = c.flight_dump();
+        assert!(dump.contains("--- flight recorder N0 ---"));
+        assert!(dump.contains("--- flight recorder N2 ---"));
+    }
+
+    #[test]
+    fn crash_event_survives_in_recorder_and_registry_persists() {
+        let mut c = cluster(vec![4, 0]);
+        let t = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t, pid(0, 0), 0, 7).unwrap();
+        c.commit(t).unwrap();
+        c.crash(NodeId(0));
+        // Observability state is not volatile: the crash itself and
+        // the pre-crash history remain visible.
+        let r = c.node(NodeId(0)).recorder().render();
+        assert!(r.contains("crash"));
+        assert!(r.contains("txn-commit"));
+        assert_eq!(c.metrics_snapshot().counter("n0/txn/commits"), 1);
+    }
+
+    #[test]
     fn deadlock_detected_across_nodes() {
         let mut c = cluster(vec![4, 0, 0]);
         let pa = pid(0, 0);
@@ -1187,6 +1413,13 @@ mod tests {
         }
         let victim = c.find_deadlock_victim().expect("cycle exists");
         assert!(victim == t1 || victim == t2);
+        let vkey = format!("n{}/locks/deadlocks", victim.node.0);
+        assert_eq!(c.metrics_snapshot().counter(&vkey), 1);
+        assert!(c
+            .node(victim.node)
+            .recorder()
+            .render()
+            .contains("deadlock victim"));
         c.abort(victim).unwrap();
         // Survivor can finish.
         let survivor = if victim == t1 { t2 } else { t1 };

@@ -86,6 +86,9 @@ mod tests {
         assert_eq!(cfg.node_config(0).owned_pages, 8);
         assert_eq!(cfg.node_config(1).owned_pages, 0);
         // Missing entry falls back to the template.
-        assert_eq!(cfg.node_config(2).owned_pages, NodeConfig::default().owned_pages);
+        assert_eq!(
+            cfg.node_config(2).owned_pages,
+            NodeConfig::default().owned_pages
+        );
     }
 }

@@ -9,11 +9,11 @@
 
 use crate::config::NodeConfig;
 use crate::txn::{Savepoint, TxnState, TxnStatus};
-use cblog_common::{Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
-use cblog_locks::{CachedLockTable, GlobalLockTable, LocalLockTable};
-use cblog_storage::{
-    BufferPool, Database, EvictedPage, MemStorage, Page, PageKind,
+use cblog_common::{
+    Counter, Error, FlightRecorder, Lsn, NodeId, PageId, Psn, Registry, Result, TxnId,
 };
+use cblog_locks::{CachedLockTable, GlobalLockTable, LocalLockTable};
+use cblog_storage::{BufferPool, Database, EvictedPage, MemStorage, Page, PageKind};
 use cblog_wal::{
     CheckpointBody, DirtyPageTable, DptEntry, LogManager, LogPayload, LogRecord, MemLogStore,
     PageOp,
@@ -82,10 +82,16 @@ pub struct Node {
     /// Owner-side: nodes that shipped dirty copies of each owned page
     /// and await a flush acknowledgment (§2.2 / §2.5).
     pub(crate) replacers: BTreeMap<PageId, BTreeSet<NodeId>>,
+    /// Per-node metrics registry. Observability state is *not* part of
+    /// the simulated node: it survives [`Node::crash`] so experiments
+    /// can measure across failures.
+    pub(crate) registry: Registry,
+    /// Bounded ring of recent protocol events (same survival rule).
+    pub(crate) recorder: FlightRecorder,
     next_seq: u64,
     crashed: bool,
-    commits: u64,
-    aborts: u64,
+    commits: Counter,
+    aborts: Counter,
 }
 
 impl std::fmt::Debug for Node {
@@ -122,9 +128,29 @@ impl Node {
             Some(cap) => LogManager::with_capacity(id, store, cap)?,
             None => LogManager::new(id, store)?,
         };
+        let buffer = BufferPool::new(cfg.buffer_frames);
+        // The registry observes the very cells the subsystems bump:
+        // existing counters are registered as shared handles, so the
+        // WAL / buffer / storage code needs no metric plumbing of its
+        // own.
+        let registry = Registry::new();
+        registry.register_counter("wal/records", log.records_counter());
+        registry.register_counter("wal/forces", log.forces_counter());
+        registry.register_counter("wal/bytes", log.bytes_appended_counter());
+        registry.register_counter("wal/store_syncs", log.store_syncs_counter());
+        registry.register_counter("buf/hits", buffer.hits());
+        registry.register_counter("buf/misses", buffer.misses());
+        registry.register_counter("buf/evictions", buffer.evictions());
+        if let Some(db) = &db {
+            registry.register_counter("db/reads", db.reads_counter());
+            registry.register_counter("db/writes", db.writes_counter());
+            registry.register_counter("db/syncs", db.syncs_counter());
+        }
+        let commits = registry.counter("txn/commits");
+        let aborts = registry.counter("txn/aborts");
         Ok(Node {
             id,
-            buffer: BufferPool::new(cfg.buffer_frames),
+            buffer,
             db,
             log,
             dpt: DirtyPageTable::new(),
@@ -133,10 +159,12 @@ impl Node {
             global_locks: GlobalLockTable::new(),
             txns: HashMap::new(),
             replacers: BTreeMap::new(),
+            recorder: FlightRecorder::new(256),
+            registry,
             next_seq: 1,
             crashed: false,
-            commits: 0,
-            aborts: 0,
+            commits,
+            aborts,
             cfg,
         })
     }
@@ -194,12 +222,23 @@ impl Node {
 
     /// Committed-transaction count.
     pub fn commits(&self) -> u64 {
-        self.commits
+        self.commits.get()
     }
 
     /// Aborted-transaction count.
     pub fn aborts(&self) -> u64 {
-        self.aborts
+        self.aborts.get()
+    }
+
+    /// The node's metrics registry (`subsystem/metric` names; see
+    /// `cblog_common::obs`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The node's flight recorder (bounded ring of protocol events).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// State of a transaction, if known.
@@ -260,10 +299,7 @@ impl Node {
     pub fn log_update(&mut self, txn: TxnId, pid: PageId, op: PageOp) -> Result<()> {
         self.ensure_up()?;
         self.active_txn(txn)?;
-        let page = self
-            .buffer
-            .get_mut(pid)
-            .ok_or(Error::NoSuchPage(pid))?;
+        let page = self.buffer.get_mut(pid).ok_or(Error::NoSuchPage(pid))?;
         // Apply first (ops are all-or-nothing), then log; un-apply if
         // the log is full so state stays consistent.
         op.apply_redo(page)?;
@@ -314,7 +350,7 @@ impl Node {
         t.status = TxnStatus::Committed;
         t.last_lsn = lsn;
         self.local_locks.release_all(txn);
-        self.commits += 1;
+        self.commits.bump();
         Ok(())
     }
 
@@ -418,7 +454,7 @@ impl Node {
         t.status = TxnStatus::Aborted;
         t.last_lsn = lsn;
         self.local_locks.release_all(txn);
-        self.aborts += 1;
+        self.aborts.bump();
         Ok(())
     }
 
@@ -511,11 +547,7 @@ impl Node {
 
     /// Owner-side ingestion of a dirty page replaced from `from`'s
     /// cache (§2.1). Caller routes any eviction victim.
-    pub fn receive_replaced(
-        &mut self,
-        from: NodeId,
-        page: Page,
-    ) -> Result<Option<EvictedPage>> {
+    pub fn receive_replaced(&mut self, from: NodeId, page: Page) -> Result<Option<EvictedPage>> {
         self.ensure_up()?;
         let pid = page.id();
         if pid.owner != self.id {
@@ -570,7 +602,10 @@ impl Node {
     /// slotted page before the workload starts). Not part of the
     /// transactional API.
     pub fn format_owned_page(&mut self, index: u32, kind: PageKind) -> Result<()> {
-        let db = self.db.as_mut().ok_or(Error::Invalid("not an owner".into()))?;
+        let db = self
+            .db
+            .as_mut()
+            .ok_or(Error::Invalid("not an owner".into()))?;
         let mut page = db.read_page(index)?;
         page.set_kind(kind);
         for b in page.body_mut() {
@@ -589,7 +624,9 @@ impl Node {
 
     /// Crashes the node: volatile state (cache, lock tables, DPT,
     /// transaction table, owner-side replacer sets, unforced log tail)
-    /// is lost; the database and the durable log survive.
+    /// is lost; the database and the durable log survive. The metrics
+    /// registry and flight recorder also survive — they model the
+    /// experimenter's instruments, not the node's memory.
     pub fn crash(&mut self) {
         self.log.simulate_crash();
         self.buffer.clear();
@@ -634,7 +671,9 @@ impl Node {
                 LogPayload::Begin => {
                     att.insert(rec.txn, TxnState::new(rec.txn, pos));
                 }
-                LogPayload::Update { pid, psn_before, .. } => {
+                LogPayload::Update {
+                    pid, psn_before, ..
+                } => {
                     let t = att
                         .entry(rec.txn)
                         .or_insert_with(|| TxnState::new(rec.txn, pos));
@@ -1133,10 +1172,7 @@ mod tests {
             );
             if let Err(Error::LogFull(_)) = r {
                 // Page value must be unchanged by the failed update.
-                assert_eq!(
-                    n.buffer.peek(pid).unwrap().read_slot(0).unwrap(),
-                    before
-                );
+                assert_eq!(n.buffer.peek(pid).unwrap().read_slot(0).unwrap(), before);
                 hit_full = true;
                 break;
             }

@@ -26,7 +26,7 @@
 
 use crate::cluster::{Cluster, CTRL_BYTES};
 use crate::node::{NodePsnEntry, RollbackStep};
-use cblog_common::{Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
+use cblog_common::{Error, Lsn, NodeId, PageId, Psn, Result, SimTime, TraceEvent, TxnId};
 use cblog_locks::LockMode;
 use cblog_net::MsgKind;
 use cblog_wal::DptEntry;
@@ -54,6 +54,32 @@ pub struct RecoveryReport {
     pub messages: u64,
     /// Page shuttle hops during coordinated replay.
     pub page_hops: u64,
+    /// Simulated duration of each protocol phase, in order — the
+    /// "where does restart time go" breakdown of §2.3/§2.4. Phases
+    /// that exchanged no messages and did no I/O report 0.
+    pub phase_us: Vec<(&'static str, u64)>,
+}
+
+/// Closes the current recovery phase: accounts the sim-time spent
+/// since `t0` under `phase` and stamps a [`TraceEvent::RecoveryPhase`]
+/// into every recovering node's flight recorder.
+fn end_phase(
+    cluster: &Cluster,
+    crashed: &[NodeId],
+    t0: &mut SimTime,
+    out: &mut Vec<(&'static str, u64)>,
+    phase: &'static str,
+) {
+    let now = cluster.network().clock().now();
+    let us = now.saturating_sub(*t0);
+    *t0 = now;
+    out.push((phase, us));
+    for &c in crashed {
+        cluster
+            .node(c)
+            .recorder()
+            .record(now, TraceEvent::RecoveryPhase { phase, us });
+    }
 }
 
 /// Information one node contributes to another node's recovery.
@@ -136,6 +162,8 @@ fn recover_impl(
         .copied()
         .filter(|n| !crashed_set.contains(n) && !cluster.network().is_crashed(*n))
         .collect();
+    let mut phase_t0 = cluster.network().clock().now();
+    let mut phase_us: Vec<(&'static str, u64)> = Vec::new();
 
     // ---- Phase 1: local analysis at every crashed node (§2.3.1/§2.4:
     // a DPT superset is reconstructed by scanning the local log from
@@ -146,6 +174,7 @@ fn recover_impl(
         report.log_bytes_scanned += a.bytes_scanned;
         losers.insert(c, a.losers);
     }
+    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "analysis");
 
     // ---- Phase 2: information exchange. Every crashed node C hears
     // from every *other* node (operational or also recovering): cache
@@ -177,6 +206,13 @@ fn recover_impl(
             info.insert((c, r), contrib);
         }
     }
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        "info_exchange",
+    );
 
     // ---- Phase 3: lock reconstruction (§2.3.3). ----
     for &c in crashed {
@@ -190,9 +226,12 @@ fn recover_impl(
             if !locks.is_empty() {
                 let co = coord_of(c);
                 if co != r {
-                    cluster
-                        .network_mut()
-                        .send(r, co, MsgKind::LockListShip, CTRL_BYTES + locks.len() * 12)?;
+                    cluster.network_mut().send(
+                        r,
+                        co,
+                        MsgKind::LockListShip,
+                        CTRL_BYTES + locks.len() * 12,
+                    )?;
                 }
                 for (pid, mode) in locks {
                     cluster.node_mut(c).global_locks.insert_grant(pid, r, mode);
@@ -213,6 +252,13 @@ fn recover_impl(
             }
         }
     }
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        "lock_rebuild",
+    );
 
     // ---- Phase 4: determine per-owner recovery sets (§2.3.1 / §2.4).
     // For every page owned by a crashed node and present in anyone's
@@ -259,9 +305,12 @@ fn recover_impl(
                 // whose eventual flush acknowledges the DPT holders).
                 report.pages_skipped_cached += 1;
                 let src = cachers[0];
-                cluster
-                    .network_mut()
-                    .send(coord_of(c), src, MsgKind::RecoveryPageFetch, CTRL_BYTES)?;
+                cluster.network_mut().send(
+                    coord_of(c),
+                    src,
+                    MsgKind::RecoveryPageFetch,
+                    CTRL_BYTES,
+                )?;
                 let copy = cluster
                     .node_mut(src)
                     .buffer
@@ -356,6 +405,13 @@ fn recover_impl(
             }
         }
     }
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        "recovery_sets",
+    );
 
     // ---- Phase 5: recovery locks. The recovering owner takes (or
     // keeps) exclusive fences on every page it must recover; stale
@@ -382,10 +438,7 @@ fn recover_impl(
                         .network_mut()
                         .send(h, co, MsgKind::CallbackAck, CTRL_BYTES)?;
                 }
-                cluster
-                    .node_mut(owner)
-                    .global_locks
-                    .release(*pid, h);
+                cluster.node_mut(owner).global_locks.release(*pid, h);
             }
         }
         cluster
@@ -393,6 +446,13 @@ fn recover_impl(
             .global_locks
             .insert_grant(*pid, owner, LockMode::Exclusive);
     }
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        "recovery_locks",
+    );
 
     // ---- Phase 6: NodePSNList exchange (§2.3.4). Each involved node
     // scans its own log once for all pages it participates in. ----
@@ -452,6 +512,7 @@ fn recover_impl(
             report.log_bytes_scanned += cluster.node(n).log().end_lsn().0 - from.0;
         }
     }
+    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "psn_lists");
 
     // ---- Phase 7: coordinated replay, page by page, in ascending PSN
     // order; the page shuttles among the involved nodes, each applying
@@ -524,6 +585,7 @@ fn recover_impl(
             cluster.route_eviction(*c, ev)?;
         }
     }
+    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "replay");
 
     // ---- Phase 8: undo loser transactions locally, with CLRs. ----
     for &c in crashed {
@@ -546,6 +608,7 @@ fn recover_impl(
         cluster.node_mut(c).checkpoint()?;
         cluster.network_mut().disk_io(c, CTRL_BYTES);
     }
+    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "undo");
 
     // ---- Phase 9: recovery complete. ----
     for &c in crashed {
@@ -558,6 +621,8 @@ fn recover_impl(
             }
         }
     }
+    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "done");
+    report.phase_us = phase_us;
     report.messages = cluster.network().stats().recovery_messages() - msgs0;
     Ok(report)
 }

@@ -68,8 +68,7 @@ impl CachedLockTable {
 
     /// All cached locks, sorted by page.
     pub fn all(&self) -> Vec<(PageId, LockMode)> {
-        let mut v: Vec<(PageId, LockMode)> =
-            self.locks.iter().map(|(p, m)| (*p, *m)).collect();
+        let mut v: Vec<(PageId, LockMode)> = self.locks.iter().map(|(p, m)| (*p, *m)).collect();
         v.sort_by_key(|(p, _)| *p);
         v
     }

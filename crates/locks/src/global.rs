@@ -140,9 +140,7 @@ impl GlobalLockTable {
         let mut v: Vec<(PageId, LockMode)> = self
             .locks
             .iter()
-            .filter_map(|(pid, hs)| {
-                hs.iter().find(|(n, _)| *n == node).map(|(_, m)| (*pid, *m))
-            })
+            .filter_map(|(pid, hs)| hs.iter().find(|(n, _)| *n == node).map(|(_, m)| (*pid, *m)))
             .collect();
         v.sort_by_key(|(p, _)| *p);
         v
@@ -219,8 +217,14 @@ mod tests {
     #[test]
     fn shared_grants_accumulate() {
         let mut g = GlobalLockTable::new();
-        assert_eq!(g.request(p(0), n(1), LockMode::Shared), GlobalRequestOutcome::Granted);
-        assert_eq!(g.request(p(0), n(2), LockMode::Shared), GlobalRequestOutcome::Granted);
+        assert_eq!(
+            g.request(p(0), n(1), LockMode::Shared),
+            GlobalRequestOutcome::Granted
+        );
+        assert_eq!(
+            g.request(p(0), n(2), LockMode::Shared),
+            GlobalRequestOutcome::Granted
+        );
         assert_eq!(g.holders(p(0)).len(), 2);
     }
 
@@ -239,7 +243,10 @@ mod tests {
             }
             o => panic!("expected callbacks, got {o:?}"),
         }
-        assert_eq!(g.request(p(0), n(3), LockMode::Exclusive), GlobalRequestOutcome::Granted);
+        assert_eq!(
+            g.request(p(0), n(3), LockMode::Exclusive),
+            GlobalRequestOutcome::Granted
+        );
         assert_eq!(g.exclusive_holder(p(0)), Some(n(3)));
     }
 
@@ -254,7 +261,10 @@ mod tests {
             }
             o => panic!("expected callbacks, got {o:?}"),
         }
-        assert_eq!(g.request(p(0), n(2), LockMode::Shared), GlobalRequestOutcome::Granted);
+        assert_eq!(
+            g.request(p(0), n(2), LockMode::Shared),
+            GlobalRequestOutcome::Granted
+        );
         let hs = g.holders(p(0));
         assert!(hs.contains(&(n(1), LockMode::Shared)));
         assert!(hs.contains(&(n(2), LockMode::Shared)));
@@ -272,15 +282,24 @@ mod tests {
             }
             o => panic!("expected callbacks, got {o:?}"),
         }
-        assert_eq!(g.request(p(0), n(1), LockMode::Exclusive), GlobalRequestOutcome::Granted);
+        assert_eq!(
+            g.request(p(0), n(1), LockMode::Exclusive),
+            GlobalRequestOutcome::Granted
+        );
     }
 
     #[test]
     fn covering_request_is_free() {
         let mut g = GlobalLockTable::new();
         g.request(p(0), n(1), LockMode::Exclusive);
-        assert_eq!(g.request(p(0), n(1), LockMode::Shared), GlobalRequestOutcome::Granted);
-        assert_eq!(g.request(p(0), n(1), LockMode::Exclusive), GlobalRequestOutcome::Granted);
+        assert_eq!(
+            g.request(p(0), n(1), LockMode::Shared),
+            GlobalRequestOutcome::Granted
+        );
+        assert_eq!(
+            g.request(p(0), n(1), LockMode::Exclusive),
+            GlobalRequestOutcome::Granted
+        );
     }
 
     #[test]
@@ -299,7 +318,10 @@ mod tests {
             GlobalRequestOutcome::NeedsCallbacks(_)
         ));
         // n2 unaffected.
-        assert_eq!(g.locks_of(n(2)), vec![(p(0), LockMode::Shared), (p(2), LockMode::Exclusive)]);
+        assert_eq!(
+            g.locks_of(n(2)),
+            vec![(p(0), LockMode::Shared), (p(2), LockMode::Exclusive)]
+        );
     }
 
     #[test]

@@ -114,11 +114,7 @@ impl LocalLockTable {
         let mut v: Vec<(PageId, LockMode)> = self
             .locks
             .iter()
-            .filter_map(|(pid, hs)| {
-                hs.iter()
-                    .find(|(t, _)| *t == txn)
-                    .map(|(_, m)| (*pid, *m))
-            })
+            .filter_map(|(pid, hs)| hs.iter().find(|(t, _)| *t == txn).map(|(_, m)| (*pid, *m)))
             .collect();
         v.sort_by_key(|(p, _)| *p);
         v
@@ -159,8 +155,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lt = LocalLockTable::new();
-        assert_eq!(lt.request(t(1), p(0), LockMode::Shared), LocalRequestOutcome::Granted);
-        assert_eq!(lt.request(t(2), p(0), LockMode::Shared), LocalRequestOutcome::Granted);
+        assert_eq!(
+            lt.request(t(1), p(0), LockMode::Shared),
+            LocalRequestOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(t(2), p(0), LockMode::Shared),
+            LocalRequestOutcome::Granted
+        );
         assert_eq!(lt.holders(p(0)).len(), 2);
     }
 
@@ -182,8 +184,14 @@ mod tests {
     fn reentrant_and_covering_grants() {
         let mut lt = LocalLockTable::new();
         lt.request(t(1), p(0), LockMode::Exclusive);
-        assert_eq!(lt.request(t(1), p(0), LockMode::Shared), LocalRequestOutcome::Granted);
-        assert_eq!(lt.request(t(1), p(0), LockMode::Exclusive), LocalRequestOutcome::Granted);
+        assert_eq!(
+            lt.request(t(1), p(0), LockMode::Shared),
+            LocalRequestOutcome::Granted
+        );
+        assert_eq!(
+            lt.request(t(1), p(0), LockMode::Exclusive),
+            LocalRequestOutcome::Granted
+        );
         assert_eq!(lt.held(t(1), p(0)), Some(LockMode::Exclusive));
     }
 
@@ -191,7 +199,10 @@ mod tests {
     fn upgrade_succeeds_alone_blocks_with_others() {
         let mut lt = LocalLockTable::new();
         lt.request(t(1), p(0), LockMode::Shared);
-        assert_eq!(lt.request(t(1), p(0), LockMode::Exclusive), LocalRequestOutcome::Granted);
+        assert_eq!(
+            lt.request(t(1), p(0), LockMode::Exclusive),
+            LocalRequestOutcome::Granted
+        );
         lt.release_all(t(1));
 
         lt.request(t(1), p(0), LockMode::Shared);

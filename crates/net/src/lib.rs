@@ -276,12 +276,18 @@ impl Network {
 
     /// Messages sent by `node`.
     pub fn sent_by(&self, node: NodeId) -> u64 {
-        self.per_node_sent.get(node.0 as usize).copied().unwrap_or(0)
+        self.per_node_sent
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Messages received by `node`.
     pub fn received_by(&self, node: NodeId) -> u64 {
-        self.per_node_recv.get(node.0 as usize).copied().unwrap_or(0)
+        self.per_node_recv
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Disk I/Os charged to `node`.
@@ -325,9 +331,12 @@ mod tests {
     #[test]
     fn send_counts_by_kind_and_node() {
         let mut n = net();
-        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 64).unwrap();
-        n.send(NodeId(1), NodeId(0), MsgKind::LockGrant, 32).unwrap();
-        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 64).unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 64)
+            .unwrap();
+        n.send(NodeId(1), NodeId(0), MsgKind::LockGrant, 32)
+            .unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 64)
+            .unwrap();
         let s = n.stats();
         assert_eq!(s.count(MsgKind::LockRequest), 2);
         assert_eq!(s.count(MsgKind::LockGrant), 1);
@@ -370,7 +379,8 @@ mod tests {
         n.send(NodeId(0), NodeId(1), MsgKind::Callback, 8).unwrap();
         let snap = n.stats();
         n.send(NodeId(0), NodeId(1), MsgKind::Callback, 8).unwrap();
-        n.send(NodeId(0), NodeId(1), MsgKind::CallbackAck, 8).unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::CallbackAck, 8)
+            .unwrap();
         let d = n.stats().since(&snap);
         assert_eq!(d.count(MsgKind::Callback), 1);
         assert_eq!(d.count(MsgKind::CallbackAck), 1);
@@ -381,8 +391,10 @@ mod tests {
         assert!(MsgKind::PsnListReply.is_recovery());
         assert!(!MsgKind::LockRequest.is_recovery());
         let mut n = net();
-        n.send(NodeId(0), NodeId(1), MsgKind::PsnListRequest, 8).unwrap();
-        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 8).unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::PsnListRequest, 8)
+            .unwrap();
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 8)
+            .unwrap();
         assert_eq!(n.stats().recovery_messages(), 1);
     }
 

@@ -10,7 +10,7 @@ use crate::oracle::Oracle;
 use crate::workload::{Op, TxnSpec};
 use cblog_common::{Error, NodeId, PageId, Result, SimTime, TxnId};
 use cblog_locks::WaitsForGraph;
-use cblog_net::{Network, NetStats};
+use cblog_net::{NetStats, Network};
 use std::collections::VecDeque;
 
 /// Uniform facade over the client-based-logging cluster and the
@@ -28,6 +28,11 @@ pub trait System {
     fn abort(&mut self, txn: TxnId) -> Result<()>;
     /// The accounted network.
     fn network(&self) -> &Network;
+    /// Post-mortem flight-recorder dump, if the system keeps one.
+    /// Printed by the oracle when verification finds a divergence.
+    fn flight_dump(&self) -> Option<String> {
+        None
+    }
 }
 
 impl System for cblog_core::Cluster {
@@ -53,6 +58,10 @@ impl System for cblog_core::Cluster {
 
     fn network(&self) -> &Network {
         cblog_core::Cluster::network(self)
+    }
+
+    fn flight_dump(&self) -> Option<String> {
+        Some(cblog_core::Cluster::flight_dump(self))
     }
 }
 
@@ -256,8 +265,7 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
         }
         if !progressed {
             return Err(Error::Protocol(
-                "driver made no progress: transactions blocked with no deadlock victim"
-                    .into(),
+                "driver made no progress: transactions blocked with no deadlock victim".into(),
             ));
         }
     }

@@ -32,12 +32,7 @@ fn cost(mult: u64) -> CostModel {
 pub fn run() -> Table {
     let mut t = Table::new(
         "E11 mobile / expensive links: elapsed ms for 50 commits",
-        &[
-            "link cost x",
-            "cbl ms",
-            "csa ms",
-            "csa/cbl",
-        ],
+        &["link cost x", "cbl ms", "csa ms", "csa/cbl"],
     );
     for mult in [1u64, 10, 100, 1000] {
         let cbl = run_cbl(mult);

@@ -9,9 +9,23 @@
 
 use super::{cbl_cluster, csa_cluster, pages0};
 use crate::report::{f, Table};
-use cblog_common::NodeId;
+use cblog_common::{HistogramSnapshot, NodeId};
 
 const TXNS: u64 = 100;
+
+/// Per-transaction commit costs of the CBL client, including the
+/// commit-force latency distribution from the client's metrics
+/// registry.
+pub struct CblCommitCost {
+    /// Messages per transaction.
+    pub msgs: f64,
+    /// Network bytes per transaction.
+    pub bytes: f64,
+    /// Log forces per transaction.
+    pub forces: f64,
+    /// `wal/commit_force_us` distribution over the measured run.
+    pub force_us: HistogramSnapshot,
+}
 
 /// Runs the sweep over updates-per-transaction.
 pub fn run() -> Table {
@@ -22,19 +36,25 @@ pub fn run() -> Table {
             "cbl msgs",
             "cbl net bytes",
             "cbl forces",
+            "cbl force p50us",
+            "cbl force p95us",
+            "cbl force p99us",
             "csa msgs",
             "csa net bytes",
             "csa server forces",
         ],
     );
     for k in [1usize, 2, 4, 8, 16, 32] {
-        let (cbl_m, cbl_b, cbl_f) = run_cbl(k);
+        let cbl = run_cbl(k);
         let (csa_m, csa_b, csa_f) = run_csa(k);
         t.row(vec![
             k.to_string(),
-            f(cbl_m),
-            f(cbl_b),
-            f(cbl_f),
+            f(cbl.msgs),
+            f(cbl.bytes),
+            f(cbl.forces),
+            cbl.force_us.p50().to_string(),
+            cbl.force_us.p95().to_string(),
+            cbl.force_us.p99().to_string(),
             f(csa_m),
             f(csa_b),
             f(csa_f),
@@ -43,7 +63,7 @@ pub fn run() -> Table {
     t
 }
 
-fn run_cbl(updates: usize) -> (f64, f64, f64) {
+fn run_cbl(updates: usize) -> CblCommitCost {
     let mut c = cbl_cluster(1, 4, 16);
     let client = NodeId(1);
     let pages = pages0(4);
@@ -55,6 +75,11 @@ fn run_cbl(updates: usize) -> (f64, f64, f64) {
     c.commit(t).unwrap();
     let s0 = c.network().stats();
     let f0 = c.node(client).log().forces();
+    let h0 = c
+        .node(client)
+        .registry()
+        .histogram("wal/commit_force_us")
+        .snapshot();
     for i in 0..TXNS {
         let t = c.begin(client).unwrap();
         for u in 0..updates {
@@ -65,11 +90,18 @@ fn run_cbl(updates: usize) -> (f64, f64, f64) {
     }
     let d = c.network().stats().since(&s0);
     let forces = c.node(client).log().forces() - f0;
-    (
-        d.total_messages() as f64 / TXNS as f64,
-        d.total_bytes() as f64 / TXNS as f64,
-        forces as f64 / TXNS as f64,
-    )
+    let force_us = c
+        .node(client)
+        .registry()
+        .histogram("wal/commit_force_us")
+        .snapshot()
+        .since(&h0);
+    CblCommitCost {
+        msgs: d.total_messages() as f64 / TXNS as f64,
+        bytes: d.total_bytes() as f64 / TXNS as f64,
+        forces: forces as f64 / TXNS as f64,
+        force_us,
+    }
 }
 
 fn run_csa(updates: usize) -> (f64, f64, f64) {
@@ -106,13 +138,24 @@ mod tests {
 
     #[test]
     fn cbl_commits_with_zero_messages_csa_pays_round_trip() {
-        let (cbl_m, cbl_b, cbl_f) = run_cbl(4);
+        let cbl = run_cbl(4);
         let (csa_m, csa_b, _csa_f) = run_csa(4);
-        assert_eq!(cbl_m, 0.0, "CBL steady-state commit is message-free");
-        assert_eq!(cbl_b, 0.0);
-        assert!((cbl_f - 1.0).abs() < 1e-9, "one local force per commit");
+        assert_eq!(cbl.msgs, 0.0, "CBL steady-state commit is message-free");
+        assert_eq!(cbl.bytes, 0.0);
+        assert!(
+            (cbl.forces - 1.0).abs() < 1e-9,
+            "one local force per commit"
+        );
         assert!(csa_m >= 3.0, "log-ship + commit-req + ack");
         assert!(csa_b > 0.0);
+    }
+
+    #[test]
+    fn commit_force_histogram_covers_every_commit() {
+        let cbl = run_cbl(4);
+        assert_eq!(cbl.force_us.count, TXNS, "one recorded force per commit");
+        assert!(cbl.force_us.p50() > 0, "force latency is non-zero sim-time");
+        assert!(cbl.force_us.p99() >= cbl.force_us.p50());
     }
 
     #[test]

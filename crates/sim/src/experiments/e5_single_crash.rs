@@ -11,7 +11,7 @@
 use super::{cbl_cluster, pages0};
 use crate::report::{f, Table};
 use cblog_baselines::log_merge_cost;
-use cblog_common::{NodeId, PageId};
+use cblog_common::{HistogramSnapshot, NodeId, PageId};
 use cblog_core::recovery::recover_single;
 use cblog_core::Cluster;
 
@@ -51,6 +51,57 @@ pub fn run() -> Table {
     t
 }
 
+/// Companion table: where the restart time goes (per-phase sim-time
+/// from `RecoveryReport::phase_us`) plus the clients' commit-force
+/// latency distribution (`wal/commit_force_us`) for the same runs.
+pub fn run_timings() -> Table {
+    let mut t = Table::new(
+        "E5b single crash: recovery phase timings and commit-force latency",
+        &[
+            "dirty pages",
+            "analysis us",
+            "info_exchange us",
+            "lock_rebuild us",
+            "recovery_sets us",
+            "recovery_locks us",
+            "psn_lists us",
+            "replay us",
+            "undo us",
+            "total us",
+            "commit force p50us",
+            "commit force p95us",
+            "commit force p99us",
+        ],
+    );
+    for d in [1u32, 4, 16] {
+        let row = run_one(d);
+        let us = |phase: &str| -> u64 {
+            row.phase_us
+                .iter()
+                .find(|(p, _)| *p == phase)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        let total: u64 = row.phase_us.iter().map(|(_, v)| *v).sum();
+        t.row(vec![
+            d.to_string(),
+            us("analysis").to_string(),
+            us("info_exchange").to_string(),
+            us("lock_rebuild").to_string(),
+            us("recovery_sets").to_string(),
+            us("recovery_locks").to_string(),
+            us("psn_lists").to_string(),
+            us("replay").to_string(),
+            us("undo").to_string(),
+            total.to_string(),
+            row.commit_force_us.p50().to_string(),
+            row.commit_force_us.p95().to_string(),
+            row.commit_force_us.p99().to_string(),
+        ]);
+    }
+    t
+}
+
 /// One crash/recovery measurement.
 pub struct CrashRow {
     /// Pages replayed via NodePSNList.
@@ -65,6 +116,11 @@ pub struct CrashRow {
     pub merge_bytes: u64,
     /// Messages a merge-based scheme would send.
     pub merge_msgs: u64,
+    /// Per-phase sim-time of the recovery run.
+    pub phase_us: Vec<(&'static str, u64)>,
+    /// Commit-force latency distribution of client 1's registry over
+    /// the pre-crash workload.
+    pub commit_force_us: HistogramSnapshot,
 }
 
 /// Dirty `d` pages via client transactions, push the images to the
@@ -73,7 +129,11 @@ pub fn run_one(d: u32) -> CrashRow {
     // Three clients: 1 and 2 produce the recovery-relevant updates;
     // client 3 produces unrelated flushed noise on separate pages.
     let noise_pages = 4u32;
-    let mut c = cbl_cluster(CLIENTS + 1, d.max(1) + noise_pages, (d as usize + 6).max(12));
+    let mut c = cbl_cluster(
+        CLIENTS + 1,
+        d.max(1) + noise_pages,
+        (d as usize + 6).max(12),
+    );
     let pages = pages0(d);
     // Noise first: committed, then forced to the owner's disk and
     // flush-acked, so client 3 ends with an empty DPT and is not
@@ -94,6 +154,11 @@ pub fn run_one(d: u32) -> CrashRow {
     );
     dirty_pages(&mut c, &pages);
     let merge = log_merge_cost(&c, &[NodeId(0)]);
+    let commit_force_us = c
+        .node(NodeId(1))
+        .registry()
+        .histogram("wal/commit_force_us")
+        .snapshot();
     c.crash(NodeId(0));
     let rep = recover_single(&mut c, NodeId(0)).expect("recovery");
     CrashRow {
@@ -103,6 +168,8 @@ pub fn run_one(d: u32) -> CrashRow {
         bytes_scanned: rep.log_bytes_scanned,
         merge_bytes: merge.bytes_read,
         merge_msgs: merge.messages,
+        phase_us: rep.phase_us,
+        commit_force_us,
     }
 }
 
@@ -114,8 +181,13 @@ fn dirty_pages(c: &mut Cluster, pages: &[PageId]) {
         for round in 0..2u64 {
             for cl in 1..=CLIENTS as u32 {
                 let t = c.begin(NodeId(cl)).unwrap();
-                c.write_u64(t, *p, (round as usize + cl as usize) % 8, i as u64 + round + cl as u64)
-                    .unwrap();
+                c.write_u64(
+                    t,
+                    *p,
+                    (round as usize + cl as usize) % 8,
+                    i as u64 + round + cl as u64,
+                )
+                .unwrap();
                 c.commit(t).unwrap();
             }
         }
@@ -135,6 +207,26 @@ mod tests {
         assert!(big.pages > small.pages);
         assert!(big.records > small.records);
         assert!(big.messages > small.messages);
+    }
+
+    #[test]
+    fn phase_timings_and_force_histogram_are_populated() {
+        let row = run_one(4);
+        assert_eq!(row.phase_us.len(), 9, "all nine phases timed");
+        let replay = row
+            .phase_us
+            .iter()
+            .find(|(p, _)| *p == "replay")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(replay > 0, "replay moves pages, so it costs sim-time");
+        assert!(row.commit_force_us.count > 0, "commits recorded forces");
+        assert!(row.commit_force_us.p50() > 0);
+        let t = run_timings();
+        assert_eq!(t.len(), 3);
+        let json = t.to_json();
+        assert!(json.contains("replay us"));
+        assert!(json.contains("commit force p99us"));
     }
 
     #[test]

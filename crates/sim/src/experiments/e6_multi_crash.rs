@@ -78,11 +78,13 @@ pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
     // Owners also update their own pages; one client leaves a loser.
     for owner in 0..=1u32 {
         let t = c.begin(NodeId(owner)).unwrap();
-        c.write_u64(t, PageId::new(NodeId(owner), 5), 0, 777).unwrap();
+        c.write_u64(t, PageId::new(NodeId(owner), 5), 0, 777)
+            .unwrap();
         c.commit(t).unwrap();
     }
     let loser = c.begin(NodeId(2)).unwrap();
-    c.write_u64(loser, PageId::new(NodeId(0), 0), 7, 666).unwrap();
+    c.write_u64(loser, PageId::new(NodeId(0), 0), 7, 666)
+        .unwrap();
     c.node_mut(NodeId(2)).force_log().unwrap();
     // Push some current images into owner buffers so the crash loses
     // them.

@@ -27,13 +27,7 @@ pub fn run() -> Table {
     for clients in [1usize, 2, 4, 8, 16] {
         let (a, b) = run_cbl(clients);
         let (c, d) = run_csa(clients);
-        t.row(vec![
-            clients.to_string(),
-            f(a),
-            f(b),
-            f(c),
-            f(d),
-        ]);
+        t.row(vec![clients.to_string(), f(a), f(b), f(c), f(d)]);
     }
     t
 }

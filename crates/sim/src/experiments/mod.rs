@@ -83,6 +83,7 @@ pub fn run_all() -> Vec<Table> {
         e3_log_volume::run(),
         e4_page_transfer::run(),
         e5_single_crash::run(),
+        e5_single_crash::run_timings(),
         e6_multi_crash::run(),
         e7_checkpoint::run(),
         e8_log_space::run(),

@@ -70,8 +70,7 @@ impl Oracle {
     /// mismatch is an error describing the divergence.
     pub fn verify<S: System>(&self, sys: &mut S, reader: cblog_common::NodeId) -> Result<usize> {
         let mut checked = 0;
-        let mut items: Vec<(SlotKey, u64)> =
-            self.committed.iter().map(|(k, v)| (*k, *v)).collect();
+        let mut items: Vec<(SlotKey, u64)> = self.committed.iter().map(|(k, v)| (*k, *v)).collect();
         items.sort();
         for ((pid, slot), want) in items {
             let txn = sys.begin(reader)?;
@@ -84,6 +83,13 @@ impl Oracle {
             };
             sys.commit(txn)?;
             if got != want {
+                // Divergence: dump the flight recorders before failing,
+                // so the event history around the corruption is not
+                // lost with the process.
+                if let Some(dump) = sys.flight_dump() {
+                    eprintln!("oracle mismatch at {pid} slot {slot}; flight recorders:");
+                    eprint!("{dump}");
+                }
                 return Err(cblog_common::Error::Protocol(format!(
                     "oracle mismatch at {pid} slot {slot}: database {got}, expected {want}"
                 )));

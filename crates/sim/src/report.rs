@@ -2,6 +2,7 @@
 //! harness. No dependencies: experiments print to stdout and
 //! `EXPERIMENTS.md` embeds the output verbatim.
 
+use cblog_common::obs::json_escape;
 use std::fmt::Write as _;
 
 /// A simple column-aligned table.
@@ -78,6 +79,37 @@ impl Table {
         out
     }
 
+    /// Renders the table as a JSON object: `{"title", "headers",
+    /// "rows"}` with every cell a string (cells already carry their
+    /// formatting).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"title\":\"{}\",", json_escape(&self.title));
+        let _ = write!(out, "\"headers\":[");
+        for (i, h) in self.headers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(h));
+        }
+        out.push_str("],\"rows\":[");
+        for (r, row) in self.rows.iter().enumerate() {
+            if r > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(cell));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Renders CSV (title as a comment line).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -135,6 +167,16 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let mut t = Table::new("demo \"quoted\"", &["a", "b"]);
+        t.row(vec!["1".into(), "x\ny".into()]);
+        let j = t.to_json();
+        assert!(j.starts_with("{\"title\":\"demo \\\"quoted\\\"\""));
+        assert!(j.contains("\"headers\":[\"a\",\"b\"]"));
+        assert!(j.contains("\"rows\":[[\"1\",\"x\\ny\"]]"));
     }
 
     #[test]

@@ -1,8 +1,6 @@
 //! Parameterized workload generation (seeded, reproducible).
 
-use cblog_common::{NodeId, PageId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cblog_common::{NodeId, PageId, Rng};
 
 /// One operation of a transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -99,9 +97,8 @@ pub fn generate(
     private_pages: Option<&dyn Fn(NodeId) -> Vec<PageId>>,
 ) -> Vec<TxnSpec> {
     assert!(!pages.is_empty(), "workload needs pages");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let hot_n = ((pages.len() as f64 * cfg.hot_fraction).ceil() as usize)
-        .clamp(1, pages.len());
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let hot_n = ((pages.len() as f64 * cfg.hot_fraction).ceil() as usize).clamp(1, pages.len());
     let mut specs = Vec::with_capacity(clients.len() * cfg.txns_per_client);
     let mut val = 1u64;
     for &client in clients {
@@ -115,11 +112,11 @@ pub fn generate(
             let mut ops = Vec::with_capacity(cfg.ops_per_txn);
             for _ in 0..cfg.ops_per_txn {
                 let pid = if cfg.hot_access > 0.0 && rng.gen_bool(cfg.hot_access) {
-                    pool[rng.gen_range(0..hot)]
+                    pool[rng.gen_range_usize(0..hot)]
                 } else {
-                    pool[rng.gen_range(0..pool.len())]
+                    pool[rng.gen_range_usize(0..pool.len())]
                 };
-                let slot = rng.gen_range(0..cfg.slots_per_page);
+                let slot = rng.gen_range_usize(0..cfg.slots_per_page);
                 if rng.gen_bool(cfg.write_ratio) {
                     val += 1;
                     ops.push(Op::Write {
@@ -177,12 +174,12 @@ pub fn generate_transfers(
     abort_prob: f64,
 ) -> Vec<TransferSpec> {
     assert!(accounts.len() >= 2, "transfers need two accounts");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(clients.len() * txns_per_client);
     for &client in clients {
         for _ in 0..txns_per_client {
-            let a = rng.gen_range(0..accounts.len());
-            let mut b = rng.gen_range(0..accounts.len() - 1);
+            let a = rng.gen_range_usize(0..accounts.len());
+            let mut b = rng.gen_range_usize(0..accounts.len() - 1);
             if b >= a {
                 b += 1;
             }

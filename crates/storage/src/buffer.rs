@@ -136,48 +136,51 @@ impl BufferPool {
 
     /// Peeks without touching hit/miss counters or the ref bit.
     pub fn peek(&self, pid: PageId) -> Option<&Page> {
-        self.map.get(&pid).map(|&i| {
-            &self.frames[i].as_ref().expect("mapped frame occupied").page
-        })
+        self.map
+            .get(&pid)
+            .map(|&i| &self.frames[i].as_ref().expect("mapped frame occupied").page)
     }
 
     /// Marks a cached page dirty.
     pub fn mark_dirty(&mut self, pid: PageId) {
         if let Some(&i) = self.map.get(&pid) {
-            self.frames[i].as_mut().expect("mapped frame occupied").dirty = true;
+            self.frames[i]
+                .as_mut()
+                .expect("mapped frame occupied")
+                .dirty = true;
         }
     }
 
     /// Clears the dirty flag (after the image has been written/shipped).
     pub fn mark_clean(&mut self, pid: PageId) {
         if let Some(&i) = self.map.get(&pid) {
-            self.frames[i].as_mut().expect("mapped frame occupied").dirty = false;
+            self.frames[i]
+                .as_mut()
+                .expect("mapped frame occupied")
+                .dirty = false;
         }
     }
 
     /// Whether a cached page is dirty (None if not cached).
     pub fn is_dirty(&self, pid: PageId) -> Option<bool> {
-        self.map
-            .get(&pid)
-            .map(|&i| self.frames[i].as_ref().expect("mapped frame occupied").dirty)
+        self.map.get(&pid).map(|&i| {
+            self.frames[i]
+                .as_ref()
+                .expect("mapped frame occupied")
+                .dirty
+        })
     }
 
     /// Pins a page (excluded from eviction until unpinned).
     pub fn pin(&mut self, pid: PageId) -> Result<()> {
-        let &i = self
-            .map
-            .get(&pid)
-            .ok_or(Error::NoSuchPage(pid))?;
+        let &i = self.map.get(&pid).ok_or(Error::NoSuchPage(pid))?;
         self.frames[i].as_mut().expect("mapped frame occupied").pins += 1;
         Ok(())
     }
 
     /// Unpins a page.
     pub fn unpin(&mut self, pid: PageId) -> Result<()> {
-        let &i = self
-            .map
-            .get(&pid)
-            .ok_or(Error::NoSuchPage(pid))?;
+        let &i = self.map.get(&pid).ok_or(Error::NoSuchPage(pid))?;
         let f = self.frames[i].as_mut().expect("mapped frame occupied");
         if f.pins == 0 {
             return Err(Error::Protocol(format!("unpin of unpinned page {pid}")));

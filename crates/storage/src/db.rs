@@ -17,7 +17,7 @@
 use crate::page::{Page, PageKind};
 use crate::spacemap::SpaceMap;
 use crate::storage::Storage;
-use cblog_common::{Decoder, Encoder, Error, NodeId, PageId, Psn, Result};
+use cblog_common::{Counter, Decoder, Encoder, Error, NodeId, PageId, Psn, Result};
 
 const SUPER_MAGIC: u32 = 0x4342_4442; // "CBDB"
 
@@ -51,11 +51,7 @@ fn map_blocks_for(capacity: u32, page_size: usize) -> u64 {
 
 impl Database {
     /// Formats a fresh database of `capacity` pages on `storage`.
-    pub fn create(
-        mut storage: Box<dyn Storage>,
-        node: NodeId,
-        capacity: u32,
-    ) -> Result<Self> {
+    pub fn create(mut storage: Box<dyn Storage>, node: NodeId, capacity: u32) -> Result<Self> {
         let page_size = storage.block_size();
         let map = SpaceMap::new(capacity);
         let map_blocks = map_blocks_for(capacity, page_size);
@@ -243,6 +239,22 @@ impl Database {
     pub fn writes(&self) -> u64 {
         self.storage.writes().get()
     }
+
+    /// Shared handle to the device's read counter, for registration in
+    /// a metrics registry.
+    pub fn reads_counter(&self) -> &Counter {
+        self.storage.reads()
+    }
+
+    /// Shared handle to the device's write counter.
+    pub fn writes_counter(&self) -> &Counter {
+        self.storage.writes()
+    }
+
+    /// Shared handle to the device's sync counter.
+    pub fn syncs_counter(&self) -> &Counter {
+        self.storage.syncs()
+    }
 }
 
 #[cfg(test)]
@@ -280,7 +292,11 @@ mod tests {
         db.free_page(0, p.psn()).unwrap();
         let p2 = db.allocate_page(PageKind::Raw).unwrap();
         assert_eq!(p2.id().index, 0);
-        assert!(p2.psn() > Psn(10), "PSN floor must exceed prior life: {:?}", p2.psn());
+        assert!(
+            p2.psn() > Psn(10),
+            "PSN floor must exceed prior life: {:?}",
+            p2.psn()
+        );
     }
 
     #[test]

@@ -237,8 +237,7 @@ impl<'a> SlottedPage<'a> {
         for s in 0..dir_len {
             let (off, len) = self.slot_entry(s);
             if off != DEAD {
-                let data =
-                    self.page.body()[off as usize..off as usize + len as usize].to_vec();
+                let data = self.page.body()[off as usize..off as usize + len as usize].to_vec();
                 live.push((s, data));
             }
         }
@@ -259,7 +258,10 @@ impl<'a> SlottedPage<'a> {
             if off == DEAD {
                 None
             } else {
-                Some((s, &self.page.body()[off as usize..off as usize + len as usize]))
+                Some((
+                    s,
+                    &self.page.body()[off as usize..off as usize + len as usize],
+                ))
             }
         })
     }
@@ -272,12 +274,7 @@ mod tests {
     use cblog_common::{NodeId, PageId, Psn};
 
     fn page() -> Page {
-        Page::new(
-            PageId::new(NodeId(1), 1),
-            PageKind::Slotted,
-            Psn(0),
-            512,
-        )
+        Page::new(PageId::new(NodeId(1), 1), PageKind::Slotted, Psn(0), 512)
     }
 
     #[test]
@@ -370,8 +367,7 @@ mod tests {
         let b = sp.insert(b"b").unwrap();
         let c = sp.insert(b"c").unwrap();
         sp.delete(b).unwrap();
-        let got: Vec<(u16, Vec<u8>)> =
-            sp.iter().map(|(s, r)| (s, r.to_vec())).collect();
+        let got: Vec<(u16, Vec<u8>)> = sp.iter().map(|(s, r)| (s, r.to_vec())).collect();
         assert_eq!(got, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
     }
 

@@ -290,7 +290,11 @@ mod tests {
         dpt.on_update(pid(1), Psn(12), Lsn(250));
         assert!(!dpt.on_flush_ack(pid(1)), "entry must survive");
         let e = dpt.get(pid(1)).unwrap();
-        assert_eq!(e.redo_lsn, Lsn(200), "RedoLSN advances to remembered end-of-log");
+        assert_eq!(
+            e.redo_lsn,
+            Lsn(200),
+            "RedoLSN advances to remembered end-of-log"
+        );
         assert_eq!(e.curr_psn, Psn(12));
     }
 

@@ -169,6 +169,27 @@ impl LogManager {
         self.store.bytes_appended().get()
     }
 
+    /// Shared handle to the record-append counter, for registration in
+    /// a metrics registry.
+    pub fn records_counter(&self) -> &Counter {
+        &self.records
+    }
+
+    /// Shared handle to the force counter.
+    pub fn forces_counter(&self) -> &Counter {
+        &self.forces
+    }
+
+    /// Shared handle to the underlying store's sync counter.
+    pub fn store_syncs_counter(&self) -> &Counter {
+        self.store.syncs()
+    }
+
+    /// Shared handle to the underlying store's appended-bytes counter.
+    pub fn bytes_appended_counter(&self) -> &Counter {
+        self.store.bytes_appended()
+    }
+
     /// Last complete checkpoint anchor.
     pub fn last_checkpoint(&self) -> Lsn {
         self.master.last_checkpoint
@@ -243,7 +264,9 @@ impl LogManager {
         self.store.read_at(lsn.0, &mut header)?;
         let total = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
         if total < 8 || lsn.0 + total as u64 > self.tail_start.0 {
-            return Err(Error::Corrupt(format!("bad record length {total} at {lsn}")));
+            return Err(Error::Corrupt(format!(
+                "bad record length {total} at {lsn}"
+            )));
         }
         let mut buf = vec![0u8; total];
         self.store.read_at(lsn.0, &mut buf)?;
@@ -374,10 +397,7 @@ mod tests {
             lsns.push(prev);
         }
         lm.force(lsns[2]).unwrap();
-        let got: Vec<Lsn> = lm
-            .scan(Lsn(8))
-            .map(|r| r.unwrap().0)
-            .collect();
+        let got: Vec<Lsn> = lm.scan(Lsn(8)).map(|r| r.unwrap().0).collect();
         assert_eq!(got, lsns);
     }
 

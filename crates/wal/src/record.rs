@@ -283,7 +283,11 @@ impl LogRecord {
             | LogPayload::Commit
             | LogPayload::Abort
             | LogPayload::CheckpointBegin => {}
-            LogPayload::Update { pid, psn_before, op } => {
+            LogPayload::Update {
+                pid,
+                psn_before,
+                op,
+            } => {
                 body.put_page(*pid);
                 body.put_psn(*psn_before);
                 op.encode(&mut body);
@@ -481,7 +485,10 @@ mod tests {
         round_trip(LogRecord {
             txn: txn(),
             prev_lsn: Lsn::ZERO,
-            payload: LogPayload::AllocPage { pid: pid(), kind: 1 },
+            payload: LogPayload::AllocPage {
+                pid: pid(),
+                kind: 1,
+            },
         });
         round_trip(LogRecord {
             txn: txn(),

@@ -70,17 +70,34 @@ fn main() {
     println!("\nnode 0 (owner) crashed — lock/data requests for its pages stall;");
     println!("other nodes keep working on node 2's pages meanwhile");
     let t = cluster.begin(NodeId(3)).unwrap();
-    cluster.write_u64(t, PageId::new(NodeId(2), 0), 0, 4242).unwrap();
+    cluster
+        .write_u64(t, PageId::new(NodeId(2), 0), 0, 4242)
+        .unwrap();
     cluster.commit(t).unwrap();
 
     let report = recovery::recover_single(&mut cluster, NodeId(0)).expect("recovery");
     println!("\nrecovery report:");
-    println!("  pages replayed (NodePSNList):  {}", report.pages_recovered);
-    println!("  pages current in other caches: {}", report.pages_skipped_cached);
-    println!("  pages pulled to owner:         {}", report.pages_pulled_to_owner);
-    println!("  records replayed:              {}", report.records_replayed);
+    println!(
+        "  pages replayed (NodePSNList):  {}",
+        report.pages_recovered
+    );
+    println!(
+        "  pages current in other caches: {}",
+        report.pages_skipped_cached
+    );
+    println!(
+        "  pages pulled to owner:         {}",
+        report.pages_pulled_to_owner
+    );
+    println!(
+        "  records replayed:              {}",
+        report.records_replayed
+    );
     println!("  loser transactions undone:     {}", report.losers_undone);
-    println!("  log bytes scanned:             {}", report.log_bytes_scanned);
+    println!(
+        "  log bytes scanned:             {}",
+        report.log_bytes_scanned
+    );
     println!("  page shuttle hops:             {}", report.page_hops);
 
     let d = cluster.network().stats().since(&snap);
@@ -94,5 +111,7 @@ fn main() {
 
     // The oracle read back through a different node must match.
     let verified = oracle.verify(&mut cluster, NodeId(1)).expect("verify");
-    println!("\nverified {verified} committed slots after crash + recovery — no log was ever merged");
+    println!(
+        "\nverified {verified} committed slots after crash + recovery — no log was ever merged"
+    );
 }

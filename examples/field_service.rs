@@ -58,7 +58,9 @@ fn main() {
 
     // A mistaken entry, rolled back locally.
     let t = cluster.begin(notebook).unwrap();
-    let rid_oops = cluster.insert_record(t, orders, b"oops wrong customer").unwrap();
+    let rid_oops = cluster
+        .insert_record(t, orders, b"oops wrong customer")
+        .unwrap();
     cluster.abort(t).unwrap();
 
     let t = cluster.begin(notebook).unwrap();

@@ -84,7 +84,11 @@ fn main() {
 
     // Full verification through workstation 2.
     let t = cluster.begin(NodeId(2)).unwrap();
-    assert_eq!(index.check(&mut cluster, t).unwrap(), count, "torn load gone, catalog intact");
+    assert_eq!(
+        index.check(&mut cluster, t).unwrap(),
+        count,
+        "torn load gone, catalog intact"
+    );
     for batch in 0..10u64 {
         for station in [1u64, 2] {
             for i in 0..10u64 {

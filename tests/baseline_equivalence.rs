@@ -118,8 +118,7 @@ fn cost_profiles_differ_as_the_paper_argues() {
     assert_eq!(s_srv.net.count(MsgKind::CommitRequest), s_srv.committed);
     // CBL's disk forces are spread over the clients; CSA's land on the
     // server.
-    let cbl_client_io =
-        cbl.network().disk_ios_of(NodeId(1)) + cbl.network().disk_ios_of(NodeId(2));
+    let cbl_client_io = cbl.network().disk_ios_of(NodeId(1)) + cbl.network().disk_ios_of(NodeId(2));
     assert!(cbl_client_io > 0, "clients force their own logs");
     assert_eq!(
         srv.network().disk_ios_of(NodeId(1)) + srv.network().disk_ios_of(NodeId(2)),
@@ -137,5 +136,8 @@ fn force_on_transfer_only_adds_disk_writes_never_changes_reads() {
     assert_eq!(s1.committed, s2.committed);
     let io1 = cbl.network().disk_ios_of(NodeId(0));
     let io2 = fot.network().disk_ios_of(NodeId(0));
-    assert!(io2 >= io1, "forcing can only add owner disk traffic: {io1} vs {io2}");
+    assert!(
+        io2 >= io1,
+        "forcing can only add owner disk traffic: {io1} vs {io2}"
+    );
 }

@@ -94,13 +94,17 @@ fn slotted_records_full_crud_cycle_across_nodes() {
     // Node 1 inserts, node 2 updates, node 1 deletes.
     let t = c.begin(NodeId(1)).unwrap();
     let rids: Vec<_> = (0..10)
-        .map(|i| c.insert_record(t, p, format!("rec-{i}").as_bytes()).unwrap())
+        .map(|i| {
+            c.insert_record(t, p, format!("rec-{i}").as_bytes())
+                .unwrap()
+        })
         .collect();
     c.commit(t).unwrap();
 
     let t = c.begin(NodeId(2)).unwrap();
     for (i, rid) in rids.iter().enumerate() {
-        c.update_record(t, *rid, format!("upd-{i}").as_bytes()).unwrap();
+        c.update_record(t, *rid, format!("upd-{i}").as_bytes())
+            .unwrap();
     }
     c.commit(t).unwrap();
 
@@ -152,7 +156,8 @@ fn rollback_after_eviction_refetches_pages() {
     let t = c.begin(NodeId(1)).unwrap();
     // Touch more pages than the cache holds, dirtying each.
     for i in 0..6 {
-        c.write_u64(t, PageId::new(NodeId(0), i), 0, 100 + i as u64).unwrap();
+        c.write_u64(t, PageId::new(NodeId(0), i), 0, 100 + i as u64)
+            .unwrap();
     }
     let ships_before = c.network().stats().count(cblog_net::MsgKind::PageShip);
     c.abort(t).unwrap();

@@ -6,9 +6,7 @@
 
 use cblog_common::{Lsn, NodeId, PageId, Psn, TxnId};
 use cblog_storage::{Database, FileStorage, Page, PageKind};
-use cblog_wal::{
-    CheckpointBody, FileLogStore, LogManager, LogPayload, LogRecord, PageOp,
-};
+use cblog_wal::{CheckpointBody, FileLogStore, LogManager, LogPayload, LogRecord, PageOp};
 use std::path::PathBuf;
 
 struct TempDir(PathBuf);
@@ -57,7 +55,15 @@ fn open_log(dir: &TempDir) -> LogManager {
     LogManager::new(NODE, store).unwrap()
 }
 
-fn upd(txn: TxnId, prev: Lsn, pid: PageId, psn: Psn, slot: usize, before: u64, after: u64) -> LogRecord {
+fn upd(
+    txn: TxnId,
+    prev: Lsn,
+    pid: PageId,
+    psn: Psn,
+    slot: usize,
+    before: u64,
+    after: u64,
+) -> LogRecord {
     LogRecord {
         txn,
         prev_lsn: prev,
@@ -93,7 +99,9 @@ fn committed_work_survives_reopen_without_page_writes() {
                 payload: LogPayload::Begin,
             })
             .unwrap();
-        let u = log.append(&upd(txn, begin, pid, Psn(1), 0, 0, 777)).unwrap();
+        let u = log
+            .append(&upd(txn, begin, pid, Psn(1), 0, 0, 777))
+            .unwrap();
         let c = log
             .append(&LogRecord {
                 txn,
@@ -275,39 +283,40 @@ fn full_node_lifecycle_on_files_via_manual_composition() {
         let mut log = open_log(&dir);
         let mut page = db.read_page(0).unwrap();
 
-        let do_txn = |log: &mut LogManager, page: &mut Page, seq: u64, slot: usize, v: u64, commit: bool| {
-            let txn = TxnId::new(NODE, seq);
-            let begin = log
-                .append(&LogRecord {
-                    txn,
-                    prev_lsn: Lsn::ZERO,
-                    payload: LogPayload::Begin,
-                })
-                .unwrap();
-            let before = page.read_slot(slot).unwrap();
-            let u = log
-                .append(&upd(txn, begin, pid, page.psn(), slot, before, v))
-                .unwrap();
-            page.write_slot(slot, v).unwrap();
-            page.bump_psn();
-            if commit {
-                let c = log
+        let do_txn =
+            |log: &mut LogManager, page: &mut Page, seq: u64, slot: usize, v: u64, commit: bool| {
+                let txn = TxnId::new(NODE, seq);
+                let begin = log
                     .append(&LogRecord {
                         txn,
-                        prev_lsn: u,
-                        payload: LogPayload::Commit,
+                        prev_lsn: Lsn::ZERO,
+                        payload: LogPayload::Begin,
                     })
                     .unwrap();
-                log.force(c).unwrap();
-            } else {
-                // Loser: records durable (forced) but no commit.
-                log.force_all().unwrap();
-            }
-        };
+                let before = page.read_slot(slot).unwrap();
+                let u = log
+                    .append(&upd(txn, begin, pid, page.psn(), slot, before, v))
+                    .unwrap();
+                page.write_slot(slot, v).unwrap();
+                page.bump_psn();
+                if commit {
+                    let c = log
+                        .append(&LogRecord {
+                            txn,
+                            prev_lsn: u,
+                            payload: LogPayload::Commit,
+                        })
+                        .unwrap();
+                    log.force(c).unwrap();
+                } else {
+                    // Loser: records durable (forced) but no commit.
+                    log.force_all().unwrap();
+                }
+            };
         do_txn(&mut log, &mut page, 1, 0, 11, true);
         do_txn(&mut log, &mut page, 2, 1, 22, true);
         do_txn(&mut log, &mut page, 3, 2, 33, false); // loser
-        // Crash: nothing written to the database file.
+                                                      // Crash: nothing written to the database file.
     }
 
     // Life 2: restart — redo everything (PSN filter), undo the loser.

@@ -1,16 +1,17 @@
-//! Property-based tests of the system's central invariant:
+//! Randomized tests of the system's central invariant:
 //!
 //! > After any workload, any crash set, and recovery, the database
 //! > shows exactly the committed state — durability for winners,
 //! > atomicity for losers — without any log ever being merged.
 //!
 //! Workload shape, crash victims, eviction patterns and seeds are all
-//! generated by proptest.
+//! drawn from the workspace's deterministic `Rng` (the build has no
+//! crates.io access, so no proptest); each case is reproducible from
+//! its printed case number.
 
-use cblog_common::{CostModel, NodeId, PageId};
+use cblog_common::{CostModel, NodeId, PageId, Rng};
 use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
 use cblog_sim::{run_workload, workload, WorkloadConfig};
-use proptest::prelude::*;
 
 const OWNER_PAGES: u32 = 6;
 
@@ -33,32 +34,28 @@ fn build(clients: usize, frames: usize) -> Cluster {
 }
 
 fn pages() -> Vec<PageId> {
-    (0..OWNER_PAGES).map(|i| PageId::new(NodeId(0), i)).collect()
+    (0..OWNER_PAGES)
+        .map(|i| PageId::new(NodeId(0), i))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        .. ProptestConfig::default()
-    })]
-
-    /// Crash the owner at a random point (with a random subset of
-    /// current images living only in its buffer); recovery restores
-    /// exactly the committed state.
-    #[test]
-    fn owner_crash_preserves_committed_state(
-        seed in 0u64..1000,
-        clients in 1usize..4,
-        frames in 3usize..12,
-        write_ratio in 0.2f64..1.0,
-        evict_mask in 0u32..64,
-    ) {
+/// Crash the owner at a random point (with a random subset of current
+/// images living only in its buffer); recovery restores exactly the
+/// committed state.
+#[test]
+fn owner_crash_preserves_committed_state() {
+    for case in 0u64..24 {
+        let mut rng = Rng::seed_from_u64(0xA100 + case);
+        let clients = rng.gen_range_usize(1..4);
+        let frames = rng.gen_range_usize(3..12);
+        let write_ratio = 0.2 + 0.8 * rng.next_f64();
+        let evict_mask = rng.gen_range(0..64) as u32;
         let mut c = build(clients, frames);
         let cfg = WorkloadConfig {
             txns_per_client: 12,
             ops_per_txn: 4,
             write_ratio,
-            seed,
+            seed: rng.gen_range(0..1000),
             ..WorkloadConfig::default()
         };
         let ids: Vec<NodeId> = (1..=clients as u32).map(NodeId).collect();
@@ -75,24 +72,28 @@ proptest! {
         }
         c.crash(NodeId(0));
         recovery::recover_single(&mut c, NodeId(0)).unwrap();
-        stats.oracle.verify(&mut c, ids[0]).unwrap();
+        stats
+            .oracle
+            .verify(&mut c, ids[0])
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    /// Crash a random client; its committed remote updates survive and
-    /// its in-flight work disappears.
-    #[test]
-    fn client_crash_preserves_committed_state(
-        seed in 0u64..1000,
-        clients in 2usize..4,
-        victim_sel in 0usize..4,
-        write_ratio in 0.3f64..1.0,
-    ) {
+/// Crash a random client; its committed remote updates survive and
+/// its in-flight work disappears.
+#[test]
+fn client_crash_preserves_committed_state() {
+    for case in 0u64..24 {
+        let mut rng = Rng::seed_from_u64(0xA200 + case);
+        let clients = rng.gen_range_usize(2..4);
+        let victim_sel = rng.gen_range_usize(0..4);
+        let write_ratio = 0.3 + 0.7 * rng.next_f64();
         let mut c = build(clients, 8);
         let cfg = WorkloadConfig {
             txns_per_client: 10,
             ops_per_txn: 4,
             write_ratio,
-            seed,
+            seed: rng.gen_range(0..1000),
             ..WorkloadConfig::default()
         };
         let ids: Vec<NodeId> = (1..=clients as u32).map(NodeId).collect();
@@ -108,28 +109,32 @@ proptest! {
         c.crash(victim);
         recovery::recover_single(&mut c, victim).unwrap();
         let reader = *ids.iter().find(|n| **n != victim).unwrap();
-        stats.oracle.verify(&mut c, reader).unwrap();
+        stats
+            .oracle
+            .verify(&mut c, reader)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
         // Loser update must be gone.
         let t = c.begin(reader).unwrap();
         let v = c.read_u64(t, pages()[0], 7).unwrap();
         c.commit(t).unwrap();
-        prop_assert_ne!(v, 123456);
+        assert_ne!(v, 123456, "case {case}");
     }
+}
 
-    /// Crash owner AND a client simultaneously (§2.4): still exactly
-    /// the committed state.
-    #[test]
-    fn double_crash_preserves_committed_state(
-        seed in 0u64..1000,
-        evict_mask in 0u32..64,
-    ) {
+/// Crash owner AND a client simultaneously (§2.4): still exactly the
+/// committed state.
+#[test]
+fn double_crash_preserves_committed_state() {
+    for case in 0u64..24 {
+        let mut rng = Rng::seed_from_u64(0xA300 + case);
+        let evict_mask = rng.gen_range(0..64) as u32;
         let clients = 2usize;
         let mut c = build(clients, 8);
         let cfg = WorkloadConfig {
             txns_per_client: 10,
             ops_per_txn: 4,
             write_ratio: 0.8,
-            seed,
+            seed: rng.gen_range(0..1000),
             ..WorkloadConfig::default()
         };
         let ids = [NodeId(1), NodeId(2)];
@@ -143,22 +148,26 @@ proptest! {
         c.crash(NodeId(0));
         c.crash(NodeId(1));
         recovery::recover(&mut c, &[NodeId(0), NodeId(1)]).unwrap();
-        stats.oracle.verify(&mut c, NodeId(2)).unwrap();
+        stats
+            .oracle
+            .verify(&mut c, NodeId(2))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
+}
 
-    /// Recovery is stable under repetition: crash → recover → crash →
-    /// recover converges to the same state.
-    #[test]
-    fn recovery_is_idempotent_under_repeated_crashes(
-        seed in 0u64..500,
-        rounds in 1usize..4,
-    ) {
+/// Recovery is stable under repetition: crash → recover → crash →
+/// recover converges to the same state.
+#[test]
+fn recovery_is_idempotent_under_repeated_crashes() {
+    for case in 0u64..16 {
+        let mut rng = Rng::seed_from_u64(0xA400 + case);
+        let rounds = rng.gen_range_usize(1..4);
         let mut c = build(2, 8);
         let cfg = WorkloadConfig {
             txns_per_client: 8,
             ops_per_txn: 3,
             write_ratio: 1.0,
-            seed,
+            seed: rng.gen_range(0..500),
             ..WorkloadConfig::default()
         };
         let ids = [NodeId(1), NodeId(2)];
@@ -172,6 +181,9 @@ proptest! {
             c.crash(NodeId(0));
             recovery::recover_single(&mut c, NodeId(0)).unwrap();
         }
-        stats.oracle.verify(&mut c, NodeId(1)).unwrap();
+        stats
+            .oracle
+            .verify(&mut c, NodeId(1))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
     }
 }

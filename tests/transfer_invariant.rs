@@ -84,8 +84,7 @@ fn run_transfers(c: &mut Cluster, specs: Vec<TransferSpec>) -> (u64, u64, u64) {
             }
         }
     }
-    let mut active: Vec<Option<(TxnId, TransferSpec)>> =
-        (0..queues.len()).map(|_| None).collect();
+    let mut active: Vec<Option<(TxnId, TransferSpec)>> = (0..queues.len()).map(|_| None).collect();
     let mut wfg = WaitsForGraph::new();
     let (mut committed, mut aborted, mut victims) = (0u64, 0u64, 0u64);
     loop {
@@ -124,10 +123,7 @@ fn run_transfers(c: &mut Cluster, specs: Vec<TransferSpec>) -> (u64, u64, u64) {
                         c.abort(vt).unwrap();
                         wfg.remove(vt);
                         victims += 1;
-                        let qi = queues
-                            .iter()
-                            .position(|(n, _)| *n == vs.client)
-                            .unwrap();
+                        let qi = queues.iter().position(|(n, _)| *n == vs.client).unwrap();
                         queues[qi].1.push_back(vs);
                     }
                 }
