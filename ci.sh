@@ -11,6 +11,10 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+echo "==> E1b group-commit experiment (BENCH_e1_groupcommit.json)"
+cargo run --release --offline -p cblog-bench --bin experiments -- \
+    --json --only "E1b" > BENCH_e1_groupcommit.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -23,6 +23,7 @@ fn cluster(clients: usize) -> (Cluster, Vec<PageId>) {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let pages: Vec<PageId> = (0..TREE_PAGES).map(|i| PageId::new(NodeId(0), i)).collect();
@@ -207,6 +208,7 @@ fn index_spanning_two_owners_survives_either_owner_crash() {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let mut pages: Vec<PageId> = Vec::new();

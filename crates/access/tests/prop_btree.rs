@@ -25,6 +25,7 @@ fn cluster() -> (Cluster, Vec<PageId>) {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let pages: Vec<PageId> = (0..TREE_PAGES).map(|i| PageId::new(NodeId(0), i)).collect();

@@ -37,6 +37,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            ..ClusterConfig::default()
         }
     }
 

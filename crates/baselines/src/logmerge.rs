@@ -82,6 +82,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            ..ClusterConfig::default()
         })
         .unwrap()
     }

@@ -22,7 +22,7 @@
 //! second copy of any log record, steal buffering. Experiment E10
 //! prints the resulting per-commit costs side by side.
 
-use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
+use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Registry, Result, SimTime, TxnId};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
     LocalRequestOutcome, LockMode,
@@ -89,6 +89,9 @@ pub struct PcaCluster {
     cfg: PcaConfig,
     net: Network,
     nodes: Vec<PcaNode>,
+    /// Cluster-level metrics: per-node WAL counters (prefixed `n<id>/`),
+    /// commit and abort counts, the uniform `locks/wait_us` histogram.
+    registry: Registry,
 }
 
 impl std::fmt::Debug for PcaCluster {
@@ -126,12 +129,35 @@ impl PcaCluster {
             });
         }
         let net = Network::new(cfg.nodes, cfg.cost.clone());
-        Ok(PcaCluster { cfg, net, nodes })
+        let registry = Registry::new();
+        for (i, n) in nodes.iter().enumerate() {
+            registry.register_counter(&format!("n{i}/wal/records"), n.log.records_counter());
+            registry.register_counter(&format!("n{i}/wal/forces"), n.log.forces_counter());
+            registry.register_counter(&format!("n{i}/wal/bytes"), n.log.bytes_appended_counter());
+        }
+        Ok(PcaCluster {
+            cfg,
+            net,
+            nodes,
+            registry,
+        })
     }
 
     /// The accounted network.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The system-wide metrics registry (mirrors the CBL cluster's
+    /// `subsystem/metric` naming, per-node entries under `n<id>/`).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Folds a driver-observed lock-queueing delay into the uniform
+    /// `locks/wait_us` histogram (see `ServerCluster::note_queue_wait`).
+    pub fn note_queue_wait(&mut self, _txn: TxnId, us: SimTime) {
+        self.registry.histogram("locks/wait_us").record(us);
     }
 
     /// Local log of `node`.
@@ -301,6 +327,13 @@ impl PcaCluster {
             t.terminated = true;
             n.local.release_all(txn);
         }
+        let commits = self.registry.counter("txn/commits");
+        commits.bump();
+        let forces: u64 = self.nodes.iter().map(|n| n.log.forces()).sum();
+        let ratio = forces * 1000 / commits.get();
+        self.registry
+            .gauge("wal/forces_per_commit")
+            .set(ratio as i64);
         Ok(())
     }
 
@@ -346,6 +379,7 @@ impl PcaCluster {
             n.buffer.unpin(p)?;
         }
         n.local.release_all(txn);
+        self.registry.counter("txn/aborts").bump();
         Ok(())
     }
 

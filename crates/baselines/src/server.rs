@@ -20,7 +20,7 @@
 //! * a server checkpoint "requires communication with all connected
 //!   clients" — it synchronously collects their dirty-page lists.
 
-use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Result, TxnId};
+use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Registry, Result, SimTime, TxnId};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
     LocalRequestOutcome, LockMode,
@@ -103,6 +103,10 @@ pub struct ServerCluster {
     sdpt: DirtyPageTable,
     glocks: GlobalLockTable,
     clients: Vec<Client>,
+    /// Cluster-level metrics (the only log lives at the server, so one
+    /// registry covers the whole system): server WAL counters, commit
+    /// and abort counts, and the uniform `locks/wait_us` histogram.
+    registry: Registry,
 }
 
 impl std::fmt::Debug for ServerCluster {
@@ -122,6 +126,11 @@ impl ServerCluster {
             db.allocate_page(PageKind::Raw)?;
         }
         let log = LogManager::new(SERVER, Box::new(MemLogStore::new()))?;
+        let registry = Registry::new();
+        registry.register_counter("wal/records", log.records_counter());
+        registry.register_counter("wal/forces", log.forces_counter());
+        registry.register_counter("wal/bytes", log.bytes_appended_counter());
+        registry.register_counter("wal/store_syncs", log.store_syncs_counter());
         let net = Network::new(cfg.clients + 1, cfg.cost.clone());
         let clients = (1..=cfg.clients)
             .map(|i| Client {
@@ -145,12 +154,26 @@ impl ServerCluster {
             net,
             clients,
             cfg,
+            registry,
         })
     }
 
     /// The accounted network.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The system-wide metrics registry (`subsystem/metric` names,
+    /// mirroring the per-node registries of the CBL cluster).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Folds a driver-observed lock-queueing delay into the uniform
+    /// `locks/wait_us` histogram (the CBL cluster tracks these spans
+    /// itself; the baselines learn about them from the driver).
+    pub fn note_queue_wait(&mut self, _txn: TxnId, us: SimTime) {
+        self.registry.histogram("locks/wait_us").record(us);
     }
 
     /// The server's log (the system's only log).
@@ -262,6 +285,12 @@ impl ServerCluster {
         t.server_last_lsn = lsn;
         c.local.release_all(txn);
         c.commits += 1;
+        let commits = self.registry.counter("txn/commits");
+        commits.bump();
+        let ratio = self.log.forces() * 1000 / commits.get();
+        self.registry
+            .gauge("wal/forces_per_commit")
+            .set(ratio as i64);
         Ok(())
     }
 
@@ -345,6 +374,7 @@ impl ServerCluster {
         t.aborted = true;
         c.local.release_all(txn);
         c.aborts += 1;
+        self.registry.counter("txn/aborts").bump();
         Ok(())
     }
 

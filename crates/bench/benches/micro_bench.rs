@@ -202,6 +202,7 @@ fn m6_btree() {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            ..ClusterConfig::default()
         })
         .unwrap();
         let pages: Vec<PageId> = (0..24).map(|i| PageId::new(NodeId(0), i)).collect();

@@ -1,16 +1,31 @@
 //! Prints every experiment table (T1, E1–E11, A1). Usage:
 //!
 //! ```text
-//! cargo run --release -p cblog-bench --bin experiments [--csv | --json]
+//! cargo run --release -p cblog-bench --bin experiments [--csv | --json] [--only PATTERN]
 //! ```
 //!
 //! `--json` emits one JSON array of table objects (`{"title",
 //! "headers", "rows"}`), suitable for scripted post-processing.
+//! `--only PATTERN` keeps only tables whose title contains `PATTERN`
+//! (case-insensitive), e.g. `--only E1b` for the group-commit sweep.
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let json = std::env::args().any(|a| a == "--json");
-    let tables = cblog_bench::experiments::run_all();
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let json = args.iter().any(|a| a == "--json");
+    let only: Option<String> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_lowercase());
+    let mut tables = cblog_bench::experiments::run_all();
+    if let Some(pat) = &only {
+        tables.retain(|t| t.title().to_lowercase().contains(pat));
+        if tables.is_empty() {
+            eprintln!("no experiment table matches --only {pat}");
+            std::process::exit(1);
+        }
+    }
     if json {
         print!("[");
         for (i, table) in tables.iter().enumerate() {

@@ -63,6 +63,14 @@ pub enum TraceEvent {
         /// The aborted transaction.
         victim: TxnId,
     },
+    /// One log force acknowledged a batch of force-pending commits
+    /// (group commit).
+    GroupCommit {
+        /// Transactions acknowledged by this force.
+        txns: u64,
+        /// Log bytes made durable by the shared force.
+        bytes: u64,
+    },
     /// This node crashed (volatile state lost).
     Crash,
     /// One recovery phase finished on this node's behalf.
@@ -83,6 +91,9 @@ impl fmt::Display for TraceEvent {
             TraceEvent::LogForce { bytes, us } => write!(f, "log-force {bytes}B {us}us"),
             TraceEvent::PageTransfer { pid, from, to } => {
                 write!(f, "page-transfer {pid} {from}->{to}")
+            }
+            TraceEvent::GroupCommit { txns, bytes } => {
+                write!(f, "group-commit {txns}txns {bytes}B")
             }
             TraceEvent::LockWait { txn, pid } => write!(f, "lock-wait {txn} on {pid}"),
             TraceEvent::Deadlock { victim } => write!(f, "deadlock victim {victim}"),

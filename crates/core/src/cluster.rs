@@ -11,8 +11,9 @@
 //! queueing, retry and deadlock-victim handling on top.
 
 use crate::config::ClusterConfig;
+use crate::group_commit::ForceScheduler;
 use crate::node::{Node, RollbackStep};
-use crate::txn::Savepoint;
+use crate::txn::{Savepoint, TxnStatus};
 use cblog_common::{
     Error, Lsn, MetricValue, NodeId, PageId, Result, Rid, SimTime, Snapshot, TraceEvent, TxnId,
 };
@@ -41,8 +42,10 @@ pub struct Cluster {
     wfg: WaitsForGraph,
     /// Sim-time at which each currently-blocked transaction first hit
     /// a lock conflict; drained into the `locks/wait_us` histogram
-    /// when the access finally succeeds.
+    /// when the access finally succeeds (or the waiter aborts).
     wait_since: HashMap<TxnId, SimTime>,
+    /// Per-node group-commit force schedulers (index = node id).
+    schedulers: Vec<ForceScheduler>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -59,12 +62,16 @@ impl Cluster {
             nodes.push(Node::new(NodeId(i as u32), cfg.node_config(i))?);
         }
         let net = Network::new(cfg.node_count, cfg.cost.clone());
+        let schedulers = (0..cfg.node_count)
+            .map(|_| ForceScheduler::new(cfg.group_commit))
+            .collect();
         Ok(Cluster {
             nodes,
             net,
             cfg,
             wfg: WaitsForGraph::new(),
             wait_since: HashMap::new(),
+            schedulers,
         })
     }
 
@@ -297,35 +304,166 @@ impl Cluster {
     }
 
     /// Commits `txn`: local log force only — **no messages** (paper
-    /// §1.1). Cached pages and node-level locks are retained.
+    /// §1.1). Cached pages and node-level locks are retained. This is
+    /// the synchronous wrapper around the group-commit pipeline: the
+    /// commit is submitted and, if the node's force scheduler did not
+    /// flush it already, its batch is forced on the spot. Under the
+    /// default [`crate::GroupCommitPolicy::Immediate`] policy this is
+    /// exactly one force per commit.
     pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.commit_submit(txn)?;
+        if self.schedulers[ix(txn.node)].is_pending(txn) {
+            self.flush_node(txn.node)?;
+        }
+        debug_assert!(
+            matches!(
+                self.nodes[ix(txn.node)].txns.get(&txn).map(|t| t.status),
+                Some(TxnStatus::Committed)
+            ),
+            "synchronous commit must leave the txn durable"
+        );
+        Ok(())
+    }
+
+    /// First half of the async commit pipeline: appends the Commit
+    /// record, releases the transaction's locks and registers it with
+    /// the node's force scheduler as force-pending. The transaction is
+    /// durable (and may be reported committed) only once
+    /// [`Cluster::poll_committed`] returns true. Under the
+    /// [`crate::GroupCommitPolicy::Immediate`] policy the batch
+    /// flushes before this returns.
+    pub fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
         let node = txn.node;
         let n = ix(node);
-        let pending = self.pending_log_bytes(node) + 64;
-        let forces0 = self.nodes[n].log.forces();
-        match self.nodes[n].commit(txn) {
-            Ok(()) => {}
+        let lsn = match self.nodes[n].commit_begin(txn) {
+            Ok(l) => l,
             Err(Error::LogFull(_)) => {
                 self.ensure_log_space(node)?;
-                self.nodes[n].commit(txn)?;
+                self.nodes[n].commit_begin(txn)?
             }
             Err(e) => return Err(e),
+        };
+        self.wfg.remove(txn);
+        let now = self.now();
+        self.schedulers[n].submit(txn, lsn, now);
+        if self.schedulers[n].is_due(now) {
+            self.flush_node(node)?;
         }
-        self.charge_force(node, forces0, pending);
-        if self.nodes[n].log.forces() > forces0 {
+        Ok(())
+    }
+
+    /// Polls the async commit pipeline: true once `txn`'s Commit
+    /// record is durable and the transaction acknowledged. A pending
+    /// transaction whose batch became due (window expired or batch
+    /// filled) is flushed here; otherwise use
+    /// [`Cluster::pump_commits`] to advance an idle system to the next
+    /// window deadline.
+    pub fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
+        let node = txn.node;
+        let n = ix(node);
+        // A force taken for any other reason (WAL rule on a page
+        // transfer, checkpoint, log-space reclaim) may already have
+        // covered the commit record.
+        self.reap_acked(node)?;
+        if self.schedulers[n].is_pending(txn) && self.schedulers[n].is_due(self.now()) {
+            self.flush_node(node)?;
+        }
+        match self.nodes[n].txns.get(&txn).map(|t| t.status) {
+            Some(TxnStatus::Committed) => Ok(true),
+            Some(TxnStatus::Committing) => Ok(false),
+            Some(s) => Err(Error::Protocol(format!(
+                "poll_committed on {txn} in state {s:?}"
+            ))),
+            None => Err(Error::NoSuchTxn(txn)),
+        }
+    }
+
+    /// Drives the group-commit pipeline when no transaction can make
+    /// progress: flushes every node whose batch is due; if none is due
+    /// but commits are pending, idle-advances the sim-clock to the
+    /// earliest open window deadline and flushes what became due.
+    /// Returns true if any commit was acknowledged.
+    pub fn pump_commits(&mut self) -> Result<bool> {
+        let mut acked = 0;
+        for i in 0..self.nodes.len() {
+            if self.schedulers[i].is_due(self.now()) {
+                acked += self.flush_node(NodeId(i as u32))?;
+            }
+        }
+        if acked == 0 {
+            if let Some(d) = self.schedulers.iter().filter_map(|s| s.deadline()).min() {
+                let now = self.now();
+                if d > now {
+                    self.net.advance_time(d - now);
+                }
+                for i in 0..self.nodes.len() {
+                    if self.schedulers[i].is_due(self.now()) {
+                        acked += self.flush_node(NodeId(i as u32))?;
+                    }
+                }
+            }
+        }
+        Ok(acked > 0)
+    }
+
+    /// Acknowledges every force-pending commit on `node` whose Commit
+    /// record is already durable (idempotent).
+    fn reap_acked(&mut self, node: NodeId) -> Result<usize> {
+        let n = ix(node);
+        let flushed = self.nodes[n].log.flushed_lsn();
+        let acked = self.schedulers[n].drain_acked(flushed);
+        for t in &acked {
+            self.nodes[n].finish_commit(*t)?;
+            self.nodes[n]
+                .recorder
+                .record(self.now(), TraceEvent::TxnCommit { txn: *t });
+        }
+        Ok(acked.len())
+    }
+
+    /// Forces `node`'s log once for its whole batch of force-pending
+    /// commits and acknowledges all of them: the group commit. One
+    /// `io_fixed_us` is charged for the batch, so the per-commit force
+    /// cost drops as the group grows. Returns the number of commits
+    /// acknowledged.
+    fn flush_node(&mut self, node: NodeId) -> Result<usize> {
+        let n = ix(node);
+        // Commits covered by an interleaved force are acknowledged
+        // without paying for a new one.
+        let mut acked = self.reap_acked(node)?;
+        let batch = self.schedulers[n].pending_len() as u64;
+        if batch == 0 {
+            return Ok(acked);
+        }
+        let bytes = self.pending_log_bytes(node);
+        let forces0 = self.nodes[n].log.forces();
+        self.nodes[n].log.force_all()?;
+        self.charge_force(node, forces0, bytes);
+        let us = self.cfg.cost.io_cost(bytes as usize);
+        {
+            let nd = &self.nodes[n];
+            nd.registry.histogram("wal/group_size").record(batch);
             // The paper's headline metric: what the one local force at
             // commit costs (distinct from forces taken for the WAL rule
-            // or checkpoints, which land only in `wal/force_us`).
+            // or checkpoints, which land only in `wal/force_us`). Every
+            // commit in the batch observed the shared force's latency.
+            for _ in 0..batch {
+                nd.registry.histogram("wal/commit_force_us").record(us);
+            }
+            nd.recorder.record(
+                self.net.clock().now(),
+                TraceEvent::GroupCommit { txns: batch, bytes },
+            );
+        }
+        acked += self.reap_acked(node)?;
+        let commits = self.nodes[n].commits();
+        if let Some(ratio) = (self.nodes[n].log.forces() * 1000).checked_div(commits) {
             self.nodes[n]
                 .registry
-                .histogram("wal/commit_force_us")
-                .record(self.cfg.cost.io_cost(pending as usize));
+                .gauge("wal/forces_per_commit")
+                .set(ratio as i64);
         }
-        self.nodes[n]
-            .recorder
-            .record(self.now(), TraceEvent::TxnCommit { txn });
-        self.wfg.remove(txn);
-        Ok(())
+        Ok(acked)
     }
 
     /// Takes a savepoint.
@@ -353,7 +491,16 @@ impl Cluster {
         self.nodes[n]
             .recorder
             .record(self.now(), TraceEvent::TxnAbort { txn });
-        self.wait_since.remove(&txn);
+        // A waiter that dies waiting (deadlock victim) still spent its
+        // time queueing — fold it into the same wait histogram the
+        // successful acquisitions feed.
+        if let Some(t0) = self.wait_since.remove(&txn) {
+            let now = self.now();
+            self.nodes[n]
+                .registry
+                .histogram("locks/wait_us")
+                .record(now.saturating_sub(t0));
+        }
         self.wfg.remove(txn);
         Ok(())
     }
@@ -913,6 +1060,9 @@ impl Cluster {
             .recorder
             .record(self.now(), TraceEvent::Crash);
         self.nodes[ix(node)].crash();
+        // Force-pending commits die with the tail: they were never
+        // acknowledged, and restart rolls them back as losers.
+        self.schedulers[ix(node)].clear();
         self.net.mark_crashed(node);
         // Transactions of the crashed node disappear from the global
         // waits-for graph (their locks will be handled by recovery).
@@ -1000,6 +1150,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            group_commit: crate::GroupCommitPolicy::Immediate,
         })
         .unwrap()
     }
@@ -1177,6 +1328,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            group_commit: crate::GroupCommitPolicy::Immediate,
         })
         .unwrap();
         // Dirty one page at node 1, then touch others to evict it.
@@ -1218,6 +1370,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            group_commit: crate::GroupCommitPolicy::Immediate,
         })
         .unwrap();
         let p = pid(0, 0);

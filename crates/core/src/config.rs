@@ -1,6 +1,41 @@
 //! Cluster and node configuration.
 
-use cblog_common::CostModel;
+use cblog_common::{CostModel, SimTime};
+
+/// When a node's force-pending commits are flushed to disk.
+///
+/// The paper's commit is a single local log force (§2.2); group commit
+/// amortizes that force across transactions that commit close together
+/// in time. A transaction whose Commit record has been appended waits
+/// (force-pending) until the node's next force covers its LSN; one
+/// force then acknowledges every covered transaction at once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GroupCommitPolicy {
+    /// Force as soon as a Commit record is appended: one force per
+    /// commit, the pre-group-commit behavior.
+    #[default]
+    Immediate,
+    /// Coalesce commits into batches: hold the force until `window_us`
+    /// sim-µs after the first pending commit, or until `max_batch`
+    /// commits are pending, whichever comes first.
+    Window {
+        /// Maximum time a pending commit waits for company, sim-µs.
+        window_us: SimTime,
+        /// Force as soon as this many commits are pending (0 and 1
+        /// both mean "never wait for company").
+        max_batch: usize,
+    },
+}
+
+impl GroupCommitPolicy {
+    /// True for the force-per-commit policy.
+    pub fn is_immediate(&self) -> bool {
+        match *self {
+            GroupCommitPolicy::Immediate => true,
+            GroupCommitPolicy::Window { max_batch, .. } => max_batch <= 1,
+        }
+    }
+}
 
 /// Configuration of a single node.
 #[derive(Clone, Debug)]
@@ -47,6 +82,10 @@ pub struct ClusterConfig {
     /// Mohan–Narang simple/medium shared-disks schemes, paper §3.2).
     /// The paper's design keeps this off — contribution (1).
     pub force_on_transfer: bool,
+    /// Group-commit policy for the per-node force scheduler.
+    /// [`GroupCommitPolicy::Immediate`] reproduces the one-force-per-
+    /// commit behavior existing tests pin down.
+    pub group_commit: GroupCommitPolicy,
 }
 
 impl Default for ClusterConfig {
@@ -57,6 +96,7 @@ impl Default for ClusterConfig {
             default_node: NodeConfig::default(),
             cost: CostModel::default(),
             force_on_transfer: false,
+            group_commit: GroupCommitPolicy::Immediate,
         }
     }
 }
@@ -90,5 +130,24 @@ mod tests {
             cfg.node_config(2).owned_pages,
             NodeConfig::default().owned_pages
         );
+    }
+
+    #[test]
+    fn group_commit_defaults_to_immediate() {
+        assert_eq!(
+            ClusterConfig::default().group_commit,
+            GroupCommitPolicy::Immediate
+        );
+        assert!(GroupCommitPolicy::Immediate.is_immediate());
+        assert!(GroupCommitPolicy::Window {
+            window_us: 100,
+            max_batch: 1
+        }
+        .is_immediate());
+        assert!(!GroupCommitPolicy::Window {
+            window_us: 100,
+            max_batch: 8
+        }
+        .is_immediate());
     }
 }

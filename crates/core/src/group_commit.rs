@@ -1,0 +1,198 @@
+//! Per-node force scheduler: the group-commit batching policy.
+//!
+//! `Node::commit_begin` appends a transaction's Commit record and
+//! registers it here as *force-pending* at its commit LSN. The
+//! scheduler decides when the node's next `LogManager::force` happens;
+//! one force then acknowledges every pending transaction whose commit
+//! LSN it covers. Under [`GroupCommitPolicy::Immediate`] every submit
+//! is due at once (one force per commit, the paper's baseline §2.2
+//! behavior); under [`GroupCommitPolicy::Window`] the force is held
+//! until the window elapses or the batch fills, amortizing the
+//! dominant commit-path cost (`io_fixed_us`) across the group.
+//!
+//! The scheduler never talks to the log itself — the cluster owns the
+//! force (it also charges simulated I/O for it). This keeps the
+//! batching policy and the WAL mechanism independently testable.
+
+use std::collections::VecDeque;
+
+use cblog_common::{Lsn, SimTime, TxnId};
+
+use crate::config::GroupCommitPolicy;
+
+/// One force-pending commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingCommit {
+    /// The committing transaction.
+    pub txn: TxnId,
+    /// LSN of its Commit record; durable once `flushed_lsn` passes it.
+    pub lsn: Lsn,
+}
+
+/// Coalesces force-pending commits for one node.
+#[derive(Debug)]
+pub struct ForceScheduler {
+    policy: GroupCommitPolicy,
+    pending: VecDeque<PendingCommit>,
+    /// Sim-time at which the open window expires (set when the first
+    /// commit of a batch arrives; cleared when the batch drains).
+    deadline: Option<SimTime>,
+}
+
+impl ForceScheduler {
+    /// New scheduler with the given policy.
+    pub fn new(policy: GroupCommitPolicy) -> Self {
+        ForceScheduler {
+            policy,
+            pending: VecDeque::new(),
+            deadline: None,
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> GroupCommitPolicy {
+        self.policy
+    }
+
+    /// Registers a commit as force-pending. The first commit of a
+    /// batch opens the window at `now`.
+    pub fn submit(&mut self, txn: TxnId, lsn: Lsn, now: SimTime) {
+        if self.pending.is_empty() {
+            self.deadline = match self.policy {
+                GroupCommitPolicy::Immediate => Some(now),
+                GroupCommitPolicy::Window { window_us, .. } => Some(now + window_us),
+            };
+        }
+        self.pending.push_back(PendingCommit { txn, lsn });
+    }
+
+    /// True once the batch must be forced: window expired or batch
+    /// full. Empty schedulers are never due.
+    pub fn is_due(&self, now: SimTime) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        match self.policy {
+            GroupCommitPolicy::Immediate => true,
+            GroupCommitPolicy::Window { max_batch, .. } => {
+                (max_batch > 0 && self.pending.len() >= max_batch)
+                    || self.deadline.is_some_and(|d| now >= d)
+            }
+        }
+    }
+
+    /// Deadline of the open window, if a batch is pending. `pump`
+    /// advances the sim-clock here when the system is otherwise idle.
+    pub fn deadline(&self) -> Option<SimTime> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            self.deadline
+        }
+    }
+
+    /// Number of force-pending commits.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if `txn` is parked here awaiting a force.
+    pub fn is_pending(&self, txn: TxnId) -> bool {
+        self.pending.iter().any(|p| p.txn == txn)
+    }
+
+    /// Removes and returns every pending commit whose Commit record is
+    /// durable (`lsn < flushed`), in submission order. Called after
+    /// *any* force of the node's log — including WAL-rule forces taken
+    /// for page transfers — so batches interleaved with other forces
+    /// are acknowledged exactly once (idempotent: a second call with
+    /// the same `flushed` returns nothing).
+    pub fn drain_acked(&mut self, flushed: Lsn) -> Vec<TxnId> {
+        let mut acked = Vec::new();
+        self.pending.retain(|p| {
+            if p.lsn < flushed {
+                acked.push(p.txn);
+                false
+            } else {
+                true
+            }
+        });
+        if self.pending.is_empty() {
+            self.deadline = None;
+        }
+        acked
+    }
+
+    /// Drops all pending commits (node crash: the unforced Commit
+    /// records are gone, so the transactions were never committed).
+    pub fn clear(&mut self) {
+        self.pending.clear();
+        self.deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cblog_common::NodeId;
+
+    fn txn(i: u64) -> TxnId {
+        TxnId::new(NodeId(1), i)
+    }
+
+    fn windowed(window_us: SimTime, max_batch: usize) -> ForceScheduler {
+        ForceScheduler::new(GroupCommitPolicy::Window {
+            window_us,
+            max_batch,
+        })
+    }
+
+    #[test]
+    fn immediate_is_due_on_first_submit() {
+        let mut s = ForceScheduler::new(GroupCommitPolicy::Immediate);
+        assert!(!s.is_due(0));
+        s.submit(txn(1), Lsn(8), 0);
+        assert!(s.is_due(0));
+    }
+
+    #[test]
+    fn window_holds_until_deadline_or_full_batch() {
+        let mut s = windowed(100, 3);
+        s.submit(txn(1), Lsn(8), 50);
+        assert!(!s.is_due(149), "window still open");
+        assert!(s.is_due(150), "deadline reached");
+        assert_eq!(s.deadline(), Some(150));
+        // Later submits do not extend the first commit's deadline.
+        s.submit(txn(2), Lsn(40), 120);
+        assert_eq!(s.deadline(), Some(150));
+        // A full batch is due regardless of the clock.
+        s.submit(txn(3), Lsn(80), 121);
+        assert!(s.is_due(121));
+    }
+
+    #[test]
+    fn drain_acks_only_durable_commits_in_order() {
+        let mut s = windowed(100, 8);
+        s.submit(txn(1), Lsn(8), 0);
+        s.submit(txn(2), Lsn(40), 1);
+        s.submit(txn(3), Lsn(80), 2);
+        // A force that covered only the first two records (e.g. a
+        // WAL-rule force that ran before txn 3 appended).
+        assert_eq!(s.drain_acked(Lsn(80)), vec![txn(1), txn(2)]);
+        assert_eq!(s.drain_acked(Lsn(80)), Vec::<TxnId>::new(), "idempotent");
+        assert!(s.is_pending(txn(3)));
+        assert_eq!(s.drain_acked(Lsn(200)), vec![txn(3)]);
+        assert_eq!(s.pending_len(), 0);
+        assert_eq!(s.deadline(), None, "deadline cleared with the batch");
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut s = windowed(100, 8);
+        s.submit(txn(1), Lsn(8), 0);
+        s.clear();
+        assert_eq!(s.pending_len(), 0);
+        assert!(!s.is_due(1_000_000));
+        assert_eq!(s.drain_acked(Lsn(u64::MAX)), Vec::<TxnId>::new());
+    }
+}

@@ -44,12 +44,14 @@
 
 pub mod cluster;
 pub mod config;
+pub mod group_commit;
 pub mod node;
 pub mod recovery;
 pub mod txn;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, NodeConfig};
+pub use config::{ClusterConfig, GroupCommitPolicy, NodeConfig};
+pub use group_commit::{ForceScheduler, PendingCommit};
 pub use node::{AnalysisResult, Node, NodePsnEntry};
 pub use recovery::RecoveryReport;
 pub use txn::{Savepoint, TxnState, TxnStatus};

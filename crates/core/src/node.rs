@@ -289,7 +289,7 @@ impl Node {
         match t.status {
             TxnStatus::Active => Ok(t),
             TxnStatus::Aborting | TxnStatus::Aborted => Err(Error::TxnAborted(id)),
-            TxnStatus::Committed => Err(Error::NoSuchTxn(id)),
+            TxnStatus::Committing | TxnStatus::Committed => Err(Error::NoSuchTxn(id)),
         }
     }
 
@@ -334,10 +334,16 @@ impl Node {
         Ok(())
     }
 
-    /// Commits: one Commit record, one local log force, zero messages
-    /// (the paper's headline property). Strict 2PL: transaction-level
-    /// locks release; node-level cached locks are retained.
-    pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+    /// First half of commit: appends the Commit record and parks the
+    /// transaction as force-pending ([`TxnStatus::Committing`]) at the
+    /// returned LSN. Transaction-level locks release here (strict 2PL
+    /// held through the append; early release is safe because any
+    /// same-node dependent commits through the same log — its force
+    /// covers this record — and any cross-node visibility requires a
+    /// page transfer, which forces the whole log first under the WAL
+    /// rule). The caller owns the force: either immediately
+    /// ([`Node::commit`]) or batched by the cluster's force scheduler.
+    pub fn commit_begin(&mut self, txn: TxnId) -> Result<Lsn> {
         self.ensure_up()?;
         let prev = self.active_txn(txn)?.last_lsn;
         let lsn = self.log.append(&LogRecord {
@@ -345,13 +351,39 @@ impl Node {
             prev_lsn: prev,
             payload: LogPayload::Commit,
         })?;
-        self.log.force(lsn)?;
         let t = self.txns.get_mut(&txn).expect("checked");
-        t.status = TxnStatus::Committed;
+        t.status = TxnStatus::Committing;
         t.last_lsn = lsn;
         self.local_locks.release_all(txn);
+        Ok(lsn)
+    }
+
+    /// Second half of commit: acknowledges a force-pending transaction
+    /// whose Commit record has become durable.
+    pub fn finish_commit(&mut self, txn: TxnId) -> Result<()> {
+        let t = self.txns.get_mut(&txn).ok_or(Error::NoSuchTxn(txn))?;
+        if t.status != TxnStatus::Committing {
+            return Err(Error::Protocol(format!(
+                "finish_commit on {txn} in state {:?}",
+                t.status
+            )));
+        }
+        debug_assert!(
+            t.last_lsn < self.log.flushed_lsn(),
+            "commit record must be durable before acknowledgement"
+        );
+        t.status = TxnStatus::Committed;
         self.commits.bump();
         Ok(())
+    }
+
+    /// Commits: one Commit record, one local log force, zero messages
+    /// (the paper's headline property). Strict 2PL: transaction-level
+    /// locks release; node-level cached locks are retained.
+    pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+        let lsn = self.commit_begin(txn)?;
+        self.log.force(lsn)?;
+        self.finish_commit(txn)
     }
 
     /// Takes a savepoint for partial rollback.
@@ -475,10 +507,15 @@ impl Node {
         })?;
         let body = CheckpointBody {
             dpt: self.dpt.entries(),
+            // Force-pending (Committing) transactions are excluded: the
+            // checkpoint's own force makes their Commit records durable,
+            // so restart must not treat them as losers (their Commit
+            // record precedes the checkpoint and would confuse the undo
+            // chain).
             active_txns: self
                 .txns
                 .values()
-                .filter(|t| !t.is_terminated())
+                .filter(|t| !t.is_terminated() && t.status != TxnStatus::Committing)
                 .map(|t| (t.id, t.last_lsn))
                 .collect(),
         };
@@ -1121,6 +1158,24 @@ mod tests {
         // Unforced records vanished; nothing to analyze.
         assert_eq!(a.records_scanned, 0);
         assert!(a.losers.is_empty());
+
+        // Group-commit window: a transaction whose commit_begin ran
+        // but whose force is still pending is lost the same way. Its
+        // durable updates make it a loser; the unforced Commit record
+        // never reached the disk, so restart rolls it back.
+        let t2 = n.begin().unwrap();
+        let pid = load(&mut n, 0);
+        upd(&mut n, t2, pid, 0, 88);
+        n.force_log().unwrap();
+        let commit_lsn = n.commit_begin(t2).unwrap();
+        assert!(
+            commit_lsn >= n.log().flushed_lsn(),
+            "commit record still volatile while force-pending"
+        );
+        n.crash();
+        n.mark_restarting();
+        let a = n.restart_analysis().unwrap();
+        assert_eq!(a.losers, vec![t2], "force-pending commit is a loser");
     }
 
     #[test]

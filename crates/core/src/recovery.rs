@@ -739,6 +739,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            ..ClusterConfig::default()
         })
         .unwrap()
     }

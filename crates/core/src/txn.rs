@@ -10,6 +10,13 @@ pub enum TxnStatus {
     /// Rolling back (the abort path is underway; during restart this is
     /// the "loser" state).
     Aborting,
+    /// Commit record appended, force pending: the transaction has
+    /// finished its work and released its locks, but its Commit record
+    /// is not yet durable. Group commit parks transactions here until
+    /// a shared log force covers their commit LSN. If the node crashes
+    /// in this state the transaction is a loser — exactly the
+    /// unacknowledged-commit window durability semantics require.
+    Committing,
     /// Durably committed.
     Committed,
     /// Fully rolled back.
@@ -81,6 +88,9 @@ mod tests {
         t.status = TxnStatus::Aborting;
         assert!(!t.is_active());
         assert!(!t.is_terminated());
+        t.status = TxnStatus::Committing;
+        assert!(!t.is_active(), "force-pending txn issues no more ops");
+        assert!(!t.is_terminated(), "not durable until the force lands");
         t.status = TxnStatus::Aborted;
         assert!(t.is_terminated());
         t.status = TxnStatus::Committed;

@@ -11,7 +11,7 @@ use crate::workload::{Op, TxnSpec};
 use cblog_common::{Error, NodeId, PageId, Result, SimTime, TxnId};
 use cblog_locks::WaitsForGraph;
 use cblog_net::{NetStats, Network};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Uniform facade over the client-based-logging cluster and the
 /// server-logging baseline.
@@ -28,6 +28,33 @@ pub trait System {
     fn abort(&mut self, txn: TxnId) -> Result<()>;
     /// The accounted network.
     fn network(&self) -> &Network;
+    /// Submits a commit to the system's async commit pipeline: the
+    /// transaction's commit record is written and its locks release,
+    /// but durability is acknowledged via [`System::poll_committed`].
+    /// Systems without a pipeline commit synchronously here.
+    fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
+        self.commit(txn)
+    }
+    /// True once a submitted commit is durable. Synchronous systems
+    /// are always done.
+    fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
+        let _ = txn;
+        Ok(true)
+    }
+    /// Drives the commit pipeline when nothing else can make progress
+    /// (e.g. advances the sim-clock to the next group-commit window
+    /// deadline). Returns true if any commit was acknowledged.
+    fn pump_commits(&mut self) -> Result<bool> {
+        Ok(false)
+    }
+    /// Reports a driver-level lock-queueing delay: `txn` spent `us`
+    /// sim-µs being retried before its blocked operation succeeded (or
+    /// it was aborted). Systems that already fold retry spans into
+    /// their own `locks/wait_us` histogram ignore this; the baselines
+    /// record it so all systems report one uniform wait metric.
+    fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
+        let _ = (txn, us);
+    }
     /// Post-mortem flight-recorder dump, if the system keeps one.
     /// Printed by the oracle when verification finds a divergence.
     fn flight_dump(&self) -> Option<String> {
@@ -60,6 +87,21 @@ impl System for cblog_core::Cluster {
         cblog_core::Cluster::network(self)
     }
 
+    fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
+        cblog_core::Cluster::commit_submit(self, txn)
+    }
+
+    fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
+        cblog_core::Cluster::poll_committed(self, txn)
+    }
+
+    fn pump_commits(&mut self) -> Result<bool> {
+        cblog_core::Cluster::pump_commits(self)
+    }
+
+    // note_queue_wait: default no-op — the cluster folds driver retry
+    // spans into locks/wait_us itself via its internal wait tracking.
+
     fn flight_dump(&self) -> Option<String> {
         Some(cblog_core::Cluster::flight_dump(self))
     }
@@ -89,6 +131,10 @@ impl System for cblog_baselines::ServerCluster {
     fn network(&self) -> &Network {
         cblog_baselines::ServerCluster::network(self)
     }
+
+    fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
+        cblog_baselines::ServerCluster::note_queue_wait(self, txn, us);
+    }
 }
 
 impl System for cblog_baselines::PcaCluster {
@@ -114,6 +160,10 @@ impl System for cblog_baselines::PcaCluster {
 
     fn network(&self) -> &Network {
         cblog_baselines::PcaCluster::network(self)
+    }
+
+    fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
+        cblog_baselines::PcaCluster::note_queue_wait(self, txn, us);
     }
 }
 
@@ -164,6 +214,12 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
     let mut active: Vec<Option<ActiveTxn>> = (0..queues.len()).map(|_| None).collect();
     let mut wfg = WaitsForGraph::new();
     let mut oracle = Oracle::new();
+    // Transactions whose commit has been submitted but not yet
+    // acknowledged durable, in submission (= serialization) order.
+    let mut committing: VecDeque<(TxnId, u64)> = VecDeque::new();
+    // First-block sim-times of driver-level retry spans, reported to
+    // the system via note_queue_wait when the blocked op finally runs.
+    let mut blocked_since: HashMap<TxnId, SimTime> = HashMap::new();
     let mut stats = RunStats {
         committed: 0,
         user_aborts: 0,
@@ -180,6 +236,19 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
     loop {
         let mut progressed = false;
         let mut all_done = true;
+        // Acknowledge durable commits in submission order. Stopping at
+        // the first pending one keeps oracle commit order identical to
+        // the serialization order.
+        while let Some(&(txn, key)) = committing.front() {
+            if sys.poll_committed(txn)? {
+                committing.pop_front();
+                oracle.commit(key);
+                stats.committed += 1;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
         for ci in 0..queues.len() {
             // Ensure an active transaction.
             if active[ci].is_none() {
@@ -218,6 +287,10 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
                 };
                 match r {
                     Ok(()) => {
+                        if let Some(t0) = blocked_since.remove(&txn) {
+                            let now = sys.network().clock().now();
+                            sys.note_queue_wait(txn, now.saturating_sub(t0));
+                        }
                         if let Op::Write { pid, slot, value } = op {
                             oracle.stage(a.key, pid, slot, value);
                         }
@@ -227,6 +300,9 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
                         progressed = true;
                     }
                     Err(Error::WouldBlock { holders, .. }) => {
+                        blocked_since
+                            .entry(txn)
+                            .or_insert_with(|| sys.network().clock().now());
                         wfg.set_waits(txn, &holders);
                         if let Some(victim) = wfg.find_victim() {
                             abort_victim(
@@ -235,35 +311,49 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
                                 &mut queues,
                                 &mut oracle,
                                 &mut wfg,
+                                &mut blocked_since,
                                 victim,
                             )?;
                             stats.deadlock_aborts += 1;
                             progressed = true;
                         }
                     }
-                    Err(e) if e.is_transient() => {}
+                    Err(e) if e.is_transient() => {
+                        blocked_since
+                            .entry(txn)
+                            .or_insert_with(|| sys.network().clock().now());
+                    }
                     Err(e) => return Err(e),
                 }
             } else {
                 // Terminate.
                 let a = active[ci].take().expect("active");
                 wfg.remove(a.txn);
+                blocked_since.remove(&a.txn);
                 if a.spec.user_abort {
                     sys.abort(a.txn)?;
                     oracle.abort(a.key);
                     stats.user_aborts += 1;
                 } else {
-                    sys.commit(a.txn)?;
-                    oracle.commit(a.key);
-                    stats.committed += 1;
+                    // Async commit: the oracle commit and the committed
+                    // count land when the ack arrives (poll loop above),
+                    // so concurrent submissions can share one log force.
+                    sys.commit_submit(a.txn)?;
+                    committing.push_back((a.txn, a.key));
                 }
                 progressed = true;
             }
         }
-        if all_done && active.iter().all(Option::is_none) {
+        if all_done && active.iter().all(Option::is_none) && committing.is_empty() {
             break;
         }
         if !progressed {
+            // Everything runnable is drained; drive the commit pipeline
+            // (this may advance the sim-clock to the next group-commit
+            // window deadline).
+            if !committing.is_empty() && sys.pump_commits()? {
+                continue;
+            }
             return Err(Error::Protocol(
                 "driver made no progress: transactions blocked with no deadlock victim".into(),
             ));
@@ -284,6 +374,7 @@ fn abort_victim<S: System>(
     queues: &mut [(NodeId, VecDeque<TxnSpec>)],
     oracle: &mut Oracle,
     wfg: &mut WaitsForGraph,
+    blocked_since: &mut HashMap<TxnId, SimTime>,
     victim: TxnId,
 ) -> Result<()> {
     let slot = active
@@ -291,6 +382,10 @@ fn abort_victim<S: System>(
         .position(|a| a.as_ref().is_some_and(|a| a.txn == victim))
         .ok_or_else(|| Error::Protocol(format!("victim {victim} not active")))?;
     let a = active[slot].take().expect("found above");
+    if let Some(t0) = blocked_since.remove(&victim) {
+        let now = sys.network().clock().now();
+        sys.note_queue_wait(victim, now.saturating_sub(t0));
+    }
     sys.abort(victim)?;
     oracle.abort(a.key);
     wfg.remove(victim);
@@ -325,6 +420,7 @@ mod tests {
             },
             cost: CostModel::unit(),
             force_on_transfer: false,
+            ..ClusterConfig::default()
         })
         .unwrap()
     }

@@ -60,6 +60,7 @@ pub fn run_cbl(mult: u64) -> f64 {
         },
         cost: cost(mult),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let pages = pages0(4);

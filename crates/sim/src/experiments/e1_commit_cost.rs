@@ -7,9 +7,10 @@
 //! and one local force; server logging ships its records and pays a
 //! server round trip plus a server force per commit.
 
-use super::{cbl_cluster, csa_cluster, pages0};
+use super::{cbl_cluster, cbl_cluster_gc, csa_cluster, pages0};
 use crate::report::{f, Table};
-use cblog_common::{HistogramSnapshot, NodeId};
+use cblog_common::{HistogramSnapshot, NodeId, TxnId};
+use cblog_core::GroupCommitPolicy;
 
 const TXNS: u64 = 100;
 
@@ -104,6 +105,123 @@ fn run_cbl(updates: usize) -> CblCommitCost {
     }
 }
 
+/// One point of the group-commit sweep.
+pub struct GroupCommitPoint {
+    /// Concurrently committing transactions per round.
+    pub mpl: usize,
+    /// Group-commit window (0 = immediate).
+    pub window_us: u64,
+    /// Log forces per committed transaction.
+    pub forces_per_commit: f64,
+    /// Network messages per committed transaction.
+    pub msgs_per_commit: f64,
+    /// Mean transactions acknowledged per force.
+    pub mean_group: f64,
+}
+
+/// MPL × window sweep: `mpl` transactions on one client run
+/// concurrently (disjoint pages, so the commit pipeline — not lock
+/// contention — is what batches them) and commit through
+/// `commit_submit`/`poll_committed`/`pump_commits`. With a nonzero
+/// window a single force acknowledges the whole group.
+pub fn run_group_commit() -> Table {
+    let mut t = Table::new(
+        "E1b group commit: forces per commit (MPL × window, 1 client)",
+        &[
+            "mpl",
+            "window us",
+            "forces/commit",
+            "mean group size",
+            "msgs/commit",
+        ],
+    );
+    for mpl in [1usize, 2, 4, 8] {
+        for window_us in [0u64, 500, 5_000] {
+            let p = run_group_commit_point(mpl, window_us);
+            t.row(vec![
+                p.mpl.to_string(),
+                p.window_us.to_string(),
+                f(p.forces_per_commit),
+                f(p.mean_group),
+                f(p.msgs_per_commit),
+            ]);
+        }
+    }
+    t
+}
+
+/// Runs `ROUNDS` rounds of `mpl` concurrent single-page transactions
+/// under the given window (0 = today's immediate force-per-commit).
+pub fn run_group_commit_point(mpl: usize, window_us: u64) -> GroupCommitPoint {
+    const ROUNDS: u64 = 50;
+    let policy = if window_us == 0 {
+        GroupCommitPolicy::Immediate
+    } else {
+        GroupCommitPolicy::Window {
+            window_us,
+            max_batch: mpl.max(2),
+        }
+    };
+    let mut c = cbl_cluster_gc(1, mpl.max(4) as u32, 64, policy);
+    let client = NodeId(1);
+    let pages = pages0(mpl as u32);
+    // Warm up: cache pages + X locks.
+    let t = c.begin(client).unwrap();
+    for p in &pages {
+        c.write_u64(t, *p, 0, 1).unwrap();
+    }
+    c.commit(t).unwrap();
+    let s0 = c.network().stats();
+    let f0 = c.node(client).log().forces();
+    let g0 = c
+        .node(client)
+        .registry()
+        .histogram("wal/group_size")
+        .snapshot();
+    for r in 0..ROUNDS {
+        // mpl transactions each update their own page, then all submit
+        // before anyone waits for durability.
+        let txns: Vec<TxnId> = (0..mpl)
+            .map(|i| {
+                let t = c.begin(client).unwrap();
+                c.write_u64(t, pages[i], 0, r * 1_000 + i as u64).unwrap();
+                t
+            })
+            .collect();
+        for &t in &txns {
+            c.commit_submit(t).unwrap();
+        }
+        loop {
+            let mut all = true;
+            for &t in &txns {
+                if !c.poll_committed(t).unwrap() {
+                    all = false;
+                }
+            }
+            if all {
+                break;
+            }
+            c.pump_commits().unwrap();
+        }
+    }
+    let commits = ROUNDS * mpl as u64;
+    let d = c.network().stats().since(&s0);
+    let forces = c.node(client).log().forces() - f0;
+    let groups = c
+        .node(client)
+        .registry()
+        .histogram("wal/group_size")
+        .snapshot()
+        .since(&g0);
+    GroupCommitPoint {
+        mpl,
+        window_us,
+        forces_per_commit: forces as f64 / commits as f64,
+        msgs_per_commit: d.total_messages() as f64 / commits as f64,
+        mean_group: groups.mean(),
+    }
+}
+
 fn run_csa(updates: usize) -> (f64, f64, f64) {
     let mut s = csa_cluster(1, 4, 16);
     let client = NodeId(1);
@@ -169,5 +287,46 @@ mod tests {
     fn table_has_six_rows() {
         let t = run();
         assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn group_commit_amortizes_forces_without_messages() {
+        let p = run_group_commit_point(4, 5_000);
+        assert!(
+            p.forces_per_commit < 1.0,
+            "MPL 4 with a window shares forces: {}",
+            p.forces_per_commit
+        );
+        assert!(p.mean_group > 1.0, "groups really form: {}", p.mean_group);
+        assert_eq!(p.msgs_per_commit, 0.0, "commit stays message-free");
+    }
+
+    #[test]
+    fn immediate_mode_reproduces_one_force_per_commit() {
+        let p = run_group_commit_point(4, 0);
+        assert!(
+            (p.forces_per_commit - 1.0).abs() < 1e-9,
+            "immediate = today's behavior: {}",
+            p.forces_per_commit
+        );
+        assert_eq!(p.msgs_per_commit, 0.0);
+    }
+
+    #[test]
+    fn deeper_mpl_amortizes_further() {
+        let p2 = run_group_commit_point(2, 5_000);
+        let p8 = run_group_commit_point(8, 5_000);
+        assert!(
+            p8.forces_per_commit < p2.forces_per_commit,
+            "more concurrent commits per force: {} vs {}",
+            p8.forces_per_commit,
+            p2.forces_per_commit
+        );
+    }
+
+    #[test]
+    fn group_commit_table_has_all_sweep_rows() {
+        let t = run_group_commit();
+        assert_eq!(t.len(), 12);
     }
 }

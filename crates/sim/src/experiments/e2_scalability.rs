@@ -70,6 +70,7 @@ pub fn run_one_two_owners(clients: usize) -> (f64, f64) {
         },
         cost: CostModel::default(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .expect("config");
     let cfg = WorkloadConfig {

@@ -61,6 +61,7 @@ pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
         },
         cost: CostModel::default(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .expect("config");
     // Committed cross-owner traffic from every client.

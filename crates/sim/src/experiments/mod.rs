@@ -20,7 +20,7 @@ pub mod t1_protocol_ops;
 use crate::report::Table;
 use cblog_baselines::{ServerClientConfig, ServerCluster};
 use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{Cluster, ClusterConfig, GroupCommitPolicy, NodeConfig};
 
 /// Standard page size used by the experiments.
 pub const PAGE_SIZE: usize = 1024;
@@ -52,6 +52,32 @@ pub fn cbl_cluster_opts(
         },
         cost: CostModel::default(),
         force_on_transfer,
+        ..ClusterConfig::default()
+    })
+    .expect("cluster config valid")
+}
+
+/// As [`cbl_cluster`] with a group-commit policy.
+pub fn cbl_cluster_gc(
+    clients: usize,
+    pages: u32,
+    frames: usize,
+    group_commit: GroupCommitPolicy,
+) -> Cluster {
+    let mut owned = vec![pages];
+    owned.extend(std::iter::repeat(0).take(clients));
+    Cluster::new(ClusterConfig {
+        node_count: clients + 1,
+        owned_pages: owned,
+        default_node: NodeConfig {
+            page_size: PAGE_SIZE,
+            buffer_frames: frames,
+            owned_pages: 0,
+            log_capacity: None,
+        },
+        cost: CostModel::default(),
+        force_on_transfer: false,
+        group_commit,
     })
     .expect("cluster config valid")
 }
@@ -79,6 +105,7 @@ pub fn run_all() -> Vec<Table> {
     vec![
         t1_protocol_ops::run(),
         e1_commit_cost::run(),
+        e1_commit_cost::run_group_commit(),
         e2_scalability::run(),
         e3_log_volume::run(),
         e4_page_transfer::run(),

@@ -27,6 +27,7 @@ fn cbl_cfg() -> ClusterConfig {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     }
 }
 

@@ -19,6 +19,7 @@ fn cluster(owned: Vec<u32>, frames: usize) -> Cluster {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap()
 }

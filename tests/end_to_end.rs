@@ -18,6 +18,7 @@ fn cluster(owned: Vec<u32>, frames: usize) -> Cluster {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap()
 }
@@ -186,6 +187,7 @@ fn bounded_logs_on_all_nodes_sustain_long_runs() {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap();
     let cfg = WorkloadConfig {

@@ -1,0 +1,184 @@
+//! Group-commit integration tests: durability of force-pending
+//! commits across crashes, idempotent acknowledgement when unrelated
+//! forces interleave with a batch, and oracle-verified workloads
+//! across window settings.
+
+use cblog_common::{CostModel, NodeId, PageId};
+use cblog_core::{recovery, Cluster, ClusterConfig, GroupCommitPolicy, NodeConfig};
+use cblog_sim::{run_workload, workload, WorkloadConfig};
+
+fn gc_cluster(clients: usize, pages: u32, policy: GroupCommitPolicy) -> Cluster {
+    let mut owned = vec![pages];
+    owned.extend(std::iter::repeat(0).take(clients));
+    Cluster::new(ClusterConfig {
+        node_count: clients + 1,
+        owned_pages: owned,
+        default_node: NodeConfig {
+            page_size: 1024,
+            buffer_frames: 32,
+            owned_pages: 0,
+            log_capacity: None,
+        },
+        cost: CostModel::unit(),
+        force_on_transfer: false,
+        group_commit: policy,
+    })
+    .unwrap()
+}
+
+/// A window wide enough that nothing flushes on its own during a
+/// unit-cost test.
+fn open_window() -> GroupCommitPolicy {
+    GroupCommitPolicy::Window {
+        window_us: 1_000_000,
+        max_batch: 64,
+    }
+}
+
+#[test]
+fn crash_with_open_window_loses_exactly_the_unacked_commits() {
+    let mut c = gc_cluster(2, 4, open_window());
+    let p0 = PageId::new(NodeId(0), 0);
+    let p1 = PageId::new(NodeId(0), 1);
+    // A: synchronously committed — the wrapper forces the window shut.
+    let a = c.begin(NodeId(1)).unwrap();
+    c.write_u64(a, p0, 0, 10).unwrap();
+    c.commit(a).unwrap();
+    // B and C: updates durable (forced), commit records force-pending.
+    let b = c.begin(NodeId(1)).unwrap();
+    c.write_u64(b, p0, 0, 20).unwrap();
+    let d = c.begin(NodeId(1)).unwrap();
+    c.write_u64(d, p1, 0, 30).unwrap();
+    c.node_mut(NodeId(1)).force_log().unwrap();
+    c.commit_submit(b).unwrap();
+    c.commit_submit(d).unwrap();
+    assert!(!c.poll_committed(b).unwrap(), "B unacknowledged");
+    assert!(!c.poll_committed(d).unwrap(), "C unacknowledged");
+    // Crash while the window is open: the unforced Commit records are
+    // lost, so exactly B and C roll back; A survives.
+    c.crash(NodeId(1));
+    recovery::recover_single(&mut c, NodeId(1)).unwrap();
+    let t = c.begin(NodeId(2)).unwrap();
+    assert_eq!(
+        c.read_u64(t, p0, 0).unwrap(),
+        10,
+        "A survives, B rolled back"
+    );
+    assert_eq!(c.read_u64(t, p1, 0).unwrap(), 0, "C rolled back");
+    c.commit(t).unwrap();
+}
+
+#[test]
+fn interleaved_force_acks_pending_commits_without_a_new_force() {
+    let mut c = gc_cluster(1, 4, open_window());
+    let p0 = PageId::new(NodeId(0), 0);
+    let b = c.begin(NodeId(1)).unwrap();
+    c.write_u64(b, p0, 0, 7).unwrap();
+    c.commit_submit(b).unwrap();
+    assert!(!c.poll_committed(b).unwrap());
+    // An unrelated force (WAL rule, checkpoint, log-space pressure)
+    // makes the pending Commit record durable.
+    let forces0 = c.node(NodeId(1)).log().forces();
+    c.node_mut(NodeId(1)).force_log().unwrap();
+    assert!(
+        c.poll_committed(b).unwrap(),
+        "the interleaved force acknowledges the batch"
+    );
+    assert_eq!(
+        c.node(NodeId(1)).log().forces(),
+        forces0 + 1,
+        "acknowledgement is idempotent: no second force"
+    );
+}
+
+#[test]
+fn batch_acknowledges_in_submission_order_with_one_force() {
+    let mut c = gc_cluster(
+        1,
+        4,
+        GroupCommitPolicy::Window {
+            window_us: 1_000_000,
+            max_batch: 3,
+        },
+    );
+    let pages: Vec<PageId> = (0..3).map(|i| PageId::new(NodeId(0), i)).collect();
+    let txns: Vec<_> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let t = c.begin(NodeId(1)).unwrap();
+            c.write_u64(t, *p, 0, i as u64 + 1).unwrap();
+            t
+        })
+        .collect();
+    let forces0 = c.node(NodeId(1)).log().forces();
+    c.commit_submit(txns[0]).unwrap();
+    c.commit_submit(txns[1]).unwrap();
+    assert!(!c.poll_committed(txns[0]).unwrap());
+    // The third submission fills the batch and flushes inline.
+    c.commit_submit(txns[2]).unwrap();
+    for &t in &txns {
+        assert!(c.poll_committed(t).unwrap(), "whole group acknowledged");
+    }
+    assert_eq!(
+        c.node(NodeId(1)).log().forces(),
+        forces0 + 1,
+        "one force covers the batch"
+    );
+    let groups = c
+        .node(NodeId(1))
+        .registry()
+        .histogram("wal/group_size")
+        .snapshot();
+    assert_eq!(groups.max, 3, "group size metric sees the full batch");
+    assert!(
+        c.flight_dump().contains("group-commit"),
+        "flight recorder logs the batched force"
+    );
+}
+
+#[test]
+fn oracle_verified_workloads_across_window_settings() {
+    let policies = [
+        GroupCommitPolicy::Immediate,
+        GroupCommitPolicy::Window {
+            window_us: 200,
+            max_batch: 2,
+        },
+        GroupCommitPolicy::Window {
+            window_us: 5_000,
+            max_batch: 4,
+        },
+        GroupCommitPolicy::Window {
+            window_us: 1_000_000,
+            max_batch: 8,
+        },
+    ];
+    let mut forces_immediate = 0u64;
+    for (i, policy) in policies.iter().enumerate() {
+        let mut c = gc_cluster(2, 8, *policy);
+        let cfg = WorkloadConfig {
+            txns_per_client: 30,
+            ops_per_txn: 5,
+            write_ratio: 0.6,
+            hot_access: 0.3,
+            seed: 42,
+            ..WorkloadConfig::default()
+        };
+        let pages: Vec<PageId> = (0..8).map(|i| PageId::new(NodeId(0), i)).collect();
+        let specs = workload::generate(&cfg, &[NodeId(1), NodeId(2)], &pages, None);
+        let stats = run_workload(&mut c, specs).unwrap();
+        assert_eq!(stats.committed, 60, "policy {policy:?} commits everything");
+        stats.oracle.verify(&mut c, NodeId(1)).unwrap();
+        let forces: u64 = (1..=2).map(|n| c.node(NodeId(n)).log().forces()).sum();
+        if i == 0 {
+            forces_immediate = forces;
+        } else {
+            assert!(
+                forces <= forces_immediate,
+                "windowed policy {policy:?} never forces more than immediate: \
+                 {forces} vs {forces_immediate}"
+            );
+        }
+    }
+}

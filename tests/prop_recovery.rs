@@ -29,6 +29,7 @@ fn build(clients: usize, frames: usize) -> Cluster {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap()
 }

@@ -29,6 +29,7 @@ fn cluster(clients: usize) -> Cluster {
         },
         cost: CostModel::unit(),
         force_on_transfer: false,
+        ..ClusterConfig::default()
     })
     .unwrap()
 }
