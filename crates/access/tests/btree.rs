@@ -4,7 +4,7 @@
 
 use cblog_access::BTree;
 use cblog_common::{CostModel, NodeId, PageId, Rng};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 use std::collections::BTreeMap;
 
 const TREE_PAGES: u32 = 24;
@@ -12,19 +12,15 @@ const TREE_PAGES: u32 = 24;
 fn cluster(clients: usize) -> (Cluster, Vec<PageId>) {
     let mut owned = vec![TREE_PAGES];
     owned.extend(std::iter::repeat(0).take(clients));
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: clients + 1,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: 2048,
-            buffer_frames: 48,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(2048)
+            .buffer_frames(48)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap();
     let pages: Vec<PageId> = (0..TREE_PAGES).map(|i| PageId::new(NodeId(0), i)).collect();
     for p in &pages {
@@ -156,7 +152,7 @@ fn tree_survives_owner_crash_and_recovery() {
         let _ = c.evict_page(NodeId(1), *p);
     }
     c.crash(NodeId(0));
-    let rep = recovery::recover_single(&mut c, NodeId(0)).unwrap();
+    let rep = recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
     assert!(rep.pages_recovered > 0);
     // Full structural check + all lookups through the other client.
     let t = c.begin(NodeId(2)).unwrap();
@@ -197,19 +193,15 @@ fn two_clients_share_the_tree() {
 fn index_spanning_two_owners_survives_either_owner_crash() {
     // Tree node pages split across two owner nodes: the index itself
     // is distributed, and recovering either owner rebuilds its half.
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: 4,
-        owned_pages: vec![12, 12, 0, 0],
-        default_node: NodeConfig {
-            page_size: 2048,
-            buffer_frames: 48,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![12, 12, 0, 0])
+            .page_size(2048)
+            .buffer_frames(48)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap();
     let mut pages: Vec<PageId> = Vec::new();
     for owner in [0u32, 1] {
@@ -233,7 +225,7 @@ fn index_spanning_two_owners_survives_either_owner_crash() {
             let _ = c.evict_page(NodeId(3), *p);
         }
         c.crash(victim);
-        recovery::recover_single(&mut c, victim).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(victim)).unwrap();
         let t = c.begin(NodeId(3)).unwrap();
         assert_eq!(tree.check(&mut c, t).unwrap(), 250);
         for k in (0..250u64).step_by(17) {
@@ -259,7 +251,7 @@ fn crash_mid_transaction_loses_uncommitted_tree_growth() {
     }
     c.node_mut(NodeId(1)).force_log().unwrap();
     c.crash(NodeId(1));
-    let rep = recovery::recover_single(&mut c, NodeId(1)).unwrap();
+    let rep = recovery::recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
     assert_eq!(rep.losers_undone, 1);
     let t = c.begin(NodeId(2)).unwrap();
     assert_eq!(tree.check(&mut c, t).unwrap(), 20, "burst undone");

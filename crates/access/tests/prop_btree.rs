@@ -8,25 +8,21 @@
 
 use cblog_access::BTree;
 use cblog_common::{CostModel, NodeId, PageId, Rng};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 use std::collections::BTreeMap;
 
 const TREE_PAGES: u32 = 16;
 
 fn cluster() -> (Cluster, Vec<PageId>) {
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: 2,
-        owned_pages: vec![TREE_PAGES, 0],
-        default_node: NodeConfig {
-            page_size: 2048,
-            buffer_frames: 32,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![TREE_PAGES, 0])
+            .page_size(2048)
+            .buffer_frames(32)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap();
     let pages: Vec<PageId> = (0..TREE_PAGES).map(|i| PageId::new(NodeId(0), i)).collect();
     for p in &pages {
@@ -100,7 +96,7 @@ fn btree_matches_model_and_survives_crash() {
             let _ = c.evict_page(NodeId(1), *p);
         }
         c.crash(NodeId(0));
-        recovery::recover_single(&mut c, NodeId(0)).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         let t = c.begin(NodeId(1)).unwrap();
         assert_eq!(tree.check(&mut c, t).unwrap(), model.len(), "case {case}");
         for (k, v) in &model {

@@ -9,36 +9,27 @@
 //! detail is held constant.
 
 use cblog_common::Result;
-use cblog_core::{Cluster, ClusterConfig};
+use cblog_core::{Cluster, ClusterConfigBuilder};
 
 /// Builds a cluster identical to the client-based-logging one except
 /// that dirty pages are forced to the owner's disk on every inter-node
 /// transfer.
-pub fn force_on_transfer_cluster(mut cfg: ClusterConfig) -> Result<Cluster> {
-    cfg.force_on_transfer = true;
-    Cluster::new(cfg)
+pub fn force_on_transfer_cluster(builder: ClusterConfigBuilder) -> Result<Cluster> {
+    Cluster::new(builder.force_on_transfer(true).build())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cblog_common::{CostModel, NodeId, PageId};
-    use cblog_core::NodeConfig;
+    use cblog_core::ClusterConfig;
 
-    fn cfg() -> ClusterConfig {
-        ClusterConfig {
-            node_count: 3,
-            owned_pages: vec![4, 0, 0],
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 8,
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            ..ClusterConfig::default()
-        }
+    fn cfg() -> ClusterConfigBuilder {
+        ClusterConfig::builder()
+            .owned_pages(vec![4, 0, 0])
+            .page_size(512)
+            .buffer_frames(8)
+            .cost(CostModel::unit())
     }
 
     /// Ping-ponging a page between two writers forces disk writes under
@@ -56,7 +47,7 @@ mod tests {
             }
             c.network().disk_ios_of(NodeId(0))
         };
-        let cbl_owner_ios = run(Cluster::new(cfg()).unwrap());
+        let cbl_owner_ios = run(Cluster::new(cfg().build()).unwrap());
         let fot_owner_ios = run(force_on_transfer_cluster(cfg()).unwrap());
         assert!(
             fot_owner_ios > cbl_owner_ios + 4,
@@ -74,7 +65,7 @@ mod tests {
             let mut c = if force {
                 force_on_transfer_cluster(cfg()).unwrap()
             } else {
-                Cluster::new(cfg()).unwrap()
+                Cluster::new(cfg().build()).unwrap()
             };
             for i in 0..6u64 {
                 let node = 1 + (i % 2) as u32;

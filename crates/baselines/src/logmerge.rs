@@ -35,7 +35,7 @@ pub struct LogMergeCost {
 /// find updates other nodes performed on the crashed node's pages.
 pub fn log_merge_cost(cluster: &Cluster, crashed: &[NodeId]) -> LogMergeCost {
     let mut out = LogMergeCost::default();
-    let page_size = cluster.config().default_node.page_size as u64;
+    let page_size = cluster.config().page_size() as u64;
     let mut total_records = 0u64;
     let mut total_bytes_all = 0u64;
     for i in 0..cluster.node_count() {
@@ -68,22 +68,17 @@ pub fn log_merge_cost(cluster: &Cluster, crashed: &[NodeId]) -> LogMergeCost {
 mod tests {
     use super::*;
     use cblog_common::{CostModel, PageId};
-    use cblog_core::{ClusterConfig, NodeConfig};
+    use cblog_core::ClusterConfig;
 
     fn cluster() -> Cluster {
-        Cluster::new(ClusterConfig {
-            node_count: 3,
-            owned_pages: vec![4, 0, 0],
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 8,
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            ..ClusterConfig::default()
-        })
+        Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![4, 0, 0])
+                .page_size(512)
+                .buffer_frames(8)
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap()
     }
 

@@ -188,22 +188,18 @@ fn m5_dpt() {
 fn m6_btree() {
     use cblog_access::BTree;
     use cblog_common::CostModel;
-    use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+    use cblog_core::{Cluster, ClusterConfig};
 
     bench("m6/insert_500_then_probe", 10, || {
-        let mut cl = Cluster::new(ClusterConfig {
-            node_count: 2,
-            owned_pages: vec![24, 0],
-            default_node: NodeConfig {
-                page_size: 2048,
-                buffer_frames: 48,
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            ..ClusterConfig::default()
-        })
+        let mut cl = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![24, 0])
+                .page_size(2048)
+                .buffer_frames(48)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap();
         let pages: Vec<PageId> = (0..24).map(|i| PageId::new(NodeId(0), i)).collect();
         for p in &pages {

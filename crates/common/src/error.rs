@@ -1,6 +1,7 @@
 //! Unified error type for the whole workspace.
 
 use crate::ids::{NodeId, PageId, TxnId};
+use crate::trace::RecoveryPhase;
 use std::fmt;
 
 /// Convenience result alias.
@@ -46,6 +47,28 @@ pub enum Error {
     /// (§2.5) could not reclaim enough; the operation should be retried
     /// after forced flushes complete.
     LogFull(NodeId),
+    /// The fault injector dropped a message in flight; the sender may
+    /// retry (the network accounted the lost copy).
+    MsgLost {
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A retried send exhausted its bounded retry budget — the link is
+    /// treated as failed rather than livelocking.
+    RetriesExhausted {
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Attempts made (initial send + retries).
+        attempts: u32,
+    },
+    /// An injected crash interrupted recovery after the named phase;
+    /// the crashed nodes are down again and recovery must be restarted
+    /// from scratch (it is idempotent).
+    RecoveryInterrupted(RecoveryPhase),
     /// A protocol invariant was violated (bug or misuse).
     Protocol(String),
     /// Invalid argument / unsupported parameter.
@@ -69,6 +92,15 @@ impl fmt::Display for Error {
                 write!(f, "owner {owner} of {page} is down; request stalled")
             }
             Error::LogFull(n) => write!(f, "log full on node {n}"),
+            Error::MsgLost { from, to } => {
+                write!(f, "message {from}->{to} lost in flight")
+            }
+            Error::RetriesExhausted { from, to, attempts } => {
+                write!(f, "send {from}->{to} failed after {attempts} attempts")
+            }
+            Error::RecoveryInterrupted(p) => {
+                write!(f, "recovery crashed after phase {p}")
+            }
             Error::Protocol(m) => write!(f, "protocol violation: {m}"),
             Error::Invalid(m) => write!(f, "invalid argument: {m}"),
         }
@@ -92,11 +124,15 @@ impl From<std::io::Error> for Error {
 
 impl Error {
     /// True if the error is transient blocking (retry later) rather than
-    /// a hard failure.
+    /// a hard failure. A lost message is transient — the send can be
+    /// repeated; an exhausted retry budget is not.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            Error::WouldBlock { .. } | Error::OwnerDown { .. } | Error::LogFull(_)
+            Error::WouldBlock { .. }
+                | Error::OwnerDown { .. }
+                | Error::LogFull(_)
+                | Error::MsgLost { .. }
         )
     }
 }
@@ -118,6 +154,18 @@ mod tests {
         }
         .is_transient());
         assert!(Error::LogFull(NodeId(1)).is_transient());
+        assert!(Error::MsgLost {
+            from: NodeId(0),
+            to: NodeId(1),
+        }
+        .is_transient());
+        assert!(!Error::RetriesExhausted {
+            from: NodeId(0),
+            to: NodeId(1),
+            attempts: 17,
+        }
+        .is_transient());
+        assert!(!Error::RecoveryInterrupted(RecoveryPhase::Replay).is_transient());
         assert!(!Error::Deadlock(TxnId::new(NodeId(1), 1)).is_transient());
         assert!(!Error::Corrupt("x".into()).is_transient());
     }

@@ -35,4 +35,4 @@ pub use obs::{Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapsh
 pub use rng::Rng;
 pub use simclock::{CostModel, SimClock, SimTime};
 pub use stats::Counter;
-pub use trace::{FlightRecorder, TraceEvent, TraceRecord};
+pub use trace::{FlightRecorder, RecoveryPhase, TraceEvent, TraceRecord};

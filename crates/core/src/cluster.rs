@@ -61,7 +61,7 @@ impl Cluster {
         for i in 0..cfg.node_count {
             nodes.push(Node::new(NodeId(i as u32), cfg.node_config(i))?);
         }
-        let net = Network::new(cfg.node_count, cfg.cost.clone());
+        let net = Network::with_faults(cfg.node_count, cfg.cost.clone(), cfg.faults.clone());
         let schedulers = (0..cfg.node_count)
             .map(|_| ForceScheduler::new(cfg.group_commit))
             .collect();
@@ -131,7 +131,10 @@ impl Cluster {
         }
     }
 
-    fn pending_log_bytes(&self, node: NodeId) -> u64 {
+    /// Unsynced log-tail bytes at `node` — the span a torn write can
+    /// bite. Exposed so fault tests can sweep [`Cluster::crash_torn`]
+    /// over every byte boundary of the pending tail.
+    pub fn pending_log_bytes(&self, node: NodeId) -> u64 {
         let lm = &self.nodes[ix(node)].log;
         lm.end_lsn().0 - lm.flushed_lsn().0
     }
@@ -656,7 +659,7 @@ impl Cluster {
         }
         if owner != node {
             self.net
-                .send(node, owner, MsgKind::LockRequest, CTRL_BYTES)?;
+                .send_reliable(node, owner, MsgKind::LockRequest, CTRL_BYTES)?;
         }
         loop {
             let outcome = self.nodes[ix(owner)].global_locks.request(pid, node, mode);
@@ -671,7 +674,8 @@ impl Cluster {
         }
         self.nodes[ix(node)].cached_locks.grant(pid, mode);
         if owner != node {
-            self.net.send(owner, node, MsgKind::LockGrant, CTRL_BYTES)?;
+            self.net
+                .send_reliable(owner, node, MsgKind::LockGrant, CTRL_BYTES)?;
         }
         Ok(())
     }
@@ -730,7 +734,7 @@ impl Cluster {
             return Ok(());
         }
         self.net
-            .send(owner, victim, MsgKind::Callback, CTRL_BYTES)?;
+            .send_reliable(owner, victim, MsgKind::Callback, CTRL_BYTES)?;
         // Callbacks are deferred while a local transaction of the
         // victim holds a conflicting transaction-level lock.
         let blocking: Vec<TxnId> = self.nodes[v]
@@ -768,7 +772,7 @@ impl Cluster {
             self.charge_force(victim, forces0, pending);
             let copy = self.nodes[v].buffer.peek(pid).expect("had_page").clone();
             self.net
-                .send(victim, owner, MsgKind::CallbackAck, self.page_bytes())?;
+                .send_reliable(victim, owner, MsgKind::CallbackAck, self.page_bytes())?;
             self.nodes[v].recorder.record(
                 self.net.clock().now(),
                 TraceEvent::PageTransfer {
@@ -789,7 +793,7 @@ impl Cluster {
             }
         } else {
             self.net
-                .send(victim, owner, MsgKind::CallbackAck, CTRL_BYTES)?;
+                .send_reliable(victim, owner, MsgKind::CallbackAck, CTRL_BYTES)?;
         }
         if action == CallbackAction::Release && had_page {
             self.nodes[v].buffer.remove(pid);
@@ -819,7 +823,7 @@ impl Cluster {
         }
         if owner != node {
             self.net
-                .send(owner, node, MsgKind::PageShip, self.page_bytes())?;
+                .send_reliable(owner, node, MsgKind::PageShip, self.page_bytes())?;
             self.nodes[ix(node)].recorder.record(
                 self.net.clock().now(),
                 TraceEvent::PageTransfer {
@@ -880,7 +884,7 @@ impl Cluster {
             self.nodes[ix(node)].prepare_replace_to_owner(pid)?;
             self.charge_force(node, forces0, pending);
             self.net
-                .send(node, owner, MsgKind::ReplacePage, self.page_bytes())?;
+                .send_reliable(node, owner, MsgKind::ReplacePage, self.page_bytes())?;
             self.nodes[ix(node)].recorder.record(
                 self.net.clock().now(),
                 TraceEvent::PageTransfer {
@@ -905,8 +909,16 @@ impl Cluster {
             if self.net.is_crashed(a) {
                 continue; // the node will reconcile during its recovery
             }
-            self.net.send(owner, a, MsgKind::FlushAck, CTRL_BYTES)?;
-            self.nodes[ix(a)].dpt.on_flush_ack(pid);
+            // Flush acks are loss-tolerant hints: a dropped ack just
+            // leaves a stale (conservative) DPT entry at the replacer,
+            // so there is no retry — the protocol stays correct.
+            match self.net.send(owner, a, MsgKind::FlushAck, CTRL_BYTES) {
+                Ok(()) => {
+                    self.nodes[ix(a)].dpt.on_flush_ack(pid);
+                }
+                Err(Error::MsgLost { .. }) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
@@ -933,7 +945,7 @@ impl Cluster {
                     && self.nodes[h].buffer.is_dirty(pid).unwrap_or(false)
                 {
                     self.net
-                        .send(owner, holder, MsgKind::ForceRequest, CTRL_BYTES)?;
+                        .send_reliable(owner, holder, MsgKind::ForceRequest, CTRL_BYTES)?;
                     let forces0 = self.nodes[h].log.forces();
                     let pending = self.pending_log_bytes(holder);
                     self.nodes[h].prepare_replace_to_owner(pid)?;
@@ -944,7 +956,7 @@ impl Cluster {
                         .expect("dirty implies cached")
                         .clone();
                     self.net
-                        .send(holder, owner, MsgKind::PageShip, self.page_bytes())?;
+                        .send_reliable(holder, owner, MsgKind::PageShip, self.page_bytes())?;
                     let ev = self.nodes[o].receive_replaced(holder, copy)?;
                     if let Some(ev) = ev {
                         self.route_eviction(owner, ev)?;
@@ -1027,7 +1039,7 @@ impl Cluster {
                     self.nodes[n].buffer.remove(pid);
                 }
                 self.net
-                    .send(node, pid.owner, MsgKind::ForceRequest, CTRL_BYTES)?;
+                    .send_reliable(node, pid.owner, MsgKind::ForceRequest, CTRL_BYTES)?;
                 self.force_page(pid)?;
             }
         }
@@ -1055,11 +1067,34 @@ impl Cluster {
     /// Crashes `node`: volatile state is lost and the node becomes
     /// unreachable. Lock and data requests against pages it owns stall
     /// until it recovers; all other nodes keep processing (paper §2.3).
+    ///
+    /// If the cluster's [`cblog_net::FaultPlan`] has a nonzero `tear`
+    /// probability and the node had unforced log-tail bytes, the fault
+    /// injector may turn the crash into a torn write: a prefix of the
+    /// tail lands on disk (optionally with its last landed byte
+    /// corrupted), modeling a crash mid-force.
     pub fn crash(&mut self, node: NodeId) {
+        let pending = self.pending_log_bytes(node);
+        let tear = self.net.roll_tear(pending);
+        self.crash_inner(node, tear);
+    }
+
+    /// Crashes `node` with a deterministic torn log write: exactly
+    /// `landed` bytes of the unforced tail reach disk, and if `corrupt`
+    /// the last landed byte is flipped. Tests use this to pin down tail
+    /// repair at exact chunk boundaries.
+    pub fn crash_torn(&mut self, node: NodeId, landed: u64, corrupt: bool) {
+        self.crash_inner(node, Some((landed, corrupt)));
+    }
+
+    fn crash_inner(&mut self, node: NodeId, tear: Option<(u64, bool)>) {
         self.nodes[ix(node)]
             .recorder
             .record(self.now(), TraceEvent::Crash);
-        self.nodes[ix(node)].crash();
+        match tear {
+            Some((landed, corrupt)) => self.nodes[ix(node)].crash_torn(landed, corrupt),
+            None => self.nodes[ix(node)].crash(),
+        }
         // Force-pending commits die with the tail: they were never
         // acknowledged, and restart rolls them back as losers.
         self.schedulers[ix(node)].clear();
@@ -1135,23 +1170,18 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::NodeConfig;
     use cblog_common::CostModel;
 
     fn cluster(owned: Vec<u32>) -> Cluster {
-        Cluster::new(ClusterConfig {
-            node_count: owned.len(),
-            owned_pages: owned,
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 8,
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            group_commit: crate::GroupCommitPolicy::Immediate,
-        })
+        Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(owned)
+                .page_size(512)
+                .buffer_frames(8)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap()
     }
 
@@ -1317,19 +1347,15 @@ mod tests {
 
     #[test]
     fn eviction_ships_dirty_remote_page_to_owner_and_flush_ack_clears_dpt() {
-        let mut c = Cluster::new(ClusterConfig {
-            node_count: 2,
-            owned_pages: vec![8, 0],
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 2, // tiny cache to force evictions
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            group_commit: crate::GroupCommitPolicy::Immediate,
-        })
+        let mut c = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![8, 0])
+                .page_size(512)
+                .buffer_frames(2) // tiny cache to force evictions
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap();
         // Dirty one page at node 1, then touch others to evict it.
         let hot = pid(0, 0);
@@ -1359,19 +1385,16 @@ mod tests {
 
     #[test]
     fn bounded_log_triggers_space_protocol_and_work_continues() {
-        let mut c = Cluster::new(ClusterConfig {
-            node_count: 2,
-            owned_pages: vec![4, 0],
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 8,
-                owned_pages: 0,
-                log_capacity: Some(4096),
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            group_commit: crate::GroupCommitPolicy::Immediate,
-        })
+        let mut c = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![4, 0])
+                .page_size(512)
+                .buffer_frames(8)
+                .default_owned_pages(0)
+                .log_capacity(Some(4096))
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap();
         let p = pid(0, 0);
         // Hammer updates well past the log capacity.

@@ -1,6 +1,13 @@
 //! Cluster and node configuration.
+//!
+//! [`ClusterConfig`] is built exclusively through
+//! [`ClusterConfig::builder`] — the fluent [`ClusterConfigBuilder`] is
+//! the one construction path, so every knob (group commit, fault plan,
+//! cost model, …) is named at the call site instead of hand-mutated
+//! struct fields.
 
 use cblog_common::{CostModel, SimTime};
+use cblog_net::FaultPlan;
 
 /// When a node's force-pending commits are flushed to disk.
 ///
@@ -64,28 +71,32 @@ impl Default for NodeConfig {
     }
 }
 
-/// Configuration of a whole cluster.
+/// Configuration of a whole cluster. Construct with
+/// [`ClusterConfig::builder`].
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
     /// Number of nodes. Node ids are `0..node_count`.
-    pub node_count: usize,
+    pub(crate) node_count: usize,
     /// Pages owned by each node (len must equal `node_count`; nodes
     /// with 0 own no database). If shorter, missing entries default to
     /// `default_node.owned_pages`.
-    pub owned_pages: Vec<u32>,
+    pub(crate) owned_pages: Vec<u32>,
     /// Template for per-node settings other than `owned_pages`.
-    pub default_node: NodeConfig,
+    pub(crate) default_node: NodeConfig,
     /// Simulated cost model for messages and disk I/O.
-    pub cost: CostModel,
+    pub(crate) cost: CostModel,
     /// Baseline ablation: force every dirty page to the owner's disk
     /// when it is transferred between nodes (Rdb/VMS and the
     /// Mohan–Narang simple/medium shared-disks schemes, paper §3.2).
     /// The paper's design keeps this off — contribution (1).
-    pub force_on_transfer: bool,
+    pub(crate) force_on_transfer: bool,
     /// Group-commit policy for the per-node force scheduler.
     /// [`GroupCommitPolicy::Immediate`] reproduces the one-force-per-
     /// commit behavior existing tests pin down.
-    pub group_commit: GroupCommitPolicy,
+    pub(crate) group_commit: GroupCommitPolicy,
+    /// Deterministic fault-injection plan (message loss/delay/dup/
+    /// reorder and torn log writes). The default plan injects nothing.
+    pub(crate) faults: FaultPlan,
 }
 
 impl Default for ClusterConfig {
@@ -97,11 +108,18 @@ impl Default for ClusterConfig {
             cost: CostModel::default(),
             force_on_transfer: false,
             group_commit: GroupCommitPolicy::Immediate,
+            faults: FaultPlan::default(),
         }
     }
 }
 
 impl ClusterConfig {
+    /// Starts a fluent builder — the single construction path for
+    /// cluster configurations.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
     /// Per-node config for node `i`.
     pub fn node_config(&self, i: usize) -> NodeConfig {
         let mut cfg = self.default_node.clone();
@@ -109,6 +127,128 @@ impl ClusterConfig {
             cfg.owned_pages = p;
         }
         cfg
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Page size in bytes (uniform across nodes).
+    pub fn page_size(&self) -> usize {
+        self.default_node.page_size
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The group-commit policy.
+    pub fn group_commit(&self) -> GroupCommitPolicy {
+        self.group_commit
+    }
+
+    /// True if the force-on-transfer ablation is enabled.
+    pub fn force_on_transfer(&self) -> bool {
+        self.force_on_transfer
+    }
+
+    /// The fault-injection plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+}
+
+/// Fluent builder for [`ClusterConfig`].
+///
+/// ```
+/// use cblog_core::{ClusterConfig, GroupCommitPolicy};
+/// use cblog_net::FaultPlan;
+///
+/// let cfg = ClusterConfig::builder()
+///     .owned_pages(vec![8, 0, 0]) // node 0 owns 8 pages; 2 clients
+///     .page_size(512)
+///     .buffer_frames(8)
+///     .group_commit(GroupCommitPolicy::Immediate)
+///     .faults(FaultPlan::new(42).with_drop(0.05))
+///     .build();
+/// assert_eq!(cfg.node_count(), 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClusterConfigBuilder {
+    cfg: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the node count (ids `0..n`). Usually implied by
+    /// [`ClusterConfigBuilder::owned_pages`]; call this after it to
+    /// grow the cluster beyond the ownership vector (extra nodes fall
+    /// back to the template's `owned_pages`).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.cfg.node_count = n;
+        self
+    }
+
+    /// Sets the per-node ownership vector and the node count to match.
+    pub fn owned_pages(mut self, per_node: Vec<u32>) -> Self {
+        self.cfg.node_count = per_node.len();
+        self.cfg.owned_pages = per_node;
+        self
+    }
+
+    /// Sets the page size for every node.
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.cfg.default_node.page_size = bytes;
+        self
+    }
+
+    /// Sets the buffer-pool capacity (in frames) for every node.
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.cfg.default_node.buffer_frames = frames;
+        self
+    }
+
+    /// Sets the template `owned_pages` used by nodes beyond the
+    /// ownership vector.
+    pub fn default_owned_pages(mut self, pages: u32) -> Self {
+        self.cfg.default_node.owned_pages = pages;
+        self
+    }
+
+    /// Bounds (or unbounds, with `None`) every node's log.
+    pub fn log_capacity(mut self, capacity: Option<u64>) -> Self {
+        self.cfg.default_node.log_capacity = capacity;
+        self
+    }
+
+    /// Sets the simulated cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Enables/disables the force-on-transfer ablation (§3.2).
+    pub fn force_on_transfer(mut self, on: bool) -> Self {
+        self.cfg.force_on_transfer = on;
+        self
+    }
+
+    /// Sets the group-commit policy.
+    pub fn group_commit(mut self, policy: GroupCommitPolicy) -> Self {
+        self.cfg.group_commit = policy;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> ClusterConfig {
+        self.cfg
     }
 }
 
@@ -118,11 +258,10 @@ mod tests {
 
     #[test]
     fn node_config_overrides_owned_pages() {
-        let cfg = ClusterConfig {
-            node_count: 3,
-            owned_pages: vec![8, 0],
-            ..ClusterConfig::default()
-        };
+        let cfg = ClusterConfig::builder()
+            .owned_pages(vec![8, 0])
+            .nodes(3)
+            .build();
         assert_eq!(cfg.node_config(0).owned_pages, 8);
         assert_eq!(cfg.node_config(1).owned_pages, 0);
         // Missing entry falls back to the template.
@@ -135,7 +274,7 @@ mod tests {
     #[test]
     fn group_commit_defaults_to_immediate() {
         assert_eq!(
-            ClusterConfig::default().group_commit,
+            ClusterConfig::builder().build().group_commit(),
             GroupCommitPolicy::Immediate
         );
         assert!(GroupCommitPolicy::Immediate.is_immediate());

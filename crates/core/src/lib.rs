@@ -26,11 +26,9 @@
 //! use cblog_locks::LockMode;
 //!
 //! // Two owner nodes and one diskless client node (Figure 1 style).
-//! let mut cluster = Cluster::new(ClusterConfig {
-//!     node_count: 3,
-//!     owned_pages: vec![4, 4, 0],
-//!     ..ClusterConfig::default()
-//! }).unwrap();
+//! let mut cluster = Cluster::new(
+//!     ClusterConfig::builder().owned_pages(vec![4, 4, 0]).build(),
+//! ).unwrap();
 //!
 //! let p = cblog_common::PageId::new(cblog_common::NodeId(0), 0);
 //! // Node 2 updates a page owned by node 0 and commits locally.
@@ -49,9 +47,11 @@ pub mod node;
 pub mod recovery;
 pub mod txn;
 
+pub use cblog_common::RecoveryPhase;
+pub use cblog_net::{FaultPlan, FaultStats};
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, GroupCommitPolicy, NodeConfig};
+pub use config::{ClusterConfig, ClusterConfigBuilder, GroupCommitPolicy, NodeConfig};
 pub use group_commit::{ForceScheduler, PendingCommit};
 pub use node::{AnalysisResult, Node, NodePsnEntry};
-pub use recovery::RecoveryReport;
+pub use recovery::{RecoveryOptions, RecoveryReport};
 pub use txn::{Savepoint, TxnState, TxnStatus};

@@ -666,6 +666,19 @@ impl Node {
     /// experimenter's instruments, not the node's memory.
     pub fn crash(&mut self) {
         self.log.simulate_crash();
+        self.clear_volatile();
+    }
+
+    /// Crashes the node mid-force: the first `landed` bytes of the
+    /// unforced log tail reach the disk (a torn write); if `corrupt`,
+    /// the last landed byte is additionally flipped, modeling a sector
+    /// scribble. Restart's tail repair discards the torn suffix.
+    pub fn crash_torn(&mut self, landed: u64, corrupt: bool) {
+        self.log.simulate_crash_torn(landed, corrupt);
+        self.clear_volatile();
+    }
+
+    fn clear_volatile(&mut self) {
         self.buffer.clear();
         self.dpt.clear();
         self.local_locks.clear();
@@ -676,9 +689,17 @@ impl Node {
         self.crashed = true;
     }
 
-    /// Clears the crashed flag (restart begins).
-    pub fn mark_restarting(&mut self) {
+    /// Clears the crashed flag (restart begins) and repairs the log
+    /// tail: a torn/corrupted suffix left by a crash mid-force is
+    /// checksum-detected and truncated away so it is never replayed.
+    /// Returns the number of torn bytes discarded (0 for a clean log).
+    pub fn mark_restarting(&mut self) -> Result<u64> {
         self.crashed = false;
+        let torn = self.log.repair_tail()?;
+        if torn > 0 {
+            self.registry.counter("wal/torn_bytes").add(torn);
+        }
+        Ok(torn)
     }
 
     /// ARIES analysis over the local log from the last complete
@@ -1042,7 +1063,7 @@ mod tests {
         n.crash();
         assert!(n.is_crashed());
         assert!(n.buffer().is_empty());
-        n.mark_restarting();
+        n.mark_restarting().unwrap();
         let a = n.restart_analysis().unwrap();
         assert_eq!(a.losers, vec![t2]);
         // Both pages were updated; both must be in the rebuilt DPT.
@@ -1065,7 +1086,7 @@ mod tests {
         // dirty (never written to disk): the checkpoint body must
         // resurrect the entry.
         n.crash();
-        n.mark_restarting();
+        n.mark_restarting().unwrap();
         let a = n.restart_analysis().unwrap();
         assert!(a.losers.is_empty());
         assert!(n.dpt().contains(pid));
@@ -1153,7 +1174,7 @@ mod tests {
         let recs = n.log().records_appended();
         assert!(recs >= 2);
         n.crash();
-        n.mark_restarting();
+        n.mark_restarting().unwrap();
         let a = n.restart_analysis().unwrap();
         // Unforced records vanished; nothing to analyze.
         assert_eq!(a.records_scanned, 0);
@@ -1173,7 +1194,7 @@ mod tests {
             "commit record still volatile while force-pending"
         );
         n.crash();
-        n.mark_restarting();
+        n.mark_restarting().unwrap();
         let a = n.restart_analysis().unwrap();
         assert_eq!(a.losers, vec![t2], "force-pending commit is a loser");
     }

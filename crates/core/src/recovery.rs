@@ -26,14 +26,75 @@
 
 use crate::cluster::{Cluster, CTRL_BYTES};
 use crate::node::{NodePsnEntry, RollbackStep};
-use cblog_common::{Error, Lsn, NodeId, PageId, Psn, Result, SimTime, TraceEvent, TxnId};
+use cblog_common::{
+    Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, TraceEvent, TxnId,
+};
 use cblog_locks::LockMode;
 use cblog_net::MsgKind;
 use cblog_wal::DptEntry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+/// How a recovery run should be performed — the one argument of
+/// [`recover`], replacing the old `recover_single` /
+/// `recover_with_standby` entry points.
+#[derive(Clone, Debug)]
+pub struct RecoveryOptions {
+    nodes: Vec<NodeId>,
+    standby: Option<NodeId>,
+    crash_after: Option<RecoveryPhase>,
+}
+
+impl RecoveryOptions {
+    /// Recover a single crashed node (paper §2.3).
+    pub fn single(node: NodeId) -> Self {
+        RecoveryOptions {
+            nodes: vec![node],
+            standby: None,
+            crash_after: None,
+        }
+    }
+
+    /// Recover one or more simultaneously crashed nodes (paper §2.4
+    /// when more than one).
+    pub fn nodes(nodes: &[NodeId]) -> Self {
+        RecoveryOptions {
+            nodes: nodes.to_vec(),
+            standby: None,
+            crash_after: None,
+        }
+    }
+
+    /// Let `standby` coordinate every phase of the protocol (paper
+    /// §2.3: any node with access to the crashed node's database and
+    /// log may perform its recovery). Coordination traffic lands on
+    /// the standby instead of the restarting node.
+    pub fn with_standby(mut self, standby: NodeId) -> Self {
+        self.standby = Some(standby);
+        self
+    }
+
+    /// Fault injection: crash the recovering nodes again immediately
+    /// after `phase` completes. [`recover`] then returns
+    /// [`Error::RecoveryInterrupted`] and must be re-run from scratch
+    /// — the protocol is idempotent.
+    pub fn crash_after(mut self, phase: RecoveryPhase) -> Self {
+        self.crash_after = Some(phase);
+        self
+    }
+
+    /// The nodes this run recovers.
+    pub fn recovered_nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The coordinating standby, if any.
+    pub fn standby(&self) -> Option<NodeId> {
+        self.standby
+    }
+}
+
 /// What a recovery run did — the measurable quantities of experiments
-/// E5/E6.
+/// E5/E6/E7.
 #[derive(Clone, Debug, Default)]
 pub struct RecoveryReport {
     /// The nodes that were recovered.
@@ -54,22 +115,26 @@ pub struct RecoveryReport {
     pub messages: u64,
     /// Page shuttle hops during coordinated replay.
     pub page_hops: u64,
+    /// Torn log-tail bytes discarded by checksum repair at restart.
+    pub torn_bytes_discarded: u64,
     /// Simulated duration of each protocol phase, in order — the
     /// "where does restart time go" breakdown of §2.3/§2.4. Phases
     /// that exchanged no messages and did no I/O report 0.
-    pub phase_us: Vec<(&'static str, u64)>,
+    pub phase_us: Vec<(RecoveryPhase, u64)>,
 }
 
 /// Closes the current recovery phase: accounts the sim-time spent
-/// since `t0` under `phase` and stamps a [`TraceEvent::RecoveryPhase`]
-/// into every recovering node's flight recorder.
+/// since `t0` under `phase`, stamps a [`TraceEvent::RecoveryPhase`]
+/// into every recovering node's flight recorder, and fires the
+/// injected crash point if the options ask for one after this phase.
 fn end_phase(
-    cluster: &Cluster,
+    cluster: &mut Cluster,
     crashed: &[NodeId],
     t0: &mut SimTime,
-    out: &mut Vec<(&'static str, u64)>,
-    phase: &'static str,
-) {
+    out: &mut Vec<(RecoveryPhase, u64)>,
+    phase: RecoveryPhase,
+    crash_after: Option<RecoveryPhase>,
+) -> Result<()> {
     let now = cluster.network().clock().now();
     let us = now.saturating_sub(*t0);
     *t0 = now;
@@ -80,6 +145,13 @@ fn end_phase(
             .recorder()
             .record(now, TraceEvent::RecoveryPhase { phase, us });
     }
+    if crash_after == Some(phase) {
+        for &c in crashed {
+            cluster.crash(c);
+        }
+        return Err(Error::RecoveryInterrupted(phase));
+    }
+    Ok(())
 }
 
 /// Information one node contributes to another node's recovery.
@@ -97,48 +169,33 @@ struct ContributedInfo {
     crashed_exclusive: Vec<PageId>,
 }
 
-/// Recovers a single crashed node (paper §2.3). Transaction processing
-/// on the remaining nodes may resume as soon as this returns.
-pub fn recover_single(cluster: &mut Cluster, node: NodeId) -> Result<RecoveryReport> {
-    recover(cluster, &[node])
-}
-
-/// Recovers one or more simultaneously crashed nodes (paper §2.4 when
-/// more than one).
-pub fn recover(cluster: &mut Cluster, crashed: &[NodeId]) -> Result<RecoveryReport> {
-    recover_impl(cluster, crashed, None)
-}
-
-/// Recovery coordinated by a hot standby node (paper §2.3: "our
-/// algorithms allow any node that has access to the database and the
-/// log file of the crashed node to perform crash recovery").
+/// Recovers crashed nodes per `opts` — the single public entry point
+/// of distributed crash recovery (§2.3 single crash, §2.4
+/// simultaneous crashes, optional hot-standby coordination, optional
+/// injected crash-during-recovery). Transaction processing on the
+/// remaining nodes may resume as soon as this returns.
 ///
-/// The standby drives every phase of the protocol — information
-/// gathering, lock reconstruction, NodePSNList merging and the
-/// per-page replay shuttle — so the coordination load (messages,
-/// handling time) lands on the standby instead of the restarting
-/// node. In this data-shipping realization the crashed node's log is
-/// still scanned by its own (restarting) process; on shared disks the
+/// In the standby-coordinated mode the standby drives every phase —
+/// information gathering, lock reconstruction, NodePSNList merging and
+/// the per-page replay shuttle — while the crashed node's log is still
+/// scanned by its own (restarting) process; on shared disks the
 /// standby would read it directly with the same algorithm.
-pub fn recover_with_standby(
-    cluster: &mut Cluster,
-    crashed: &[NodeId],
-    standby: NodeId,
-) -> Result<RecoveryReport> {
-    if crashed.contains(&standby) {
-        return Err(Error::Invalid(format!("{standby} is itself crashed")));
+///
+/// If `opts.crash_after(phase)` is set, the recovering nodes crash
+/// again right after that phase and the call returns
+/// [`Error::RecoveryInterrupted`]; re-running `recover` from scratch
+/// then completes normally (the protocol is idempotent).
+pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+    let crashed: &[NodeId] = &opts.nodes;
+    let standby = opts.standby;
+    if let Some(s) = standby {
+        if crashed.contains(&s) {
+            return Err(Error::Invalid(format!("{s} is itself crashed")));
+        }
+        if cluster.network().is_crashed(s) {
+            return Err(Error::NodeDown(s));
+        }
     }
-    if cluster.network().is_crashed(standby) {
-        return Err(Error::NodeDown(standby));
-    }
-    recover_impl(cluster, crashed, Some(standby))
-}
-
-fn recover_impl(
-    cluster: &mut Cluster,
-    crashed: &[NodeId],
-    standby: Option<NodeId>,
-) -> Result<RecoveryReport> {
     let coord_of = |c: NodeId| standby.unwrap_or(c);
     let mut report = RecoveryReport {
         recovered_nodes: crashed.to_vec(),
@@ -150,10 +207,11 @@ fn recover_impl(
             return Err(Error::Protocol(format!("{c} is not crashed")));
         }
     }
-    // Restart: nodes become reachable again for the recovery dialogue.
+    // Restart: nodes become reachable again for the recovery dialogue,
+    // and each repairs (discards) any torn log tail before scanning.
     for &c in crashed {
         cluster.network_mut().mark_up(c);
-        cluster.node_mut(c).mark_restarting();
+        report.torn_bytes_discarded += cluster.node_mut(c).mark_restarting()?;
     }
     let crashed_set: BTreeSet<NodeId> = crashed.iter().copied().collect();
     let all: Vec<NodeId> = (0..cluster.node_count() as u32).map(NodeId).collect();
@@ -163,7 +221,7 @@ fn recover_impl(
         .filter(|n| !crashed_set.contains(n) && !cluster.network().is_crashed(*n))
         .collect();
     let mut phase_t0 = cluster.network().clock().now();
-    let mut phase_us: Vec<(&'static str, u64)> = Vec::new();
+    let mut phase_us: Vec<(RecoveryPhase, u64)> = Vec::new();
 
     // ---- Phase 1: local analysis at every crashed node (§2.3.1/§2.4:
     // a DPT superset is reconstructed by scanning the local log from
@@ -174,7 +232,14 @@ fn recover_impl(
         report.log_bytes_scanned += a.bytes_scanned;
         losers.insert(c, a.losers);
     }
-    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "analysis");
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        RecoveryPhase::Analysis,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 2: information exchange. Every crashed node C hears
     // from every *other* node (operational or also recovering): cache
@@ -188,9 +253,12 @@ fn recover_impl(
             }
             let co = coord_of(c);
             if co != r {
-                cluster
-                    .network_mut()
-                    .send(co, r, MsgKind::RecoveryInfoRequest, CTRL_BYTES)?;
+                cluster.network_mut().send_reliable(
+                    co,
+                    r,
+                    MsgKind::RecoveryInfoRequest,
+                    CTRL_BYTES,
+                )?;
             }
             let contrib = collect_contribution(cluster, r, c, crashed_set.contains(&r));
             let reply_bytes = CTRL_BYTES
@@ -199,9 +267,12 @@ fn recover_impl(
                 + contrib.locks_held.len() * 12
                 + contrib.crashed_exclusive.len() * 8;
             if co != r {
-                cluster
-                    .network_mut()
-                    .send(r, co, MsgKind::RecoveryInfoReply, reply_bytes)?;
+                cluster.network_mut().send_reliable(
+                    r,
+                    co,
+                    MsgKind::RecoveryInfoReply,
+                    reply_bytes,
+                )?;
             }
             info.insert((c, r), contrib);
         }
@@ -211,8 +282,9 @@ fn recover_impl(
         crashed,
         &mut phase_t0,
         &mut phase_us,
-        "info_exchange",
-    );
+        RecoveryPhase::InfoExchange,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 3: lock reconstruction (§2.3.3). ----
     for &c in crashed {
@@ -226,7 +298,7 @@ fn recover_impl(
             if !locks.is_empty() {
                 let co = coord_of(c);
                 if co != r {
-                    cluster.network_mut().send(
+                    cluster.network_mut().send_reliable(
                         r,
                         co,
                         MsgKind::LockListShip,
@@ -257,8 +329,9 @@ fn recover_impl(
         crashed,
         &mut phase_t0,
         &mut phase_us,
-        "lock_rebuild",
-    );
+        RecoveryPhase::LockRebuild,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 4: determine per-owner recovery sets (§2.3.1 / §2.4).
     // For every page owned by a crashed node and present in anyone's
@@ -305,7 +378,7 @@ fn recover_impl(
                 // whose eventual flush acknowledges the DPT holders).
                 report.pages_skipped_cached += 1;
                 let src = cachers[0];
-                cluster.network_mut().send(
+                cluster.network_mut().send_reliable(
                     coord_of(c),
                     src,
                     MsgKind::RecoveryPageFetch,
@@ -320,7 +393,7 @@ fn recover_impl(
                 let page_bytes = copy.size() + 64;
                 cluster
                     .network_mut()
-                    .send(src, c, MsgKind::PageShip, page_bytes)?;
+                    .send_reliable(src, c, MsgKind::PageShip, page_bytes)?;
                 let ev = cluster.node_mut(c).receive_replaced(src, copy)?;
                 if let Some(ev) = ev {
                     cluster.route_eviction(c, ev)?;
@@ -410,8 +483,9 @@ fn recover_impl(
         crashed,
         &mut phase_t0,
         &mut phase_us,
-        "recovery_sets",
-    );
+        RecoveryPhase::RecoverySets,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 5: recovery locks. The recovering owner takes (or
     // keeps) exclusive fences on every page it must recover; stale
@@ -429,14 +503,14 @@ fn recover_impl(
                 if co != h {
                     cluster
                         .network_mut()
-                        .send(co, h, MsgKind::Callback, CTRL_BYTES)?;
+                        .send_reliable(co, h, MsgKind::Callback, CTRL_BYTES)?;
                 }
                 cluster.node_mut(h).cached_locks.release(*pid);
                 cluster.node_mut(h).buffer.remove(*pid);
                 if co != h {
                     cluster
                         .network_mut()
-                        .send(h, co, MsgKind::CallbackAck, CTRL_BYTES)?;
+                        .send_reliable(h, co, MsgKind::CallbackAck, CTRL_BYTES)?;
                 }
                 cluster.node_mut(owner).global_locks.release(*pid, h);
             }
@@ -451,8 +525,9 @@ fn recover_impl(
         crashed,
         &mut phase_t0,
         &mut phase_us,
-        "recovery_locks",
-    );
+        RecoveryPhase::RecoveryLocks,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 6: NodePSNList exchange (§2.3.4). Each involved node
     // scans its own log once for all pages it participates in. ----
@@ -479,7 +554,7 @@ fn recover_impl(
                     .expect("checked"),
             );
             if coord != n {
-                cluster.network_mut().send(
+                cluster.network_mut().send_reliable(
                     coord,
                     n,
                     MsgKind::PsnListRequest,
@@ -488,7 +563,7 @@ fn recover_impl(
             }
             let list = cluster.node_mut(n).build_psn_list(&pages)?;
             if coord != n {
-                cluster.network_mut().send(
+                cluster.network_mut().send_reliable(
                     n,
                     coord,
                     MsgKind::PsnListReply,
@@ -512,7 +587,14 @@ fn recover_impl(
             report.log_bytes_scanned += cluster.node(n).log().end_lsn().0 - from.0;
         }
     }
-    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "psn_lists");
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        RecoveryPhase::PsnLists,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 7: coordinated replay, page by page, in ascending PSN
     // order; the page shuttles among the involved nodes, each applying
@@ -562,7 +644,7 @@ fn recover_impl(
         let owner = pid.owner;
         cluster
             .network_mut()
-            .send(*c, owner, MsgKind::RecoveryPageFetch, CTRL_BYTES)?;
+            .send_reliable(*c, owner, MsgKind::RecoveryPageFetch, CTRL_BYTES)?;
         let (mut page, did_io) = cluster.node_mut(owner).authoritative_copy(*pid)?;
         if did_io {
             cluster.network_mut().disk_io(owner, page.size());
@@ -570,7 +652,7 @@ fn recover_impl(
         let pb = page.size() + 64;
         cluster
             .network_mut()
-            .send(owner, *c, MsgKind::PageShip, pb)?;
+            .send_reliable(owner, *c, MsgKind::PageShip, pb)?;
         let start = cluster
             .node(*c)
             .dpt()
@@ -585,7 +667,14 @@ fn recover_impl(
             cluster.route_eviction(*c, ev)?;
         }
     }
-    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "replay");
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        RecoveryPhase::Replay,
+        opts.crash_after,
+    )?;
 
     // ---- Phase 8: undo loser transactions locally, with CLRs. ----
     for &c in crashed {
@@ -608,20 +697,40 @@ fn recover_impl(
         cluster.node_mut(c).checkpoint()?;
         cluster.network_mut().disk_io(c, CTRL_BYTES);
     }
-    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "undo");
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        RecoveryPhase::Undo,
+        opts.crash_after,
+    )?;
 
-    // ---- Phase 9: recovery complete. ----
+    // ---- Phase 9: recovery complete. The completion broadcast is
+    // loss-tolerant: a node that misses it simply discovers the
+    // recovered owner on its next (reliably retried) request. ----
     for &c in crashed {
         for &r in &operational {
             let co = coord_of(c);
             if co != r {
-                cluster
+                match cluster
                     .network_mut()
-                    .send(co, r, MsgKind::RecoveryDone, CTRL_BYTES)?;
+                    .send(co, r, MsgKind::RecoveryDone, CTRL_BYTES)
+                {
+                    Ok(()) | Err(Error::MsgLost { .. }) => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
     }
-    end_phase(cluster, crashed, &mut phase_t0, &mut phase_us, "done");
+    end_phase(
+        cluster,
+        crashed,
+        &mut phase_t0,
+        &mut phase_us,
+        RecoveryPhase::Done,
+        opts.crash_after,
+    )?;
     report.phase_us = phase_us;
     report.messages = cluster.network().stats().recovery_messages() - msgs0;
     Ok(report)
@@ -703,18 +812,24 @@ fn coordinate_page_replay(
         let bound = queue.front().map(|(p, _, _)| *p);
         let start = *resume.get(&n).unwrap_or(&lsn);
         if n != coordinator {
-            cluster
-                .network_mut()
-                .send(coordinator, n, MsgKind::RecoveryPageSend, page_bytes)?;
+            cluster.network_mut().send_reliable(
+                coordinator,
+                n,
+                MsgKind::RecoveryPageSend,
+                page_bytes,
+            )?;
             report.page_hops += 1;
         }
         let (res, applied, _hit) = cluster.node_mut(n).replay_page(page, start, bound)?;
         resume.insert(n, res);
         applied_total += applied;
         if n != coordinator {
-            cluster
-                .network_mut()
-                .send(n, coordinator, MsgKind::RecoveryPageReturn, page_bytes)?;
+            cluster.network_mut().send_reliable(
+                n,
+                coordinator,
+                MsgKind::RecoveryPageReturn,
+                page_bytes,
+            )?;
             report.page_hops += 1;
         }
     }
@@ -724,23 +839,19 @@ fn coordinate_page_replay(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{ClusterConfig, NodeConfig};
+    use crate::config::ClusterConfig;
     use cblog_common::CostModel;
 
     fn cluster(owned: Vec<u32>) -> Cluster {
-        Cluster::new(ClusterConfig {
-            node_count: owned.len(),
-            owned_pages: owned,
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 16,
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            ..ClusterConfig::default()
-        })
+        Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(owned)
+                .page_size(512)
+                .buffer_frames(16)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap()
     }
 
@@ -757,7 +868,7 @@ mod tests {
         c.write_u64(t, p, 0, 42).unwrap();
         c.commit(t).unwrap();
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.pages_recovered, 1);
         assert!(rep.records_replayed >= 1);
         let t2 = c.begin(NodeId(0)).unwrap();
@@ -779,7 +890,7 @@ mod tests {
         c.write_u64(t1, p, 0, 999).unwrap();
         c.checkpoint(NodeId(0)).unwrap();
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.losers_undone, 1);
         let t2 = c.begin(NodeId(0)).unwrap();
         assert_eq!(c.read_u64(t2, p, 0).unwrap(), 10, "loser update undone");
@@ -802,7 +913,7 @@ mod tests {
         assert!(ev.dirty);
         c.route_eviction(NodeId(1), ev).unwrap();
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.pages_recovered, 1);
         assert!(rep.records_replayed >= 1);
         // Value visible again through the recovered owner.
@@ -822,7 +933,7 @@ mod tests {
         c.commit(t).unwrap();
         // Page still cached (dirty) at node 1; owner crashes.
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.pages_recovered, 0);
         assert_eq!(rep.pages_skipped_cached, 1);
         assert_eq!(rep.pages_pulled_to_owner, 1);
@@ -850,7 +961,7 @@ mod tests {
             c.read_u64(t0, p, 0),
             Err(Error::WouldBlock { .. })
         ));
-        let rep = recover_single(&mut c, NodeId(1)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
         assert_eq!(rep.pages_recovered, 1);
         // After recovery the fence is the client's restored X lock; a
         // new reader triggers a normal callback and sees the data.
@@ -873,7 +984,7 @@ mod tests {
         // crash.
         c.node_mut(NodeId(1)).log.force_all().unwrap();
         c.crash(NodeId(1));
-        let rep = recover_single(&mut c, NodeId(1)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
         assert_eq!(rep.losers_undone, 1);
         let t2 = c.begin(NodeId(0)).unwrap();
         assert_eq!(c.read_u64(t2, p, 0).unwrap(), 5);
@@ -901,7 +1012,7 @@ mod tests {
             c.route_eviction(NodeId(1), ev).unwrap();
         }
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.pages_recovered, 1);
         assert!(
             rep.records_replayed >= 4,
@@ -932,7 +1043,7 @@ mod tests {
         c.commit(t0).unwrap();
         c.crash(NodeId(0));
         c.crash(NodeId(1));
-        let rep = recover(&mut c, &[NodeId(0), NodeId(1)]).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::nodes(&[NodeId(0), NodeId(1)])).unwrap();
         assert_eq!(rep.recovered_nodes.len(), 2);
         assert!(rep.pages_recovered >= 2);
         let t = c.begin(NodeId(2)).unwrap();
@@ -959,7 +1070,7 @@ mod tests {
         c.commit(t).unwrap();
         let end = c.node(NodeId(0)).log().end_lsn();
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         // Analysis scanned from the checkpoint, not from LSN 8. PSN
         // list scans may go further back (RedoLSN), but the analysis
         // share is bounded by end - ckpt.
@@ -982,7 +1093,7 @@ mod tests {
             c.write_u64(t, pid(1, 0), 0, i).unwrap();
             c.commit(t).unwrap();
         }
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.losers_undone, 0);
         let t = c.begin(NodeId(2)).unwrap();
         assert_eq!(c.read_u64(t, pid(1, 0), 0).unwrap(), 9);
@@ -1014,7 +1125,7 @@ mod tests {
             c.route_eviction(NodeId(1), ev).unwrap();
         }
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(
             rep.records_replayed, 2,
             "only the un-flushed suffix is replayed"
@@ -1044,7 +1155,7 @@ mod tests {
             }
             r => panic!("expected fence, got {r:?}"),
         }
-        recover_single(&mut c, NodeId(1)).unwrap();
+        recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
         assert_eq!(c.read_u64(t2, p, 0).unwrap(), 1);
         c.commit(t2).unwrap();
     }
@@ -1073,7 +1184,7 @@ mod tests {
             c.route_eviction(NodeId(1), ev).unwrap();
         }
         c.crash(NodeId(0));
-        recover_single(&mut c, NodeId(0)).unwrap();
+        recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         let t = c.begin(NodeId(1)).unwrap();
         assert_eq!(c.read_u64(t, p, 0).unwrap(), 9);
         assert_eq!(c.read_u64(t, p, 1).unwrap(), 99);
@@ -1106,7 +1217,7 @@ mod tests {
             c.route_eviction(NodeId(1), ev).unwrap();
         }
         c.crash(NodeId(0));
-        let rep = recover_single(&mut c, NodeId(0)).unwrap();
+        let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         assert_eq!(rep.pages_recovered, 1);
         assert!(rep.records_replayed >= 5);
         // The insert after the delete reused the dead slot, so replay
@@ -1172,11 +1283,15 @@ mod tests {
         };
         // Normal recovery.
         let mut a = build();
-        recover_single(&mut a, NodeId(0)).unwrap();
+        recover(&mut a, &RecoveryOptions::single(NodeId(0))).unwrap();
         // Standby-coordinated recovery (node 2 coordinates).
         let mut b = build();
         let sent_before = b.network().sent_by(NodeId(2));
-        recover_with_standby(&mut b, &[NodeId(0)], NodeId(2)).unwrap();
+        recover(
+            &mut b,
+            &RecoveryOptions::nodes(&[NodeId(0)]).with_standby(NodeId(2)),
+        )
+        .unwrap();
         let standby_sent = b.network().sent_by(NodeId(2)) - sent_before;
         assert!(standby_sent > 0, "standby drives the coordination");
         // Both reach the same committed state.
@@ -1194,11 +1309,23 @@ mod tests {
     fn invalid_standby_rejected() {
         let mut c = cluster(vec![4, 0, 0]);
         c.crash(NodeId(0));
-        assert!(recover_with_standby(&mut c, &[NodeId(0)], NodeId(0)).is_err());
+        assert!(recover(
+            &mut c,
+            &RecoveryOptions::nodes(&[NodeId(0)]).with_standby(NodeId(0))
+        )
+        .is_err());
         c.crash(NodeId(2));
-        assert!(recover_with_standby(&mut c, &[NodeId(0)], NodeId(2)).is_err());
+        assert!(recover(
+            &mut c,
+            &RecoveryOptions::nodes(&[NodeId(0)]).with_standby(NodeId(2))
+        )
+        .is_err());
         // A valid standby still works afterwards.
-        recover_with_standby(&mut c, &[NodeId(0), NodeId(2)], NodeId(1)).unwrap();
+        recover(
+            &mut c,
+            &RecoveryOptions::nodes(&[NodeId(0), NodeId(2)]).with_standby(NodeId(1)),
+        )
+        .unwrap();
     }
 
     /// Recovery is idempotent from the outside: a second crash right
@@ -1214,10 +1341,10 @@ mod tests {
             c.route_eviction(NodeId(1), ev).unwrap();
         }
         c.crash(NodeId(0));
-        recover_single(&mut c, NodeId(0)).unwrap();
+        recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         // Crash again immediately (recovered pages were only cached).
         c.crash(NodeId(0));
-        recover_single(&mut c, NodeId(0)).unwrap();
+        recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         let t2 = c.begin(NodeId(1)).unwrap();
         assert_eq!(c.read_u64(t2, p, 0).unwrap(), 123);
         c.commit(t2).unwrap();

@@ -8,8 +8,144 @@
 //! after the send has been accounted — which keeps runs deterministic
 //! and the protocol state machines synchronous.
 
-use cblog_common::{CostModel, Error, NodeId, Result, SimClock, SimTime};
+use cblog_common::{CostModel, Error, NodeId, Result, Rng, SimClock, SimTime};
 use std::collections::HashSet;
+
+/// Deterministic fault-injection plan for the transport (and, via
+/// [`Network::roll_tear`], for torn log writes at crash time).
+///
+/// All probabilities default to zero, making the default plan a strict
+/// no-op; every roll comes from one private RNG stream seeded by
+/// `seed`, so a given plan replays identically. Message faults apply to
+/// every [`MsgKind`] unless narrowed with [`FaultPlan::with_only_kinds`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the injector's private RNG stream.
+    pub seed: u64,
+    /// Probability a message is dropped in flight (the lost copy is
+    /// still accounted — it consumed the wire).
+    pub drop: f64,
+    /// Probability a message is delayed by `delay_us`.
+    pub delay: f64,
+    /// Extra latency charged to a delayed or reordered message, sim-µs.
+    pub delay_us: SimTime,
+    /// Probability a message is duplicated (the spurious copy is
+    /// accounted like a real send; receivers treat it idempotently).
+    pub duplicate: f64,
+    /// Probability a message is reordered behind newer traffic. In the
+    /// synchronous simulator a reordered message is simply a late one,
+    /// so it is charged like a delay but counted separately.
+    pub reorder: f64,
+    /// Probability a node crash tears the in-flight log write: a prefix
+    /// of the unsynced tail survives on the device, possibly with its
+    /// last byte corrupted (see `cblog_wal`).
+    pub tear: f64,
+    /// Restrict message faults to these kinds (None = all kinds).
+    pub only_kinds: Option<Vec<MsgKind>>,
+    /// Resend budget for [`Network::send_reliable`] after the first
+    /// attempt. Bounded so lossy links cost time, never livelock.
+    pub max_retries: u32,
+    /// Base backoff charged before each resend (grows linearly with the
+    /// attempt number), sim-µs.
+    pub retry_backoff_us: SimTime,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+impl FaultPlan {
+    /// A no-op plan carrying `seed` for later fault knobs.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            delay: 0.0,
+            delay_us: 100,
+            duplicate: 0.0,
+            reorder: 0.0,
+            tear: 0.0,
+            only_kinds: None,
+            max_retries: 16,
+            retry_backoff_us: 25,
+        }
+    }
+
+    /// Sets the drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the delay probability and the per-delay latency.
+    pub fn with_delay(mut self, p: f64, us: SimTime) -> Self {
+        self.delay = p;
+        self.delay_us = us;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the reorder probability.
+    pub fn with_reorder(mut self, p: f64) -> Self {
+        self.reorder = p;
+        self
+    }
+
+    /// Sets the torn-log-write probability applied at crash time.
+    pub fn with_tear(mut self, p: f64) -> Self {
+        self.tear = p;
+        self
+    }
+
+    /// Restricts message faults to the given kinds.
+    pub fn with_only_kinds(mut self, kinds: &[MsgKind]) -> Self {
+        self.only_kinds = Some(kinds.to_vec());
+        self
+    }
+
+    /// Sets the retry budget and backoff for reliable sends.
+    pub fn with_retries(mut self, max_retries: u32, backoff_us: SimTime) -> Self {
+        self.max_retries = max_retries;
+        self.retry_backoff_us = backoff_us;
+        self
+    }
+
+    /// True if no message fault can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.drop <= 0.0 && self.delay <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0
+    }
+
+    fn applies_to(&self, kind: MsgKind) -> bool {
+        match &self.only_kinds {
+            Some(ks) => ks.contains(&kind),
+            None => true,
+        }
+    }
+}
+
+/// Counters of injected faults and the retries they caused.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped in flight.
+    pub dropped: u64,
+    /// Messages delayed by `delay_us`.
+    pub delayed: u64,
+    /// Messages duplicated on the wire.
+    pub duplicated: u64,
+    /// Messages delivered out of order (charged as late delivery).
+    pub reordered: u64,
+    /// Resends performed by [`Network::send_reliable`].
+    pub retries: u64,
+    /// Reliable sends that exhausted their retry budget.
+    pub exhausted: u64,
+}
 
 /// Every message type exchanged by any protocol in the workspace,
 /// including the baselines (so experiment tables can break traffic down
@@ -203,11 +339,20 @@ pub struct Network {
     per_node_recv: Vec<u64>,
     crashed: HashSet<NodeId>,
     disk_ios: Vec<u64>,
+    faults: FaultPlan,
+    fault_rng: Rng,
+    fault_stats: FaultStats,
 }
 
 impl Network {
-    /// Transport for `nodes` nodes under `cost`.
+    /// Transport for `nodes` nodes under `cost`, fault-free.
     pub fn new(nodes: usize, cost: CostModel) -> Self {
+        Network::with_faults(nodes, cost, FaultPlan::default())
+    }
+
+    /// Transport with a fault-injection plan.
+    pub fn with_faults(nodes: usize, cost: CostModel, faults: FaultPlan) -> Self {
+        let fault_rng = Rng::seed_from_u64(faults.seed);
         Network {
             clock: SimClock::new(nodes),
             cost,
@@ -216,18 +361,23 @@ impl Network {
             per_node_recv: vec![0; nodes],
             crashed: HashSet::new(),
             disk_ios: vec![0; nodes],
+            faults,
+            fault_rng,
+            fault_stats: FaultStats::default(),
         }
     }
 
-    /// Records one message `from → to` of `kind` carrying `bytes`
-    /// payload bytes. Fails if either endpoint is crashed.
-    pub fn send(&mut self, from: NodeId, to: NodeId, kind: MsgKind, bytes: usize) -> Result<()> {
-        if self.crashed.contains(&to) {
-            return Err(Error::NodeDown(to));
-        }
-        if self.crashed.contains(&from) {
-            return Err(Error::NodeDown(from));
-        }
+    /// The active fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats.clone()
+    }
+
+    fn account(&mut self, from: NodeId, to: NodeId, kind: MsgKind, bytes: usize) {
         let i = kind.index();
         self.stats.counts[i] += 1;
         self.stats.bytes[i] += bytes as u64;
@@ -241,7 +391,86 @@ impl Network {
         self.clock.advance(wire);
         self.clock.charge_overlapped(from, self.cost.handle_us);
         self.clock.charge_overlapped(to, self.cost.handle_us);
+    }
+
+    /// Records one message `from → to` of `kind` carrying `bytes`
+    /// payload bytes. Fails if either endpoint is crashed, or with
+    /// [`Error::MsgLost`] if the fault plan drops it — the lost copy is
+    /// still accounted, since it consumed the wire.
+    pub fn send(&mut self, from: NodeId, to: NodeId, kind: MsgKind, bytes: usize) -> Result<()> {
+        if self.crashed.contains(&to) {
+            return Err(Error::NodeDown(to));
+        }
+        if self.crashed.contains(&from) {
+            return Err(Error::NodeDown(from));
+        }
+        self.account(from, to, kind, bytes);
+        if !self.faults.is_noop() && self.faults.applies_to(kind) {
+            if self.faults.duplicate > 0.0 && self.fault_rng.gen_bool(self.faults.duplicate) {
+                self.fault_stats.duplicated += 1;
+                self.account(from, to, kind, bytes);
+            }
+            if self.faults.delay > 0.0 && self.fault_rng.gen_bool(self.faults.delay) {
+                self.fault_stats.delayed += 1;
+                self.clock.advance(self.faults.delay_us);
+            }
+            if self.faults.reorder > 0.0 && self.fault_rng.gen_bool(self.faults.reorder) {
+                self.fault_stats.reordered += 1;
+                self.clock.advance(self.faults.delay_us);
+            }
+            if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
+                self.fault_stats.dropped += 1;
+                return Err(Error::MsgLost { from, to });
+            }
+        }
         Ok(())
+    }
+
+    /// As [`Network::send`] but resends on loss, up to the plan's retry
+    /// budget, charging a linearly growing backoff before each resend.
+    /// Crashed endpoints fail immediately (a down node is not a lost
+    /// message). Exhausting the budget yields
+    /// [`Error::RetriesExhausted`].
+    pub fn send_reliable(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        bytes: usize,
+    ) -> Result<()> {
+        let mut attempt: u32 = 0;
+        loop {
+            match self.send(from, to, kind, bytes) {
+                Err(Error::MsgLost { .. }) if attempt < self.faults.max_retries => {
+                    attempt += 1;
+                    self.fault_stats.retries += 1;
+                    self.clock
+                        .advance(self.faults.retry_backoff_us * attempt as u64);
+                }
+                Err(Error::MsgLost { .. }) => {
+                    self.fault_stats.exhausted += 1;
+                    return Err(Error::RetriesExhausted {
+                        from,
+                        to,
+                        attempts: attempt + 1,
+                    });
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Rolls the torn-write fault for a crash interrupting a force of
+    /// `pending` unsynced tail bytes: `Some((landed, corrupt))` means
+    /// `landed` bytes of the tail physically reached the device, with
+    /// the last landed byte flipped if `corrupt`.
+    pub fn roll_tear(&mut self, pending: u64) -> Option<(u64, bool)> {
+        if pending == 0 || self.faults.tear <= 0.0 || !self.fault_rng.gen_bool(self.faults.tear) {
+            return None;
+        }
+        let landed = self.fault_rng.gen_range(1..pending + 1);
+        let corrupt = self.fault_rng.gen_bool(0.5);
+        Some((landed, corrupt))
     }
 
     /// Records a disk I/O of `bytes` performed by `node`.
@@ -310,9 +539,11 @@ impl Network {
         self.clock.charge_overlapped(node, dt);
     }
 
-    /// Resets statistics and clock (after warmup); crash flags persist.
+    /// Resets statistics and clock (after warmup); crash flags and the
+    /// fault RNG stream persist.
     pub fn reset_stats(&mut self) {
         self.stats = NetStats::default();
+        self.fault_stats = FaultStats::default();
         self.per_node_sent.iter_mut().for_each(|v| *v = 0);
         self.per_node_recv.iter_mut().for_each(|v| *v = 0);
         self.disk_ios.iter_mut().for_each(|v| *v = 0);
@@ -405,6 +636,132 @@ mod tests {
             assert!(seen.insert(k.label()), "duplicate label {}", k.label());
         }
         assert_eq!(seen.len(), MsgKind::ALL.len());
+    }
+
+    #[test]
+    fn default_fault_plan_is_noop() {
+        assert!(FaultPlan::default().is_noop());
+        let mut n = net();
+        for _ in 0..50 {
+            n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 100)
+                .unwrap();
+        }
+        let fs = n.fault_stats();
+        assert_eq!(fs, FaultStats::default());
+    }
+
+    #[test]
+    fn certain_drop_loses_message_but_accounts_it() {
+        let mut n = Network::with_faults(2, CostModel::unit(), FaultPlan::new(7).with_drop(1.0));
+        assert!(matches!(
+            n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 100),
+            Err(Error::MsgLost { .. })
+        ));
+        assert_eq!(n.stats().count(MsgKind::PageShip), 1, "lost copy accounted");
+        assert_eq!(n.fault_stats().dropped, 1);
+    }
+
+    #[test]
+    fn duplicate_accounts_second_copy() {
+        let mut n =
+            Network::with_faults(2, CostModel::unit(), FaultPlan::new(7).with_duplicate(1.0));
+        n.send(NodeId(0), NodeId(1), MsgKind::Callback, 10).unwrap();
+        assert_eq!(n.stats().count(MsgKind::Callback), 2);
+        assert_eq!(n.fault_stats().duplicated, 1);
+    }
+
+    #[test]
+    fn delay_and_reorder_charge_extra_latency() {
+        let base = {
+            let mut n = net();
+            n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 100)
+                .unwrap();
+            n.clock().now()
+        };
+        let mut n = Network::with_faults(
+            2,
+            CostModel::unit(),
+            FaultPlan::new(7).with_delay(1.0, 500).with_reorder(1.0),
+        );
+        n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 100)
+            .unwrap();
+        assert_eq!(n.clock().now(), base + 1000, "delay + reorder latency");
+        assert_eq!(n.fault_stats().delayed, 1);
+        assert_eq!(n.fault_stats().reordered, 1);
+    }
+
+    #[test]
+    fn send_reliable_retries_through_loss_then_succeeds() {
+        let mut n = Network::with_faults(2, CostModel::unit(), FaultPlan::new(42).with_drop(0.5));
+        for _ in 0..20 {
+            n.send_reliable(NodeId(0), NodeId(1), MsgKind::LockRequest, 48)
+                .unwrap();
+        }
+        let fs = n.fault_stats();
+        assert!(fs.retries > 0, "a 50% lossy link must retry");
+        assert_eq!(fs.exhausted, 0);
+        assert_eq!(fs.dropped, fs.retries, "every drop was retried");
+    }
+
+    #[test]
+    fn send_reliable_exhausts_bounded_budget_on_dead_link() {
+        let mut n = Network::with_faults(
+            2,
+            CostModel::unit(),
+            FaultPlan::new(7).with_drop(1.0).with_retries(3, 10),
+        );
+        match n.send_reliable(NodeId(0), NodeId(1), MsgKind::PageShip, 100) {
+            Err(Error::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 4),
+            r => panic!("expected RetriesExhausted, got {r:?}"),
+        }
+        assert_eq!(n.fault_stats().exhausted, 1);
+        assert_eq!(
+            n.stats().count(MsgKind::PageShip),
+            4,
+            "every attempt accounted"
+        );
+    }
+
+    #[test]
+    fn send_reliable_does_not_retry_crashed_endpoints() {
+        let mut n = Network::with_faults(2, CostModel::unit(), FaultPlan::new(7).with_drop(1.0));
+        n.mark_crashed(NodeId(1));
+        assert!(matches!(
+            n.send_reliable(NodeId(0), NodeId(1), MsgKind::PageShip, 100),
+            Err(Error::NodeDown(NodeId(1)))
+        ));
+        assert_eq!(n.fault_stats().retries, 0);
+    }
+
+    #[test]
+    fn only_kinds_narrows_fault_scope() {
+        let mut n = Network::with_faults(
+            2,
+            CostModel::unit(),
+            FaultPlan::new(7)
+                .with_drop(1.0)
+                .with_only_kinds(&[MsgKind::PageShip]),
+        );
+        n.send(NodeId(0), NodeId(1), MsgKind::LockRequest, 48)
+            .unwrap();
+        assert!(n
+            .send(NodeId(0), NodeId(1), MsgKind::PageShip, 100)
+            .is_err());
+    }
+
+    #[test]
+    fn roll_tear_is_seeded_and_bounded() {
+        let mut a = Network::with_faults(2, CostModel::unit(), FaultPlan::new(9).with_tear(1.0));
+        let mut b = Network::with_faults(2, CostModel::unit(), FaultPlan::new(9).with_tear(1.0));
+        for _ in 0..10 {
+            let ra = a.roll_tear(100);
+            assert_eq!(ra, b.roll_tear(100), "same seed, same rolls");
+            let (landed, _) = ra.expect("tear probability 1");
+            assert!((1..=100).contains(&landed));
+        }
+        assert_eq!(a.roll_tear(0), None, "nothing pending, nothing torn");
+        let mut c = net();
+        assert_eq!(c.roll_tear(100), None, "no-op plan never tears");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::oracle::Oracle;
 use crate::workload::{Op, TxnSpec};
 use cblog_common::{Error, NodeId, PageId, Result, SimTime, TxnId};
 use cblog_locks::WaitsForGraph;
-use cblog_net::{NetStats, Network};
+use cblog_net::{FaultStats, NetStats, Network};
 use std::collections::{HashMap, VecDeque};
 
 /// Uniform facade over the client-based-logging cluster and the
@@ -62,110 +62,75 @@ pub trait System {
     }
 }
 
-impl System for cblog_core::Cluster {
-    fn begin(&mut self, node: NodeId) -> Result<TxnId> {
-        cblog_core::Cluster::begin(self, node)
-    }
+/// Implements the shared half of [`System`] (begin / read / write /
+/// commit / abort / network) for a cluster type by delegating to its
+/// inherent methods, then splices in any system-specific overrides
+/// passed as extra items. Keeps the delegation — including the
+/// fault-aware retry semantics the driver builds on top of it —
+/// written exactly once for all three systems.
+macro_rules! impl_system {
+    ($ty:ty $(, $extra:item)* $(,)?) => {
+        impl System for $ty {
+            fn begin(&mut self, node: NodeId) -> Result<TxnId> {
+                <$ty>::begin(self, node)
+            }
 
-    fn read(&mut self, txn: TxnId, pid: PageId, slot: usize) -> Result<u64> {
-        self.read_u64(txn, pid, slot)
-    }
+            fn read(&mut self, txn: TxnId, pid: PageId, slot: usize) -> Result<u64> {
+                self.read_u64(txn, pid, slot)
+            }
 
-    fn write(&mut self, txn: TxnId, pid: PageId, slot: usize, value: u64) -> Result<()> {
-        self.write_u64(txn, pid, slot, value)
-    }
+            fn write(&mut self, txn: TxnId, pid: PageId, slot: usize, value: u64) -> Result<()> {
+                self.write_u64(txn, pid, slot, value)
+            }
 
-    fn commit(&mut self, txn: TxnId) -> Result<()> {
-        cblog_core::Cluster::commit(self, txn)
-    }
+            fn commit(&mut self, txn: TxnId) -> Result<()> {
+                <$ty>::commit(self, txn)
+            }
 
-    fn abort(&mut self, txn: TxnId) -> Result<()> {
-        cblog_core::Cluster::abort(self, txn)
-    }
+            fn abort(&mut self, txn: TxnId) -> Result<()> {
+                <$ty>::abort(self, txn)
+            }
 
-    fn network(&self) -> &Network {
-        cblog_core::Cluster::network(self)
-    }
+            fn network(&self) -> &Network {
+                <$ty>::network(self)
+            }
 
+            $($extra)*
+        }
+    };
+}
+
+// note_queue_wait stays the default no-op for the cluster — it folds
+// driver retry spans into locks/wait_us via its own wait tracking.
+impl_system!(
+    cblog_core::Cluster,
     fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
         cblog_core::Cluster::commit_submit(self, txn)
-    }
-
+    },
     fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
         cblog_core::Cluster::poll_committed(self, txn)
-    }
-
+    },
     fn pump_commits(&mut self) -> Result<bool> {
         cblog_core::Cluster::pump_commits(self)
-    }
-
-    // note_queue_wait: default no-op — the cluster folds driver retry
-    // spans into locks/wait_us itself via its internal wait tracking.
-
+    },
     fn flight_dump(&self) -> Option<String> {
         Some(cblog_core::Cluster::flight_dump(self))
-    }
-}
+    },
+);
 
-impl System for cblog_baselines::ServerCluster {
-    fn begin(&mut self, node: NodeId) -> Result<TxnId> {
-        cblog_baselines::ServerCluster::begin(self, node)
-    }
-
-    fn read(&mut self, txn: TxnId, pid: PageId, slot: usize) -> Result<u64> {
-        self.read_u64(txn, pid, slot)
-    }
-
-    fn write(&mut self, txn: TxnId, pid: PageId, slot: usize, value: u64) -> Result<()> {
-        self.write_u64(txn, pid, slot, value)
-    }
-
-    fn commit(&mut self, txn: TxnId) -> Result<()> {
-        cblog_baselines::ServerCluster::commit(self, txn)
-    }
-
-    fn abort(&mut self, txn: TxnId) -> Result<()> {
-        cblog_baselines::ServerCluster::abort(self, txn)
-    }
-
-    fn network(&self) -> &Network {
-        cblog_baselines::ServerCluster::network(self)
-    }
-
+impl_system!(
+    cblog_baselines::ServerCluster,
     fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
         cblog_baselines::ServerCluster::note_queue_wait(self, txn, us);
-    }
-}
+    },
+);
 
-impl System for cblog_baselines::PcaCluster {
-    fn begin(&mut self, node: NodeId) -> Result<TxnId> {
-        cblog_baselines::PcaCluster::begin(self, node)
-    }
-
-    fn read(&mut self, txn: TxnId, pid: PageId, slot: usize) -> Result<u64> {
-        self.read_u64(txn, pid, slot)
-    }
-
-    fn write(&mut self, txn: TxnId, pid: PageId, slot: usize, value: u64) -> Result<()> {
-        self.write_u64(txn, pid, slot, value)
-    }
-
-    fn commit(&mut self, txn: TxnId) -> Result<()> {
-        cblog_baselines::PcaCluster::commit(self, txn)
-    }
-
-    fn abort(&mut self, txn: TxnId) -> Result<()> {
-        cblog_baselines::PcaCluster::abort(self, txn)
-    }
-
-    fn network(&self) -> &Network {
-        cblog_baselines::PcaCluster::network(self)
-    }
-
+impl_system!(
+    cblog_baselines::PcaCluster,
     fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
         cblog_baselines::PcaCluster::note_queue_wait(self, txn, us);
-    }
-}
+    },
+);
 
 /// Outcome of a full workload run.
 #[derive(Debug)]
@@ -180,6 +145,10 @@ pub struct RunStats {
     pub ops_executed: u64,
     /// Network statistics at the end of the run.
     pub net: NetStats,
+    /// Injected-fault counters (drops, delays, duplicates, reorders,
+    /// reliable-send retries) at the end of the run. All zero when the
+    /// fault plan is a no-op.
+    pub faults: FaultStats,
     /// Simulated elapsed time, µs.
     pub sim_time: SimTime,
     /// Busy time of the bottleneck node, µs.
@@ -226,6 +195,7 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
         deadlock_aborts: 0,
         ops_executed: 0,
         net: NetStats::default(),
+        faults: FaultStats::default(),
         sim_time: 0,
         max_busy: 0,
         bottleneck: None,
@@ -361,6 +331,7 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
     }
     let net = sys.network();
     stats.net = net.stats();
+    stats.faults = net.fault_stats();
     stats.sim_time = net.clock().now();
     stats.max_busy = net.clock().max_busy();
     stats.bottleneck = net.clock().bottleneck();
@@ -404,24 +375,20 @@ mod tests {
     use crate::workload::{generate, owned_pages, WorkloadConfig};
     use cblog_baselines::{ServerClientConfig, ServerCluster};
     use cblog_common::CostModel;
-    use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+    use cblog_core::{Cluster, ClusterConfig};
 
     fn cbl(clients: usize, pages: u32) -> Cluster {
         let mut owned = vec![pages];
         owned.extend(std::iter::repeat(0).take(clients));
-        Cluster::new(ClusterConfig {
-            node_count: clients + 1,
-            owned_pages: owned,
-            default_node: NodeConfig {
-                page_size: 512,
-                buffer_frames: 32,
-                owned_pages: 0,
-                log_capacity: None,
-            },
-            cost: CostModel::unit(),
-            force_on_transfer: false,
-            ..ClusterConfig::default()
-        })
+        Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(owned)
+                .page_size(512)
+                .buffer_frames(32)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .build(),
+        )
         .unwrap()
     }
 

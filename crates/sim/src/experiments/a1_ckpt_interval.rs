@@ -14,7 +14,8 @@
 use super::{cbl_cluster, pages0};
 use crate::report::{f, Table};
 use cblog_common::NodeId;
-use cblog_core::recovery::recover_single;
+use cblog_core::recovery::recover;
+use cblog_core::RecoveryOptions;
 
 /// Crash point chosen off every interval's cycle boundary, so the
 /// un-maintained residue differs per interval (7, 22, 47 and 97
@@ -93,7 +94,7 @@ pub fn run_one(interval: u64) -> CkptRow {
     }
     let log_window = c.node(client).log().used_space();
     c.crash(NodeId(0));
-    let rep = recover_single(&mut c, NodeId(0)).expect("recovery");
+    let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).expect("recovery");
     CkptRow {
         checkpoints,
         bytes_scanned: rep.log_bytes_scanned,

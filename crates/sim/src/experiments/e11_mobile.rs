@@ -15,7 +15,7 @@ use super::{pages0, PAGE_SIZE};
 use crate::report::{f, Table};
 use cblog_baselines::{ServerClientConfig, ServerCluster};
 use cblog_common::{CostModel, NodeId};
-use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{Cluster, ClusterConfig};
 
 const TXNS: u64 = 50;
 
@@ -49,19 +49,15 @@ pub fn run() -> Table {
 
 /// CBL elapsed milliseconds at one link-cost multiplier.
 pub fn run_cbl(mult: u64) -> f64 {
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: 2,
-        owned_pages: vec![4, 0],
-        default_node: NodeConfig {
-            page_size: PAGE_SIZE,
-            buffer_frames: 16,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: cost(mult),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![4, 0])
+            .page_size(PAGE_SIZE)
+            .buffer_frames(16)
+            .default_owned_pages(0)
+            .cost(cost(mult))
+            .build(),
+    )
     .unwrap();
     let pages = pages0(4);
     // Morning check-out (paid once).

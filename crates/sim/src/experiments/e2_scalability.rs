@@ -16,8 +16,8 @@ use super::{cbl_cluster, csa_cluster, PAGE_SIZE};
 use crate::driver::run_workload;
 use crate::report::{f, Table};
 use crate::workload::{generate, WorkloadConfig};
-use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+use cblog_common::{NodeId, PageId};
+use cblog_core::{Cluster, ClusterConfig};
 
 const PAGES_PER_CLIENT: u32 = 4;
 const TXNS: usize = 30;
@@ -59,19 +59,14 @@ pub fn run_one_two_owners(clients: usize) -> (f64, f64) {
     let half = (clients as u32).div_ceil(2) * PAGES_PER_CLIENT;
     let mut owned = vec![half, half];
     owned.extend(std::iter::repeat(0).take(clients));
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: clients + 2,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: PAGE_SIZE,
-            buffer_frames: PAGES_PER_CLIENT as usize * 2,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::default(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(PAGE_SIZE)
+            .buffer_frames(PAGES_PER_CLIENT as usize * 2)
+            .default_owned_pages(0)
+            .build(),
+    )
     .expect("config");
     let cfg = WorkloadConfig {
         txns_per_client: TXNS,

@@ -11,9 +11,10 @@
 use super::{cbl_cluster, pages0};
 use crate::report::{f, Table};
 use cblog_baselines::log_merge_cost;
-use cblog_common::{HistogramSnapshot, NodeId, PageId};
-use cblog_core::recovery::recover_single;
+use cblog_common::{HistogramSnapshot, NodeId, PageId, RecoveryPhase};
+use cblog_core::recovery::recover;
 use cblog_core::Cluster;
+use cblog_core::RecoveryOptions;
 
 const CLIENTS: usize = 2;
 /// Unrelated committed transactions by a third, uninvolved client.
@@ -75,7 +76,7 @@ pub fn run_timings() -> Table {
     );
     for d in [1u32, 4, 16] {
         let row = run_one(d);
-        let us = |phase: &str| -> u64 {
+        let us = |phase: RecoveryPhase| -> u64 {
             row.phase_us
                 .iter()
                 .find(|(p, _)| *p == phase)
@@ -85,14 +86,14 @@ pub fn run_timings() -> Table {
         let total: u64 = row.phase_us.iter().map(|(_, v)| *v).sum();
         t.row(vec![
             d.to_string(),
-            us("analysis").to_string(),
-            us("info_exchange").to_string(),
-            us("lock_rebuild").to_string(),
-            us("recovery_sets").to_string(),
-            us("recovery_locks").to_string(),
-            us("psn_lists").to_string(),
-            us("replay").to_string(),
-            us("undo").to_string(),
+            us(RecoveryPhase::Analysis).to_string(),
+            us(RecoveryPhase::InfoExchange).to_string(),
+            us(RecoveryPhase::LockRebuild).to_string(),
+            us(RecoveryPhase::RecoverySets).to_string(),
+            us(RecoveryPhase::RecoveryLocks).to_string(),
+            us(RecoveryPhase::PsnLists).to_string(),
+            us(RecoveryPhase::Replay).to_string(),
+            us(RecoveryPhase::Undo).to_string(),
             total.to_string(),
             row.commit_force_us.p50().to_string(),
             row.commit_force_us.p95().to_string(),
@@ -117,7 +118,7 @@ pub struct CrashRow {
     /// Messages a merge-based scheme would send.
     pub merge_msgs: u64,
     /// Per-phase sim-time of the recovery run.
-    pub phase_us: Vec<(&'static str, u64)>,
+    pub phase_us: Vec<(RecoveryPhase, u64)>,
     /// Commit-force latency distribution of client 1's registry over
     /// the pre-crash workload.
     pub commit_force_us: HistogramSnapshot,
@@ -160,7 +161,7 @@ pub fn run_one(d: u32) -> CrashRow {
         .histogram("wal/commit_force_us")
         .snapshot();
     c.crash(NodeId(0));
-    let rep = recover_single(&mut c, NodeId(0)).expect("recovery");
+    let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).expect("recovery");
     CrashRow {
         pages: rep.pages_recovered,
         records: rep.records_replayed,
@@ -216,7 +217,7 @@ mod tests {
         let replay = row
             .phase_us
             .iter()
-            .find(|(p, _)| *p == "replay")
+            .find(|(p, _)| *p == RecoveryPhase::Replay)
             .map(|(_, v)| *v)
             .unwrap();
         assert!(replay > 0, "replay moves pages, so it costs sim-time");

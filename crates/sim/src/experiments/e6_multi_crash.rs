@@ -7,9 +7,9 @@
 
 use super::PAGE_SIZE;
 use crate::report::{f, Table};
-use cblog_common::{CostModel, NodeId, PageId};
+use cblog_common::{NodeId, PageId};
 use cblog_core::recovery::recover;
-use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{Cluster, ClusterConfig, RecoveryOptions};
 
 const PAGES_PER_OWNER: u32 = 6;
 
@@ -50,19 +50,14 @@ pub fn run() -> Table {
 /// Builds the topology, runs a mixed workload, crashes `which`, and
 /// recovers them together.
 pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: 5,
-        owned_pages: vec![PAGES_PER_OWNER, PAGES_PER_OWNER, 0, 0, 0],
-        default_node: NodeConfig {
-            page_size: PAGE_SIZE,
-            buffer_frames: 16,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::default(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![PAGES_PER_OWNER, PAGES_PER_OWNER, 0, 0, 0])
+            .page_size(PAGE_SIZE)
+            .buffer_frames(16)
+            .default_owned_pages(0)
+            .build(),
+    )
     .expect("config");
     // Committed cross-owner traffic from every client.
     for round in 0..3u64 {
@@ -99,7 +94,7 @@ pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
     for &n in which {
         c.crash(n);
     }
-    recover(&mut c, which).expect("multi recovery")
+    recover(&mut c, &RecoveryOptions::nodes(which)).expect("multi recovery")
 }
 
 #[cfg(test)]

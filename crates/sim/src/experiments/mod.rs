@@ -13,6 +13,7 @@ pub mod e4_page_transfer;
 pub mod e5_single_crash;
 pub mod e6_multi_crash;
 pub mod e7_checkpoint;
+pub mod e7_faults;
 pub mod e8_log_space;
 pub mod e9_rollback;
 pub mod t1_protocol_ops;
@@ -20,7 +21,7 @@ pub mod t1_protocol_ops;
 use crate::report::Table;
 use cblog_baselines::{ServerClientConfig, ServerCluster};
 use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{Cluster, ClusterConfig, GroupCommitPolicy, NodeConfig};
+use cblog_core::{Cluster, ClusterConfig, ClusterConfigBuilder, FaultPlan, GroupCommitPolicy};
 
 /// Standard page size used by the experiments.
 pub const PAGE_SIZE: usize = 1024;
@@ -31,6 +32,18 @@ pub fn cbl_cluster(clients: usize, pages: u32, frames: usize) -> Cluster {
     cbl_cluster_opts(clients, pages, frames, None, false)
 }
 
+/// Partially-configured builder shared by every cbl cluster shape:
+/// node 0 owns `pages`, `clients` diskless logging clients follow.
+pub fn cbl_builder(clients: usize, pages: u32, frames: usize) -> ClusterConfigBuilder {
+    let mut owned = vec![pages];
+    owned.extend(std::iter::repeat(0).take(clients));
+    ClusterConfig::builder()
+        .owned_pages(owned)
+        .page_size(PAGE_SIZE)
+        .buffer_frames(frames)
+        .default_owned_pages(0)
+}
+
 /// As [`cbl_cluster`] with a bounded log and/or force-on-transfer.
 pub fn cbl_cluster_opts(
     clients: usize,
@@ -39,21 +52,12 @@ pub fn cbl_cluster_opts(
     log_capacity: Option<u64>,
     force_on_transfer: bool,
 ) -> Cluster {
-    let mut owned = vec![pages];
-    owned.extend(std::iter::repeat(0).take(clients));
-    Cluster::new(ClusterConfig {
-        node_count: clients + 1,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: PAGE_SIZE,
-            buffer_frames: frames,
-            owned_pages: 0,
-            log_capacity,
-        },
-        cost: CostModel::default(),
-        force_on_transfer,
-        ..ClusterConfig::default()
-    })
+    Cluster::new(
+        cbl_builder(clients, pages, frames)
+            .log_capacity(log_capacity)
+            .force_on_transfer(force_on_transfer)
+            .build(),
+    )
     .expect("cluster config valid")
 }
 
@@ -64,22 +68,18 @@ pub fn cbl_cluster_gc(
     frames: usize,
     group_commit: GroupCommitPolicy,
 ) -> Cluster {
-    let mut owned = vec![pages];
-    owned.extend(std::iter::repeat(0).take(clients));
-    Cluster::new(ClusterConfig {
-        node_count: clients + 1,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: PAGE_SIZE,
-            buffer_frames: frames,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::default(),
-        force_on_transfer: false,
-        group_commit,
-    })
+    Cluster::new(
+        cbl_builder(clients, pages, frames)
+            .group_commit(group_commit)
+            .build(),
+    )
     .expect("cluster config valid")
+}
+
+/// As [`cbl_cluster`] with a fault-injection plan (experiment E7).
+pub fn cbl_cluster_faults(clients: usize, pages: u32, frames: usize, plan: FaultPlan) -> Cluster {
+    Cluster::new(cbl_builder(clients, pages, frames).faults(plan).build())
+        .expect("cluster config valid")
 }
 
 /// Builds the ARIES/CSA server-logging baseline with matching shape.
@@ -113,6 +113,7 @@ pub fn run_all() -> Vec<Table> {
         e5_single_crash::run_timings(),
         e6_multi_crash::run(),
         e7_checkpoint::run(),
+        e7_faults::run(),
         e8_log_space::run(),
         e9_rollback::run(),
         e10_pca::run(),

@@ -9,17 +9,17 @@
 //! Run with: `cargo run -p cblog-bench --example cluster_recovery`
 
 use cblog_common::{NodeId, PageId};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 use cblog_net::MsgKind;
 use cblog_sim::{run_workload, workload, Oracle, WorkloadConfig};
 
 fn main() {
-    let mut cluster = Cluster::new(ClusterConfig {
-        node_count: 4,
-        owned_pages: vec![8, 0, 8, 0], // owners: nodes 0 and 2
-        default_node: NodeConfig::default(),
-        ..ClusterConfig::default()
-    })
+    // Owners: nodes 0 and 2.
+    let mut cluster = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![8, 0, 8, 0])
+            .build(),
+    )
     .expect("cluster");
 
     // Every node (owners included) runs transactions against pages of
@@ -75,7 +75,8 @@ fn main() {
         .unwrap();
     cluster.commit(t).unwrap();
 
-    let report = recovery::recover_single(&mut cluster, NodeId(0)).expect("recovery");
+    let report =
+        recovery::recover(&mut cluster, &RecoveryOptions::single(NodeId(0))).expect("recovery");
     println!("\nrecovery report:");
     println!(
         "  pages replayed (NodePSNList):  {}",

@@ -16,18 +16,13 @@
 //! Run with: `cargo run -p cblog-bench --example field_service`
 
 use cblog_common::{NodeId, PageId};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 
 fn main() {
     let office = NodeId(0);
     let notebook = NodeId(1);
-    let mut cluster = Cluster::new(ClusterConfig {
-        node_count: 2,
-        owned_pages: vec![4, 0],
-        default_node: NodeConfig::default(),
-        ..ClusterConfig::default()
-    })
-    .expect("cluster");
+    let mut cluster =
+        Cluster::new(ClusterConfig::builder().owned_pages(vec![4, 0]).build()).expect("cluster");
 
     // Customer work-order pages are slotted record pages.
     let orders = PageId::new(office, 0);
@@ -76,7 +71,8 @@ fn main() {
     // local disk) survives; the cached pages do not. ---
     cluster.crash(notebook);
     println!("notebook crashed in the field");
-    let report = recovery::recover_single(&mut cluster, notebook).expect("recovery");
+    let report =
+        recovery::recover(&mut cluster, &RecoveryOptions::single(notebook)).expect("recovery");
     println!(
         "notebook recovered: {} page(s) rebuilt from its own log, {} records replayed",
         report.pages_recovered, report.records_replayed

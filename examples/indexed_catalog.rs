@@ -12,19 +12,16 @@
 
 use cblog_access::BTree;
 use cblog_common::{NodeId, PageId};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 
 fn main() {
-    let mut cluster = Cluster::new(ClusterConfig {
-        node_count: 3,
-        owned_pages: vec![24, 0, 0],
-        default_node: NodeConfig {
-            page_size: 2048,
-            buffer_frames: 48,
-            ..NodeConfig::default()
-        },
-        ..ClusterConfig::default()
-    })
+    let mut cluster = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![24, 0, 0])
+            .page_size(2048)
+            .buffer_frames(48)
+            .build(),
+    )
     .expect("cluster");
     let pages: Vec<PageId> = (0..24).map(|i| PageId::new(NodeId(0), i)).collect();
     for p in &pages {
@@ -63,7 +60,8 @@ fn main() {
     cluster.node_mut(NodeId(2)).force_log().unwrap();
     cluster.crash(NodeId(2));
     println!("workstation 2 crashed mid-bulk-load (30 uncommitted inserts)");
-    let rep = recovery::recover_single(&mut cluster, NodeId(2)).expect("recovery");
+    let rep =
+        recovery::recover(&mut cluster, &RecoveryOptions::single(NodeId(2))).expect("recovery");
     println!(
         "recovered: {} loser transaction undone, {} records replayed",
         rep.losers_undone, rep.records_replayed
@@ -76,7 +74,8 @@ fn main() {
         let _ = cluster.evict_page(NodeId(2), *p);
     }
     cluster.crash(NodeId(0));
-    let rep = recovery::recover_single(&mut cluster, NodeId(0)).expect("recovery");
+    let rep =
+        recovery::recover(&mut cluster, &RecoveryOptions::single(NodeId(0))).expect("recovery");
     println!(
         "owner recovered: {} tree pages replayed from the workstations' logs",
         rep.pages_recovered

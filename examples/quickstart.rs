@@ -7,18 +7,13 @@
 //! Run with: `cargo run -p cblog-bench --example quickstart`
 
 use cblog_common::{NodeId, PageId};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 
 fn main() {
     // Node 0 owns 8 pages; node 1 is a client workstation with a local
     // disk used for logging (the paper's paradigm).
-    let mut cluster = Cluster::new(ClusterConfig {
-        node_count: 2,
-        owned_pages: vec![8, 0],
-        default_node: NodeConfig::default(),
-        ..ClusterConfig::default()
-    })
-    .expect("cluster");
+    let mut cluster =
+        Cluster::new(ClusterConfig::builder().owned_pages(vec![8, 0]).build()).expect("cluster");
 
     let owner = NodeId(0);
     let client = NodeId(1);
@@ -56,7 +51,8 @@ fn main() {
     cluster.evict_page(client, account_b).unwrap();
     cluster.crash(owner);
     println!("owner crashed; recovering from the nodes' local logs...");
-    let report = recovery::recover_single(&mut cluster, owner).expect("recovery");
+    let report =
+        recovery::recover(&mut cluster, &RecoveryOptions::single(owner)).expect("recovery");
     println!(
         "recovery done: {} pages replayed, {} records, {} messages, no logs merged",
         report.pages_recovered, report.records_replayed, report.messages

@@ -8,27 +8,20 @@ use cblog_baselines::{
     force_on_transfer_cluster, PcaCluster, PcaConfig, ServerClientConfig, ServerCluster,
 };
 use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{Cluster, ClusterConfig, ClusterConfigBuilder};
 use cblog_net::MsgKind;
 use cblog_sim::{run_workload, workload, System, WorkloadConfig};
 
 const PAGES: u32 = 8;
 const CLIENTS: usize = 2;
 
-fn cbl_cfg() -> ClusterConfig {
-    ClusterConfig {
-        node_count: CLIENTS + 1,
-        owned_pages: vec![PAGES, 0, 0],
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: 16,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    }
+fn cbl_cfg() -> ClusterConfigBuilder {
+    ClusterConfig::builder()
+        .owned_pages(vec![PAGES, 0, 0])
+        .page_size(1024)
+        .buffer_frames(16)
+        .default_owned_pages(0)
+        .cost(CostModel::unit())
 }
 
 fn csa() -> ServerCluster {
@@ -89,7 +82,7 @@ fn pca() -> PcaCluster {
 
 #[test]
 fn all_four_systems_reach_identical_committed_state() {
-    let mut cbl = Cluster::new(cbl_cfg()).unwrap();
+    let mut cbl = Cluster::new(cbl_cfg().build()).unwrap();
     let mut fot = force_on_transfer_cluster(cbl_cfg()).unwrap();
     let mut srv = csa();
     let mut p = pca();
@@ -105,7 +98,7 @@ fn all_four_systems_reach_identical_committed_state() {
 
 #[test]
 fn cost_profiles_differ_as_the_paper_argues() {
-    let mut cbl = Cluster::new(cbl_cfg()).unwrap();
+    let mut cbl = Cluster::new(cbl_cfg().build()).unwrap();
     let mut srv = csa();
     let s_cbl = run_workload(&mut cbl, wl(7)).unwrap();
     let s_srv = run_workload(&mut srv, wl(7)).unwrap();
@@ -130,7 +123,7 @@ fn cost_profiles_differ_as_the_paper_argues() {
 
 #[test]
 fn force_on_transfer_only_adds_disk_writes_never_changes_reads() {
-    let mut cbl = Cluster::new(cbl_cfg()).unwrap();
+    let mut cbl = Cluster::new(cbl_cfg().build()).unwrap();
     let mut fot = force_on_transfer_cluster(cbl_cfg()).unwrap();
     let s1 = run_workload(&mut cbl, wl(13)).unwrap();
     let s2 = run_workload(&mut fot, wl(13)).unwrap();

@@ -4,23 +4,19 @@
 //! the unit tests.
 
 use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 use cblog_sim::{run_workload, workload, Oracle, WorkloadConfig};
 
 fn cluster(owned: Vec<u32>, frames: usize) -> Cluster {
-    Cluster::new(ClusterConfig {
-        node_count: owned.len(),
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: frames,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(1024)
+            .buffer_frames(frames)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap()
 }
 
@@ -84,7 +80,7 @@ fn owner_crash_between_phases() {
         let _ = c.evict_page(NodeId(2), *p);
     }
     c.crash(NodeId(0));
-    recovery::recover_single(&mut c, NodeId(0)).unwrap();
+    recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
     phase(&mut c, &clients, &pgs, 11, &mut oracle);
     oracle.verify(&mut c, NodeId(1)).unwrap();
 }
@@ -97,7 +93,7 @@ fn client_crash_between_phases() {
     let mut oracle = Oracle::new();
     phase(&mut c, &clients, &pgs, 20, &mut oracle);
     c.crash(NodeId(1));
-    recovery::recover_single(&mut c, NodeId(1)).unwrap();
+    recovery::recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
     phase(&mut c, &clients, &pgs, 21, &mut oracle);
     oracle.verify(&mut c, NodeId(2)).unwrap();
 }
@@ -114,7 +110,7 @@ fn repeated_crashes_of_the_same_owner() {
             let _ = c.evict_page(NodeId(1), *p);
         }
         c.crash(NodeId(0));
-        recovery::recover_single(&mut c, NodeId(0)).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         oracle.verify(&mut c, NodeId(1)).unwrap();
     }
 }
@@ -135,7 +131,7 @@ fn alternating_owner_and_client_crashes() {
             }
         }
         c.crash(victim);
-        recovery::recover_single(&mut c, victim).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(victim)).unwrap();
         oracle.verify(&mut c, NodeId(1)).unwrap();
     }
 }
@@ -152,7 +148,7 @@ fn simultaneous_owner_and_client_crash() {
     }
     c.crash(NodeId(0));
     c.crash(NodeId(1));
-    let rep = recovery::recover(&mut c, &[NodeId(0), NodeId(1)]).unwrap();
+    let rep = recovery::recover(&mut c, &RecoveryOptions::nodes(&[NodeId(0), NodeId(1)])).unwrap();
     assert_eq!(rep.recovered_nodes.len(), 2);
     oracle.verify(&mut c, NodeId(2)).unwrap();
     phase(&mut c, &clients, &pgs, 51, &mut oracle);
@@ -171,7 +167,7 @@ fn all_nodes_crash_and_recover_together() {
         c.crash(NodeId(n));
     }
     let all: Vec<NodeId> = (0..4).map(NodeId).collect();
-    recovery::recover(&mut c, &all).unwrap();
+    recovery::recover(&mut c, &RecoveryOptions::nodes(&all)).unwrap();
     oracle.verify(&mut c, NodeId(3)).unwrap();
 }
 
@@ -192,7 +188,7 @@ fn losers_at_crash_are_invisible_afterwards() {
     c.write_u64(loser, pgs[1], 0, 9999).unwrap();
     c.node_mut(NodeId(2)).force_log().unwrap();
     c.crash(NodeId(2));
-    let rep = recovery::recover_single(&mut c, NodeId(2)).unwrap();
+    let rep = recovery::recover(&mut c, &RecoveryOptions::single(NodeId(2))).unwrap();
     assert_eq!(rep.losers_undone, 1);
     let t = c.begin(NodeId(1)).unwrap();
     assert_eq!(c.read_u64(t, pgs[0], 0).unwrap(), 1000);

@@ -3,23 +3,19 @@
 //! pages and savepoints.
 
 use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{Cluster, ClusterConfig};
 use cblog_sim::{run_workload, workload, WorkloadConfig};
 
 fn cluster(owned: Vec<u32>, frames: usize) -> Cluster {
-    Cluster::new(ClusterConfig {
-        node_count: owned.len(),
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: frames,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(1024)
+            .buffer_frames(frames)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap()
 }
 
@@ -176,19 +172,16 @@ fn rollback_after_eviction_refetches_pages() {
 
 #[test]
 fn bounded_logs_on_all_nodes_sustain_long_runs() {
-    let mut c = Cluster::new(ClusterConfig {
-        node_count: 3,
-        owned_pages: vec![8, 0, 0],
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: 16,
-            owned_pages: 0,
-            log_capacity: Some(16 * 1024),
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![8, 0, 0])
+            .page_size(1024)
+            .buffer_frames(16)
+            .default_owned_pages(0)
+            .log_capacity(Some(16 * 1024))
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap();
     let cfg = WorkloadConfig {
         txns_per_client: 120,

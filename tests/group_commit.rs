@@ -4,25 +4,22 @@
 //! across window settings.
 
 use cblog_common::{CostModel, NodeId, PageId};
-use cblog_core::{recovery, Cluster, ClusterConfig, GroupCommitPolicy, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, GroupCommitPolicy, RecoveryOptions};
 use cblog_sim::{run_workload, workload, WorkloadConfig};
 
 fn gc_cluster(clients: usize, pages: u32, policy: GroupCommitPolicy) -> Cluster {
     let mut owned = vec![pages];
     owned.extend(std::iter::repeat(0).take(clients));
-    Cluster::new(ClusterConfig {
-        node_count: clients + 1,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: 32,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        group_commit: policy,
-    })
+    Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(1024)
+            .buffer_frames(32)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .group_commit(policy)
+            .build(),
+    )
     .unwrap()
 }
 
@@ -57,7 +54,7 @@ fn crash_with_open_window_loses_exactly_the_unacked_commits() {
     // Crash while the window is open: the unforced Commit records are
     // lost, so exactly B and C roll back; A survives.
     c.crash(NodeId(1));
-    recovery::recover_single(&mut c, NodeId(1)).unwrap();
+    recovery::recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
     let t = c.begin(NodeId(2)).unwrap();
     assert_eq!(
         c.read_u64(t, p0, 0).unwrap(),

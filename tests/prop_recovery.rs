@@ -10,7 +10,7 @@
 //! its printed case number.
 
 use cblog_common::{CostModel, NodeId, PageId, Rng};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 use cblog_sim::{run_workload, workload, WorkloadConfig};
 
 const OWNER_PAGES: u32 = 6;
@@ -18,19 +18,15 @@ const OWNER_PAGES: u32 = 6;
 fn build(clients: usize, frames: usize) -> Cluster {
     let mut owned = vec![OWNER_PAGES];
     owned.extend(std::iter::repeat(0).take(clients));
-    Cluster::new(ClusterConfig {
-        node_count: clients + 1,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: frames,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(1024)
+            .buffer_frames(frames)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap()
 }
 
@@ -72,7 +68,7 @@ fn owner_crash_preserves_committed_state() {
             }
         }
         c.crash(NodeId(0));
-        recovery::recover_single(&mut c, NodeId(0)).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         stats
             .oracle
             .verify(&mut c, ids[0])
@@ -108,7 +104,7 @@ fn client_crash_preserves_committed_state() {
             c.node_mut(victim).force_log().unwrap();
         }
         c.crash(victim);
-        recovery::recover_single(&mut c, victim).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(victim)).unwrap();
         let reader = *ids.iter().find(|n| **n != victim).unwrap();
         stats
             .oracle
@@ -148,7 +144,7 @@ fn double_crash_preserves_committed_state() {
         }
         c.crash(NodeId(0));
         c.crash(NodeId(1));
-        recovery::recover(&mut c, &[NodeId(0), NodeId(1)]).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::nodes(&[NodeId(0), NodeId(1)])).unwrap();
         stats
             .oracle
             .verify(&mut c, NodeId(2))
@@ -180,7 +176,7 @@ fn recovery_is_idempotent_under_repeated_crashes() {
         }
         for _ in 0..rounds {
             c.crash(NodeId(0));
-            recovery::recover_single(&mut c, NodeId(0)).unwrap();
+            recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
         }
         stats
             .oracle

@@ -6,7 +6,7 @@
 //! missed undo — failure modes that point-value oracles can miss.
 
 use cblog_common::{CostModel, Error, NodeId, PageId, TxnId};
-use cblog_core::{recovery, Cluster, ClusterConfig, NodeConfig};
+use cblog_core::{recovery, Cluster, ClusterConfig, RecoveryOptions};
 use cblog_locks::WaitsForGraph;
 use cblog_sim::workload::{generate_transfers, TransferSpec};
 use std::collections::VecDeque;
@@ -18,19 +18,15 @@ const INITIAL: u64 = 1_000;
 fn cluster(clients: usize) -> Cluster {
     let mut owned = vec![PAGES];
     owned.extend(std::iter::repeat(0).take(clients));
-    Cluster::new(ClusterConfig {
-        node_count: clients + 1,
-        owned_pages: owned,
-        default_node: NodeConfig {
-            page_size: 1024,
-            buffer_frames: 8,
-            owned_pages: 0,
-            log_capacity: None,
-        },
-        cost: CostModel::unit(),
-        force_on_transfer: false,
-        ..ClusterConfig::default()
-    })
+    Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(1024)
+            .buffer_frames(8)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .build(),
+    )
     .unwrap()
 }
 
@@ -165,7 +161,7 @@ fn total_balance_survives_owner_crash_and_recovery() {
         let _ = c.evict_page(NodeId(2), pid);
     }
     c.crash(NodeId(0));
-    recovery::recover_single(&mut c, NodeId(0)).unwrap();
+    recovery::recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
     let expect = INITIAL * (PAGES as u64) * (SLOTS as u64);
     assert_eq!(total(&mut c, NodeId(1)), expect);
 }
@@ -187,7 +183,7 @@ fn total_balance_survives_repeated_mixed_crashes() {
             }
         }
         c.crash(victim);
-        recovery::recover_single(&mut c, victim).unwrap();
+        recovery::recover(&mut c, &RecoveryOptions::single(victim)).unwrap();
         assert_eq!(
             total(&mut c, NodeId(2)),
             expect,
@@ -216,7 +212,7 @@ fn in_flight_transfers_at_crash_time_vanish_atomically() {
     // Crash before the credit, with the debit durable in the log.
     c.node_mut(NodeId(1)).force_log().unwrap();
     c.crash(NodeId(1));
-    recovery::recover_single(&mut c, NodeId(1)).unwrap();
+    recovery::recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
     let expect = INITIAL * (PAGES as u64) * (SLOTS as u64);
     assert_eq!(
         total(&mut c, NodeId(2)),
