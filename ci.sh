@@ -19,6 +19,18 @@ echo "==> E7 fault-injection experiment (BENCH_e7_faults.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
     --json --only "E7 faults" > BENCH_e7_faults.json
 
+echo "==> E8b trace-overhead experiment (BENCH_e8_trace_overhead.json)"
+cargo run --release --offline -p cblog-bench --bin experiments -- \
+    --json --only "E8b" > BENCH_e8_trace_overhead.json
+
+echo "==> tracedump smoke: watchdog-verified E5 lineage + Chrome JSON"
+# (plain grep, not -q: -q exits at first match and the early SIGPIPE
+# would mask the dump's own exit status)
+cargo run --release --offline -p cblog-bench --bin tracedump -- \
+    --scenario e5 | grep "replay-hop" > /dev/null
+cargo run --release --offline -p cblog-bench --bin tracedump -- \
+    --scenario e5 --json | grep '"traceEvents"' > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -20,14 +20,23 @@
 //! layer.
 //!
 //! Simplifications (documented, not hidden): fixed `u64 → u64`
-//! key/value pairs; deletion removes entries without rebalancing
-//! (nodes may underflow but never become incorrect); the fan-out is a
+//! key/value pairs; deletion does not rebalance underflowed nodes,
+//! but a leaf that empties completely is folded out of its parent (a
+//! structural merge that frees the node record); the fan-out is a
 //! configurable constant so tests can force deep trees on few pages.
+//!
+//! Structural operations are observable: every traverse, split, and
+//! merge bumps an `access/*` counter on the transaction's home node
+//! and — when the cluster's causal tracer is on — emits a `Tree` span
+//! under the transaction's span, so B+-tree work shows up in PSN
+//! lineages and the Chrome trace next to the page transfers it causes.
 
 mod node;
 
 pub use node::{NodeKind, TreeNode};
 
+use cblog_common::metrics::keys;
+use cblog_common::span::{SpanKind, TreeOp};
 use cblog_common::{Error, PageId, Result, Rid, TxnId};
 use cblog_core::Cluster;
 
@@ -93,6 +102,28 @@ impl BTree {
         bytes
     }
 
+    /// Counts a structural operation on the transaction's home node
+    /// and emits a `Tree` span under the transaction's span when the
+    /// cluster's tracer is on.
+    fn note(&self, cluster: &Cluster, txn: TxnId, op: TreeOp) {
+        let key = match op {
+            TreeOp::Traverse => keys::ACCESS_TRAVERSES,
+            TreeOp::Split => keys::ACCESS_SPLITS,
+            TreeOp::Merge => keys::ACCESS_MERGES,
+        };
+        cluster.node(txn.node).registry().counter(key).bump();
+        let tracer = cluster.tracer();
+        if tracer.is_enabled() {
+            let now = cluster.network().clock().now();
+            tracer.point(
+                now,
+                txn.node,
+                cluster.txn_ctx(txn).span,
+                SpanKind::Tree { op, txn },
+            );
+        }
+    }
+
     fn load(&self, cluster: &mut Cluster, txn: TxnId, rid: Rid) -> Result<TreeNode> {
         let bytes = cluster.read_record(txn, rid)?;
         TreeNode::decode(&bytes)
@@ -116,6 +147,7 @@ impl BTree {
 
     /// Looks a key up.
     pub fn get(&self, cluster: &mut Cluster, txn: TxnId, key: u64) -> Result<Option<u64>> {
+        self.note(cluster, txn, TreeOp::Traverse);
         let mut rid = self.root;
         loop {
             let node = self.load(cluster, txn, rid)?;
@@ -130,6 +162,7 @@ impl BTree {
     /// root splits, the root record is rewritten in place as a new
     /// internal node so [`BTree::root`] stays valid.
     pub fn insert(&self, cluster: &mut Cluster, txn: TxnId, key: u64, value: u64) -> Result<()> {
+        self.note(cluster, txn, TreeOp::Traverse);
         if let Some((sep, right_rid)) = self.insert_rec(cluster, txn, self.root, key, value)? {
             // Root split: move the current root contents into a new
             // record, rewrite the root record as an internal node over
@@ -163,6 +196,7 @@ impl BTree {
                 let (sep, right) = node.split_leaf();
                 let right_rid = self.alloc(cluster, txn, &right)?;
                 self.store(cluster, txn, rid, &node)?;
+                self.note(cluster, txn, TreeOp::Split);
                 Ok(Some((sep, right_rid)))
             }
             NodeKind::Internal => {
@@ -179,26 +213,52 @@ impl BTree {
                 let (up, right) = node.split_internal();
                 let right_rid2 = self.alloc(cluster, txn, &right)?;
                 self.store(cluster, txn, rid, &node)?;
+                self.note(cluster, txn, TreeOp::Split);
                 Ok(Some((up, right_rid2)))
             }
         }
     }
 
-    /// Removes a key, returning its value. No rebalancing: nodes may
-    /// underflow but the tree stays correct.
+    /// Removes a key, returning its value. Underflowed nodes are not
+    /// rebalanced, but a leaf that empties completely is merged away:
+    /// its parent drops the separator and pointer and the node record
+    /// is freed (all inside `txn`, so an abort restores it).
     pub fn delete(&self, cluster: &mut Cluster, txn: TxnId, key: u64) -> Result<Option<u64>> {
-        let mut rid = self.root;
-        loop {
-            let mut node = self.load(cluster, txn, rid)?;
-            match node.kind() {
-                NodeKind::Leaf => {
-                    let old = node.leaf_remove(key);
-                    if old.is_some() {
-                        self.store(cluster, txn, rid, &node)?;
-                    }
-                    return Ok(old);
+        self.note(cluster, txn, TreeOp::Traverse);
+        let (old, _) = self.delete_rec(cluster, txn, self.root, key)?;
+        Ok(old)
+    }
+
+    /// Recursive delete; returns `(removed_value, child_is_empty_leaf)`
+    /// so the parent can fold an emptied leaf out of the tree.
+    fn delete_rec(
+        &self,
+        cluster: &mut Cluster,
+        txn: TxnId,
+        rid: Rid,
+        key: u64,
+    ) -> Result<(Option<u64>, bool)> {
+        let mut node = self.load(cluster, txn, rid)?;
+        match node.kind() {
+            NodeKind::Leaf => {
+                let old = node.leaf_remove(key);
+                if old.is_some() {
+                    self.store(cluster, txn, rid, &node)?;
                 }
-                NodeKind::Internal => rid = node.child_for(key),
+                Ok((old, old.is_some() && node.is_empty()))
+            }
+            NodeKind::Internal => {
+                let child = node.child_for(key);
+                let (old, child_empty) = self.delete_rec(cluster, txn, child, key)?;
+                // Merge an emptied leaf into its sibling's key range —
+                // unless it is this node's only child (a lone empty
+                // leaf is still a correct, if trivial, subtree).
+                if child_empty && node.internal_remove_child(child) {
+                    self.store(cluster, txn, rid, &node)?;
+                    cluster.delete_record(txn, child)?;
+                    self.note(cluster, txn, TreeOp::Merge);
+                }
+                Ok((old, false))
             }
         }
     }
@@ -212,6 +272,7 @@ impl BTree {
         lo: u64,
         hi: u64,
     ) -> Result<Vec<(u64, u64)>> {
+        self.note(cluster, txn, TreeOp::Traverse);
         let mut out = Vec::new();
         self.range_rec(cluster, txn, self.root, lo, hi, &mut out)?;
         Ok(out)

@@ -158,6 +158,25 @@ impl TreeNode {
         self.children.insert(i + 1, right);
     }
 
+    /// Removes child `rid` and the separator bounding it (internal
+    /// only): the dropped child's key range folds into its left
+    /// sibling (or the new first child, when `rid` was leftmost).
+    /// Returns false — and leaves the node untouched — if `rid` is
+    /// not a child or is the node's only child (removing it would
+    /// leave an internal node over nothing).
+    pub fn internal_remove_child(&mut self, rid: Rid) -> bool {
+        debug_assert_eq!(self.kind, NodeKind::Internal);
+        let Some(i) = self.children.iter().position(|c| *c == rid) else {
+            return false;
+        };
+        if self.keys.is_empty() {
+            return false;
+        }
+        self.children.remove(i);
+        self.keys.remove(i.saturating_sub(1));
+        true
+    }
+
     /// Splits a full internal node; returns `(promoted_key, right)`.
     /// The promoted key moves up and appears in neither half.
     pub fn split_internal(&mut self) -> (u64, TreeNode) {

@@ -260,3 +260,71 @@ fn crash_mid_transaction_loses_uncommitted_tree_growth() {
     }
     c.commit(t).unwrap();
 }
+
+#[test]
+fn structural_ops_are_counted_and_traced() {
+    use cblog_common::metrics::keys;
+    use cblog_common::span::{SpanKind, TreeOp};
+    let mut owned = vec![TREE_PAGES, 0];
+    owned.truncate(2);
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned)
+            .page_size(2048)
+            .buffer_frames(48)
+            .default_owned_pages(0)
+            .cost(CostModel::unit())
+            .tracing(true)
+            .build(),
+    )
+    .unwrap();
+    let pages: Vec<PageId> = (0..TREE_PAGES).map(|i| PageId::new(NodeId(0), i)).collect();
+    for p in &pages {
+        c.format_slotted(*p).unwrap();
+    }
+    let t = c.begin(NodeId(1)).unwrap();
+    let tree = BTree::create(&mut c, t, pages, 4).unwrap();
+    for k in 0..60u64 {
+        tree.insert(&mut c, t, k, k).unwrap();
+    }
+    assert_eq!(tree.get(&mut c, t, 30).unwrap(), Some(30));
+    for k in 0..60u64 {
+        tree.delete(&mut c, t, k).unwrap();
+    }
+    assert_eq!(
+        tree.check(&mut c, t).unwrap(),
+        0,
+        "tree emptied, still sound"
+    );
+    c.commit(t).unwrap();
+
+    let reg = c.node(NodeId(1)).registry();
+    let traverses = reg.counter(keys::ACCESS_TRAVERSES).get();
+    let splits = reg.counter(keys::ACCESS_SPLITS).get();
+    let merges = reg.counter(keys::ACCESS_MERGES).get();
+    assert!(
+        traverses >= 121,
+        "get+insert+delete each traverse: {traverses}"
+    );
+    assert!(splits > 0, "fan-out 4 over 60 keys splits: {splits}");
+    assert!(merges > 0, "emptied leaves merge away: {merges}");
+
+    // The spans mirror the counters and hang off the transaction span.
+    let spans = c.tracer().spans();
+    let tree_spans: Vec<_> = spans
+        .iter()
+        .filter_map(|s| match s.kind {
+            SpanKind::Tree { op, .. } => Some((op, s.parent)),
+            _ => None,
+        })
+        .collect();
+    let count = |want: TreeOp| tree_spans.iter().filter(|(op, _)| *op == want).count() as u64;
+    assert_eq!(count(TreeOp::Traverse), traverses);
+    assert_eq!(count(TreeOp::Split), splits);
+    assert_eq!(count(TreeOp::Merge), merges);
+    assert!(
+        tree_spans.iter().all(|(_, parent)| !parent.is_none()),
+        "tree spans are parented under their transaction"
+    );
+    c.trace_check().unwrap();
+}

@@ -22,6 +22,7 @@
 //! second copy of any log record, steal buffering. Experiment E10
 //! prints the resulting per-commit costs side by side.
 
+use cblog_common::metrics::keys;
 use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Registry, Result, SimTime, TxnId};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
@@ -148,6 +149,12 @@ impl PcaCluster {
         &self.net
     }
 
+    /// Baselines carry no causal tracer; the watchdog check is
+    /// vacuously true (driver symmetry with [`cblog_core::Cluster`]).
+    pub fn trace_check(&self) -> Result<()> {
+        Ok(())
+    }
+
     /// The system-wide metrics registry (mirrors the CBL cluster's
     /// `subsystem/metric` naming, per-node entries under `n<id>/`).
     pub fn registry(&self) -> &Registry {
@@ -157,7 +164,7 @@ impl PcaCluster {
     /// Folds a driver-observed lock-queueing delay into the uniform
     /// `locks/wait_us` histogram (see `ServerCluster::note_queue_wait`).
     pub fn note_queue_wait(&mut self, _txn: TxnId, us: SimTime) {
-        self.registry.histogram("locks/wait_us").record(us);
+        self.registry.histogram(keys::LOCKS_WAIT_US).record(us);
     }
 
     /// Local log of `node`.
@@ -327,12 +334,12 @@ impl PcaCluster {
             t.terminated = true;
             n.local.release_all(txn);
         }
-        let commits = self.registry.counter("txn/commits");
+        let commits = self.registry.counter(keys::TXN_COMMITS);
         commits.bump();
         let forces: u64 = self.nodes.iter().map(|n| n.log.forces()).sum();
         let ratio = forces * 1000 / commits.get();
         self.registry
-            .gauge("wal/forces_per_commit")
+            .gauge(keys::WAL_FORCES_PER_COMMIT)
             .set(ratio as i64);
         Ok(())
     }
@@ -379,7 +386,7 @@ impl PcaCluster {
             n.buffer.unpin(p)?;
         }
         n.local.release_all(txn);
-        self.registry.counter("txn/aborts").bump();
+        self.registry.counter(keys::TXN_ABORTS).bump();
         Ok(())
     }
 

@@ -20,6 +20,7 @@
 //! * a server checkpoint "requires communication with all connected
 //!   clients" — it synchronously collects their dirty-page lists.
 
+use cblog_common::metrics::keys;
 use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Registry, Result, SimTime, TxnId};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
@@ -127,10 +128,10 @@ impl ServerCluster {
         }
         let log = LogManager::new(SERVER, Box::new(MemLogStore::new()))?;
         let registry = Registry::new();
-        registry.register_counter("wal/records", log.records_counter());
-        registry.register_counter("wal/forces", log.forces_counter());
-        registry.register_counter("wal/bytes", log.bytes_appended_counter());
-        registry.register_counter("wal/store_syncs", log.store_syncs_counter());
+        registry.register_counter(keys::WAL_RECORDS, log.records_counter());
+        registry.register_counter(keys::WAL_FORCES, log.forces_counter());
+        registry.register_counter(keys::WAL_BYTES, log.bytes_appended_counter());
+        registry.register_counter(keys::WAL_STORE_SYNCS, log.store_syncs_counter());
         let net = Network::new(cfg.clients + 1, cfg.cost.clone());
         let clients = (1..=cfg.clients)
             .map(|i| Client {
@@ -163,6 +164,12 @@ impl ServerCluster {
         &self.net
     }
 
+    /// Baselines carry no causal tracer; the watchdog check is
+    /// vacuously true (driver symmetry with [`cblog_core::Cluster`]).
+    pub fn trace_check(&self) -> Result<()> {
+        Ok(())
+    }
+
     /// The system-wide metrics registry (`subsystem/metric` names,
     /// mirroring the per-node registries of the CBL cluster).
     pub fn registry(&self) -> &Registry {
@@ -173,7 +180,7 @@ impl ServerCluster {
     /// `locks/wait_us` histogram (the CBL cluster tracks these spans
     /// itself; the baselines learn about them from the driver).
     pub fn note_queue_wait(&mut self, _txn: TxnId, us: SimTime) {
-        self.registry.histogram("locks/wait_us").record(us);
+        self.registry.histogram(keys::LOCKS_WAIT_US).record(us);
     }
 
     /// The server's log (the system's only log).
@@ -285,11 +292,11 @@ impl ServerCluster {
         t.server_last_lsn = lsn;
         c.local.release_all(txn);
         c.commits += 1;
-        let commits = self.registry.counter("txn/commits");
+        let commits = self.registry.counter(keys::TXN_COMMITS);
         commits.bump();
         let ratio = self.log.forces() * 1000 / commits.get();
         self.registry
-            .gauge("wal/forces_per_commit")
+            .gauge(keys::WAL_FORCES_PER_COMMIT)
             .set(ratio as i64);
         Ok(())
     }
@@ -374,7 +381,7 @@ impl ServerCluster {
         t.aborted = true;
         c.local.release_all(txn);
         c.aborts += 1;
-        self.registry.counter("txn/aborts").bump();
+        self.registry.counter(keys::TXN_ABORTS).bump();
         Ok(())
     }
 

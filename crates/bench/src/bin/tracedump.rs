@@ -1,0 +1,65 @@
+//! Dumps causal traces from the traced scenario runs. Usage:
+//!
+//! ```text
+//! cargo run --release -p cblog-bench --bin tracedump -- \
+//!     [--scenario e5|e6|e7] [--page P0.3] [--json]
+//! ```
+//!
+//! Default mode prints the trace summary (span counts, watchdog
+//! verdict) and the PSN lineage of `--page` — or of the busiest page
+//! when no page is given. `--json` instead emits the whole span store
+//! as Chrome trace-event JSON on stdout, loadable in `chrome://tracing`
+//! or Perfetto. The scenario fails (exit 1, lineage slice on stderr)
+//! if the invariant watchdog flagged any span.
+
+use cblog_common::{NodeId, PageId};
+use cblog_sim::tracedump::{run_scenario, summary, SCENARIOS};
+
+/// Parses `P<owner>.<index>` (the `PageId` display form; the leading
+/// `P` is optional).
+fn parse_page(s: &str) -> Option<PageId> {
+    let s = s.strip_prefix('P').unwrap_or(s);
+    let (owner, index) = s.split_once('.')?;
+    Some(PageId::new(
+        NodeId(owner.parse().ok()?),
+        index.parse().ok()?,
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let scenario = arg_after("--scenario").map_or("e5", |s| s.as_str());
+    let json = args.iter().any(|a| a == "--json");
+    let page = match arg_after("--page") {
+        Some(s) => match parse_page(s) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!("bad --page {s:?}: expected P<owner>.<index>, e.g. P0.3");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let cluster = match run_scenario(scenario) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("scenario {scenario:?} failed (known: {SCENARIOS:?}):\n{e}");
+            std::process::exit(1);
+        }
+    };
+    let tracer = cluster.tracer();
+    if json {
+        println!("{}", tracer.chrome_trace_json());
+        return;
+    }
+    println!("scenario {scenario}: {}", summary(&cluster));
+    match page.or_else(|| tracer.busiest_page()) {
+        Some(pid) => print!("{}", tracer.render_lineage(pid)),
+        None => println!("(no page-scoped spans recorded)"),
+    }
+}

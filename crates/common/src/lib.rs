@@ -22,9 +22,11 @@
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod metrics;
 pub mod obs;
 pub mod rng;
 pub mod simclock;
+pub mod span;
 pub mod stats;
 pub mod trace;
 
@@ -34,5 +36,6 @@ pub use ids::{Lsn, NodeId, PageId, Psn, Rid, TxnId};
 pub use obs::{Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot};
 pub use rng::Rng;
 pub use simclock::{CostModel, SimClock, SimTime};
+pub use span::{Span, SpanCtx, SpanId, SpanKind, Tracer, TransferWhy, TreeOp, Violation};
 pub use stats::Counter;
 pub use trace::{FlightRecorder, RecoveryPhase, TraceEvent, TraceRecord};

@@ -1,0 +1,123 @@
+//! Canonical metric names.
+//!
+//! Every registry key in the workspace lives here as a `const`, so a
+//! typo in a metric name is a compile error instead of a silently
+//! fresh counter. Names follow the `subsystem/metric` convention the
+//! registry documents; cluster snapshots prefix them with `n<id>/`.
+
+/// The canonical registry key for every metric in the workspace.
+pub mod keys {
+    // ---- write-ahead log ----
+    /// Log records appended.
+    pub const WAL_RECORDS: &str = "wal/records";
+    /// Log forces (synchronous flushes).
+    pub const WAL_FORCES: &str = "wal/forces";
+    /// Log bytes appended.
+    pub const WAL_BYTES: &str = "wal/bytes";
+    /// Backing-store syncs performed by the log.
+    pub const WAL_STORE_SYNCS: &str = "wal/store_syncs";
+    /// Torn log-tail bytes discarded by checksum repair at restart.
+    pub const WAL_TORN_BYTES: &str = "wal/torn_bytes";
+    /// Histogram: simulated duration of one log force, µs.
+    pub const WAL_FORCE_US: &str = "wal/force_us";
+    /// Histogram: commit records covered per group-commit force.
+    pub const WAL_GROUP_SIZE: &str = "wal/group_size";
+    /// Histogram: commit-force latency, µs.
+    pub const WAL_COMMIT_FORCE_US: &str = "wal/commit_force_us";
+    /// Gauge: forces per commit ×1000 (running ratio).
+    pub const WAL_FORCES_PER_COMMIT: &str = "wal/forces_per_commit";
+
+    // ---- buffer pool ----
+    /// Buffer hits.
+    pub const BUF_HITS: &str = "buf/hits";
+    /// Buffer misses.
+    pub const BUF_MISSES: &str = "buf/misses";
+    /// Evictions.
+    pub const BUF_EVICTIONS: &str = "buf/evictions";
+    /// Dirty pages stolen (replaced to their owner while dirty).
+    pub const BUF_DIRTY_STEALS: &str = "buf/dirty_steals";
+
+    // ---- database (page store) ----
+    /// Page reads from disk.
+    pub const DB_READS: &str = "db/reads";
+    /// Page writes to disk.
+    pub const DB_WRITES: &str = "db/writes";
+    /// Store syncs.
+    pub const DB_SYNCS: &str = "db/syncs";
+
+    // ---- transactions ----
+    /// Commits.
+    pub const TXN_COMMITS: &str = "txn/commits";
+    /// Aborts.
+    pub const TXN_ABORTS: &str = "txn/aborts";
+
+    // ---- locking ----
+    /// Lock acquisitions.
+    pub const LOCKS_ACQUISITIONS: &str = "locks/acquisitions";
+    /// Lock requests that had to wait.
+    pub const LOCKS_WAITS: &str = "locks/waits";
+    /// Histogram: lock wait time, µs.
+    pub const LOCKS_WAIT_US: &str = "locks/wait_us";
+    /// Deadlocks broken.
+    pub const LOCKS_DEADLOCKS: &str = "locks/deadlocks";
+
+    // ---- tracing / flight recorder ----
+    /// Gauge: flight-recorder events lost to ring wraparound.
+    pub const TRACE_DROPPED_EVENTS: &str = "trace/dropped_events";
+
+    // ---- B+-tree access method ----
+    /// Root-to-leaf traversals.
+    pub const ACCESS_TRAVERSES: &str = "access/traverses";
+    /// Leaf splits.
+    pub const ACCESS_SPLITS: &str = "access/splits";
+    /// Leaf merges.
+    pub const ACCESS_MERGES: &str = "access/merges";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::keys;
+
+    #[test]
+    fn key_names_are_unique_and_well_formed() {
+        let all = [
+            keys::WAL_RECORDS,
+            keys::WAL_FORCES,
+            keys::WAL_BYTES,
+            keys::WAL_STORE_SYNCS,
+            keys::WAL_TORN_BYTES,
+            keys::WAL_FORCE_US,
+            keys::WAL_GROUP_SIZE,
+            keys::WAL_COMMIT_FORCE_US,
+            keys::WAL_FORCES_PER_COMMIT,
+            keys::BUF_HITS,
+            keys::BUF_MISSES,
+            keys::BUF_EVICTIONS,
+            keys::BUF_DIRTY_STEALS,
+            keys::DB_READS,
+            keys::DB_WRITES,
+            keys::DB_SYNCS,
+            keys::TXN_COMMITS,
+            keys::TXN_ABORTS,
+            keys::LOCKS_ACQUISITIONS,
+            keys::LOCKS_WAITS,
+            keys::LOCKS_WAIT_US,
+            keys::LOCKS_DEADLOCKS,
+            keys::TRACE_DROPPED_EVENTS,
+            keys::ACCESS_TRAVERSES,
+            keys::ACCESS_SPLITS,
+            keys::ACCESS_MERGES,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in all {
+            assert!(seen.insert(k), "duplicate key {k}");
+            let (subsystem, metric) = k.split_once('/').expect("subsystem/metric shape");
+            assert!(!subsystem.is_empty() && !metric.is_empty(), "{k}");
+            assert!(
+                k.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '/' || c == '_'),
+                "{k} uses lowercase, '/', '_' only"
+            );
+        }
+    }
+}

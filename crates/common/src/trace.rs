@@ -14,6 +14,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::ids::{NodeId, PageId, TxnId};
+use crate::obs::Gauge;
 use crate::simclock::SimTime;
 
 /// The phases of distributed restart (paper §2.3), in execution order.
@@ -186,6 +187,7 @@ struct RingInner {
     next_seq: u64,
     buf: Vec<TraceRecord>,
     write: usize,
+    dropped_gauge: Option<Gauge>,
 }
 
 /// Bounded ring of [`TraceRecord`]s; cheap-clone shared handle.
@@ -204,8 +206,17 @@ impl FlightRecorder {
                 next_seq: 0,
                 buf: Vec::new(),
                 write: 0,
+                dropped_gauge: None,
             })),
         }
+    }
+
+    /// Mirrors the running drop count (events lost to ring wraparound)
+    /// into `gauge` — how a registry surfaces `trace/dropped_events`
+    /// without polling the recorder.
+    pub fn set_dropped_gauge(&self, gauge: Gauge) {
+        gauge.set(self.dropped() as i64);
+        self.inner.borrow_mut().dropped_gauge = Some(gauge);
     }
 
     /// Appends an event at sim-time `at`, evicting the oldest if full.
@@ -220,6 +231,9 @@ impl FlightRecorder {
             let w = r.write;
             r.buf[w] = rec;
             r.write = (w + 1) % r.cap;
+            if let Some(g) = &r.dropped_gauge {
+                g.add(1);
+            }
         }
     }
 
@@ -344,6 +358,28 @@ mod tests {
         let s = r.render();
         assert!(s.contains("1 older events dropped"), "{s}");
         assert!(s.contains("log-force 64B 5us"), "{s}");
+    }
+
+    #[test]
+    fn wraparound_drives_the_dropped_gauge() {
+        let r = FlightRecorder::new(3);
+        let g = Gauge::new();
+        r.set_dropped_gauge(g.clone());
+        for i in 0..3 {
+            r.record(i, TraceEvent::Crash);
+        }
+        assert_eq!(g.get(), 0, "no wraparound below capacity");
+        for i in 3..8 {
+            r.record(i, TraceEvent::Crash);
+        }
+        assert_eq!(g.get(), 5, "one gauge bump per evicted event");
+        assert_eq!(r.dropped(), 5, "gauge mirrors dropped()");
+        // Hooking up a gauge after drops happened seeds the backlog.
+        let late = Gauge::new();
+        r.set_dropped_gauge(late.clone());
+        assert_eq!(late.get(), 5);
+        r.record(8, TraceEvent::Crash);
+        assert_eq!(late.get(), 6);
     }
 
     #[test]

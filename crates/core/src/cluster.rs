@@ -14,13 +14,15 @@ use crate::config::ClusterConfig;
 use crate::group_commit::ForceScheduler;
 use crate::node::{Node, RollbackStep};
 use crate::txn::{Savepoint, TxnStatus};
+use cblog_common::metrics::keys;
 use cblog_common::{
-    Error, Lsn, MetricValue, NodeId, PageId, Result, Rid, SimTime, Snapshot, TraceEvent, TxnId,
+    Error, Lsn, MetricValue, NodeId, PageId, Psn, Result, Rid, SimTime, Snapshot, Span, SpanCtx,
+    SpanId, SpanKind, TraceEvent, Tracer, TransferWhy, TxnId,
 };
 use cblog_locks::{
     CallbackAction, GlobalRequestOutcome, LocalRequestOutcome, LockMode, WaitsForGraph,
 };
-use cblog_net::{MsgKind, Network};
+use cblog_net::{MsgHeader, MsgKind, Network};
 use cblog_storage::{EvictedPage, PageKind, SlottedPage};
 use cblog_wal::PageOp;
 use std::collections::HashMap;
@@ -46,6 +48,13 @@ pub struct Cluster {
     wait_since: HashMap<TxnId, SimTime>,
     /// Per-node group-commit force schedulers (index = node id).
     schedulers: Vec<ForceScheduler>,
+    /// Cluster-wide causal tracer (disabled unless
+    /// [`crate::ClusterConfigBuilder::tracing`] turned it on). The
+    /// network holds a clone and emits message spans itself.
+    tracer: Tracer,
+    /// In-flight transaction spans: id + begin sim-time, closed into a
+    /// [`SpanKind::Txn`] interval span at durable-commit or abort.
+    txn_spans: HashMap<TxnId, (SpanId, SimTime)>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -61,7 +70,13 @@ impl Cluster {
         for i in 0..cfg.node_count {
             nodes.push(Node::new(NodeId(i as u32), cfg.node_config(i))?);
         }
-        let net = Network::with_faults(cfg.node_count, cfg.cost.clone(), cfg.faults.clone());
+        let mut net = Network::with_faults(cfg.node_count, cfg.cost.clone(), cfg.faults.clone());
+        let tracer = if cfg.tracing {
+            Tracer::new(cfg.trace_capacity)
+        } else {
+            Tracer::disabled()
+        };
+        net.set_tracer(tracer.clone());
         let schedulers = (0..cfg.node_count)
             .map(|_| ForceScheduler::new(cfg.group_commit))
             .collect();
@@ -72,6 +87,8 @@ impl Cluster {
             wfg: WaitsForGraph::new(),
             wait_since: HashMap::new(),
             schedulers,
+            tracer,
+            txn_spans: HashMap::new(),
         })
     }
 
@@ -108,6 +125,43 @@ impl Cluster {
         &self.cfg
     }
 
+    /// The cluster-wide causal tracer (disabled unless the config
+    /// enabled tracing).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Checks every invariant the online watchdog has accumulated;
+    /// `Err` carries the violation list plus the offending page's
+    /// lineage slice. Cheap when tracing is off (vacuously ok).
+    pub fn trace_check(&self) -> Result<()> {
+        self.tracer.check().map_err(Error::Protocol)
+    }
+
+    /// The causal context of `txn`'s in-flight span (NONE when tracing
+    /// is off or the transaction already finished).
+    pub fn txn_ctx(&self, txn: TxnId) -> SpanCtx {
+        match self.txn_spans.get(&txn) {
+            Some(&(sid, _)) => SpanCtx::root(sid),
+            None => SpanCtx::NONE,
+        }
+    }
+
+    /// Closes `txn`'s interval span, if one is open.
+    fn close_txn_span(&mut self, txn: TxnId, committed: bool) {
+        if let Some((sid, t0)) = self.txn_spans.remove(&txn) {
+            let now = self.now();
+            self.tracer.emit(Span {
+                id: sid,
+                parent: SpanId::NONE,
+                node: txn.node,
+                start: t0,
+                dur: now.saturating_sub(t0),
+                kind: SpanKind::Txn { txn, committed },
+            });
+        }
+    }
+
     fn page_size(&self) -> usize {
         self.cfg.default_node.page_size
     }
@@ -125,7 +179,7 @@ impl Cluster {
             self.net.disk_io(node, bytes as usize);
             let us = self.cfg.cost.io_cost(bytes as usize);
             let n = &self.nodes[ix(node)];
-            n.registry.histogram("wal/force_us").record(us);
+            n.registry.histogram(keys::WAL_FORCE_US).record(us);
             n.recorder
                 .record(self.net.clock().now(), TraceEvent::LogForce { bytes, us });
         }
@@ -166,6 +220,10 @@ impl Cluster {
             self.nodes[ix(node)]
                 .recorder
                 .record(self.now(), TraceEvent::TxnBegin { txn });
+            if self.tracer.is_enabled() {
+                self.txn_spans
+                    .insert(txn, (self.tracer.alloc(), self.now()));
+            }
         }
         r
     }
@@ -291,7 +349,10 @@ impl Cluster {
     fn logged_update(&mut self, txn: TxnId, pid: PageId, op: PageOp) -> Result<()> {
         let n = ix(txn.node);
         match self.nodes[n].log_update(txn, pid, op.clone()) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.trace_update(txn, pid, false);
+                Ok(())
+            }
             Err(Error::LogFull(_)) => {
                 // §2.5: reclaim log space, then retry once. The space
                 // protocol may have replaced the target page itself —
@@ -300,10 +361,80 @@ impl Cluster {
                 if !self.nodes[n].buffer.contains(pid) {
                     self.fetch_page(txn.node, pid)?;
                 }
-                self.nodes[n].log_update(txn, pid, op)
+                self.nodes[n].log_update(txn, pid, op)?;
+                self.trace_update(txn, pid, false);
+                Ok(())
             }
             Err(e) => Err(e),
         }
+    }
+
+    /// Emits the PSN-lineage edge for the update `txn` just logged
+    /// against `pid`: the page's PSN moved `psn → psn+1` at the txn's
+    /// new last LSN. The watchdog checks the edge against the page's
+    /// global PSN frontier as it is emitted.
+    fn trace_update(&self, txn: TxnId, pid: PageId, clr: bool) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let n = ix(txn.node);
+        let Some(page) = self.nodes[n].buffer.peek(pid) else {
+            return;
+        };
+        let after = page.psn();
+        let lsn = self.nodes[n]
+            .txns
+            .get(&txn)
+            .map(|t| t.last_lsn)
+            .unwrap_or(Lsn::ZERO);
+        self.tracer.point(
+            self.now(),
+            txn.node,
+            self.txn_ctx(txn).span,
+            SpanKind::Update {
+                pid,
+                txn,
+                psn: Psn(after.0.saturating_sub(1)),
+                lsn,
+                clr,
+            },
+        );
+    }
+
+    /// Emits a page-transfer span for `pid` moving `from → to` at
+    /// `psn`. The WAL rule only constrains replacements to the owner
+    /// (the sender's log must be forced through the page's updates —
+    /// [`cblog_wal::LogManager::fully_forced`] after
+    /// `prepare_replace_to_owner`); shipping a cached copy outward
+    /// writes no disk and is always WAL-clean.
+    pub(crate) fn trace_transfer(
+        &self,
+        pid: PageId,
+        from: NodeId,
+        to: NodeId,
+        psn: Psn,
+        why: TransferWhy,
+    ) -> SpanId {
+        if !self.tracer.is_enabled() {
+            return SpanId::NONE;
+        }
+        let wal_ok = match why {
+            TransferWhy::Callback | TransferWhy::Replace => self.nodes[ix(from)].log.fully_forced(),
+            TransferWhy::Ship | TransferWhy::Recovery => true,
+        };
+        self.tracer.point(
+            self.now(),
+            from,
+            SpanId::NONE,
+            SpanKind::Transfer {
+                pid,
+                from,
+                to,
+                psn,
+                why,
+                wal_ok,
+            },
+        )
     }
 
     /// Commits `txn`: local log force only — **no messages** (paper
@@ -348,6 +479,8 @@ impl Cluster {
         };
         self.wfg.remove(txn);
         let now = self.now();
+        self.tracer
+            .point(now, node, self.txn_ctx(txn).span, SpanKind::Commit { txn });
         self.schedulers[n].submit(txn, lsn, now);
         if self.schedulers[n].is_due(now) {
             self.flush_node(node)?;
@@ -420,6 +553,7 @@ impl Cluster {
             self.nodes[n]
                 .recorder
                 .record(self.now(), TraceEvent::TxnCommit { txn: *t });
+            self.close_txn_span(*t, true);
         }
         Ok(acked.len())
     }
@@ -445,25 +579,35 @@ impl Cluster {
         let us = self.cfg.cost.io_cost(bytes as usize);
         {
             let nd = &self.nodes[n];
-            nd.registry.histogram("wal/group_size").record(batch);
+            nd.registry.histogram(keys::WAL_GROUP_SIZE).record(batch);
             // The paper's headline metric: what the one local force at
             // commit costs (distinct from forces taken for the WAL rule
             // or checkpoints, which land only in `wal/force_us`). Every
             // commit in the batch observed the shared force's latency.
             for _ in 0..batch {
-                nd.registry.histogram("wal/commit_force_us").record(us);
+                nd.registry.histogram(keys::WAL_COMMIT_FORCE_US).record(us);
             }
             nd.recorder.record(
                 self.net.clock().now(),
                 TraceEvent::GroupCommit { txns: batch, bytes },
             );
         }
+        self.tracer.point(
+            self.now(),
+            node,
+            SpanId::NONE,
+            SpanKind::GroupForce {
+                node,
+                txns: batch,
+                bytes,
+            },
+        );
         acked += self.reap_acked(node)?;
         let commits = self.nodes[n].commits();
         if let Some(ratio) = (self.nodes[n].log.forces() * 1000).checked_div(commits) {
             self.nodes[n]
                 .registry
-                .gauge("wal/forces_per_commit")
+                .gauge(keys::WAL_FORCES_PER_COMMIT)
                 .set(ratio as i64);
         }
         Ok(acked)
@@ -494,6 +638,7 @@ impl Cluster {
         self.nodes[n]
             .recorder
             .record(self.now(), TraceEvent::TxnAbort { txn });
+        self.close_txn_span(txn, false);
         // A waiter that dies waiting (deadlock victim) still spent its
         // time queueing — fold it into the same wait histogram the
         // successful acquisitions feed.
@@ -501,7 +646,7 @@ impl Cluster {
             let now = self.now();
             self.nodes[n]
                 .registry
-                .histogram("locks/wait_us")
+                .histogram(keys::LOCKS_WAIT_US)
                 .record(now.saturating_sub(t0));
         }
         self.wfg.remove(txn);
@@ -513,7 +658,11 @@ impl Cluster {
         loop {
             match self.nodes[n].rollback_step(txn, upto) {
                 Ok(RollbackStep::Done) => return Ok(()),
-                Ok(RollbackStep::Undone(_)) => {}
+                Ok(RollbackStep::Undone(pid)) => {
+                    // A CLR bumps the PSN like any forward update —
+                    // the lineage shows undo steps explicitly.
+                    self.trace_update(txn, pid, true);
+                }
                 Ok(RollbackStep::NeedPage(pid)) => {
                     // The transaction still holds its X lock; only the
                     // page image must come back from the owner.
@@ -561,7 +710,7 @@ impl Cluster {
     pub fn find_deadlock_victim(&self) -> Option<TxnId> {
         let victim = self.wfg.find_victim()?;
         let n = &self.nodes[ix(victim.node)];
-        n.registry.counter("locks/deadlocks").bump();
+        n.registry.counter(keys::LOCKS_DEADLOCKS).bump();
         n.recorder
             .record(self.now(), TraceEvent::Deadlock { victim });
         Some(victim)
@@ -583,15 +732,15 @@ impl Cluster {
         let reg = &self.nodes[ix(txn.node)].registry;
         match &r {
             Ok(()) => {
-                reg.counter("locks/acquisitions").bump();
+                reg.counter(keys::LOCKS_ACQUISITIONS).bump();
                 if let Some(t0) = self.wait_since.remove(&txn) {
                     let now = self.net.clock().now();
-                    reg.histogram("locks/wait_us")
+                    reg.histogram(keys::LOCKS_WAIT_US)
                         .record(now.saturating_sub(t0));
                 }
             }
             Err(Error::WouldBlock { .. }) => {
-                reg.counter("locks/waits").bump();
+                reg.counter(keys::LOCKS_WAITS).bump();
                 let now = self.net.clock().now();
                 self.wait_since.entry(txn).or_insert(now);
                 self.nodes[ix(txn.node)]
@@ -657,9 +806,15 @@ impl Cluster {
         if self.net.is_crashed(owner) {
             return Err(Error::OwnerDown { owner, page: pid });
         }
+        let ctx = self.txn_ctx(txn);
         if owner != node {
-            self.net
-                .send_reliable(node, owner, MsgKind::LockRequest, CTRL_BYTES)?;
+            self.net.send_reliable_hdr(
+                node,
+                owner,
+                MsgKind::LockRequest,
+                CTRL_BYTES,
+                MsgHeader::of(ctx),
+            )?;
         }
         loop {
             let outcome = self.nodes[ix(owner)].global_locks.request(pid, node, mode);
@@ -673,9 +828,28 @@ impl Cluster {
             }
         }
         self.nodes[ix(node)].cached_locks.grant(pid, mode);
+        // The grant is attributed to the owner: that is where the
+        // global lock table serialized this requester against the rest
+        // of the cluster.
+        let grant = self.tracer.point(
+            self.now(),
+            owner,
+            ctx.span,
+            SpanKind::LockGrant {
+                pid,
+                owner,
+                to: node,
+                txn,
+            },
+        );
         if owner != node {
-            self.net
-                .send_reliable(owner, node, MsgKind::LockGrant, CTRL_BYTES)?;
+            self.net.send_reliable_hdr(
+                owner,
+                node,
+                MsgKind::LockGrant,
+                CTRL_BYTES,
+                MsgHeader::of(SpanCtx::child(grant, ctx.span)),
+            )?;
         }
         Ok(())
     }
@@ -733,8 +907,14 @@ impl Cluster {
                 .callback_applied(pid, victim, action);
             return Ok(());
         }
-        self.net
-            .send_reliable(owner, victim, MsgKind::Callback, CTRL_BYTES)?;
+        let ctx = self.txn_ctx(waiter);
+        self.net.send_reliable_hdr(
+            owner,
+            victim,
+            MsgKind::Callback,
+            CTRL_BYTES,
+            MsgHeader::of(ctx),
+        )?;
         // Callbacks are deferred while a local transaction of the
         // victim holds a conflicting transaction-level lock.
         let blocking: Vec<TxnId> = self.nodes[v]
@@ -771,8 +951,14 @@ impl Cluster {
             self.nodes[v].prepare_replace_to_owner(pid)?;
             self.charge_force(victim, forces0, pending);
             let copy = self.nodes[v].buffer.peek(pid).expect("had_page").clone();
-            self.net
-                .send_reliable(victim, owner, MsgKind::CallbackAck, self.page_bytes())?;
+            let xfer = self.trace_transfer(pid, victim, owner, copy.psn(), TransferWhy::Callback);
+            self.net.send_reliable_hdr(
+                victim,
+                owner,
+                MsgKind::CallbackAck,
+                self.page_bytes(),
+                MsgHeader::of(SpanCtx::child(xfer, ctx.span)),
+            )?;
             self.nodes[v].recorder.record(
                 self.net.clock().now(),
                 TraceEvent::PageTransfer {
@@ -792,8 +978,13 @@ impl Cluster {
                 self.force_page(pid)?;
             }
         } else {
-            self.net
-                .send_reliable(victim, owner, MsgKind::CallbackAck, CTRL_BYTES)?;
+            self.net.send_reliable_hdr(
+                victim,
+                owner,
+                MsgKind::CallbackAck,
+                CTRL_BYTES,
+                MsgHeader::of(ctx),
+            )?;
         }
         if action == CallbackAction::Release && had_page {
             self.nodes[v].buffer.remove(pid);
@@ -822,8 +1013,14 @@ impl Cluster {
             self.net.disk_io(owner, self.page_size());
         }
         if owner != node {
-            self.net
-                .send_reliable(owner, node, MsgKind::PageShip, self.page_bytes())?;
+            let xfer = self.trace_transfer(pid, owner, node, page.psn(), TransferWhy::Ship);
+            self.net.send_reliable_hdr(
+                owner,
+                node,
+                MsgKind::PageShip,
+                self.page_bytes(),
+                MsgHeader::of(SpanCtx::root(xfer)),
+            )?;
             self.nodes[ix(node)].recorder.record(
                 self.net.clock().now(),
                 TraceEvent::PageTransfer {
@@ -852,7 +1049,7 @@ impl Cluster {
         // A dirty frame left the pool before its owner forced it.
         self.nodes[ix(node)]
             .registry
-            .counter("buf/dirty_steals")
+            .counter(keys::BUF_DIRTY_STEALS)
             .bump();
         if pid.owner == node {
             let acks = {
@@ -864,7 +1061,8 @@ impl Cluster {
                 acks
             };
             self.net.disk_io(node, self.page_size());
-            self.send_flush_acks(node, pid, acks)?;
+            let write = self.trace_page_write(node, pid, ev.page.psn());
+            self.send_flush_acks(node, pid, acks, write)?;
         } else {
             let owner = pid.owner;
             if self.net.is_crashed(owner) {
@@ -883,8 +1081,14 @@ impl Cluster {
             let pending = self.pending_log_bytes(node);
             self.nodes[ix(node)].prepare_replace_to_owner(pid)?;
             self.charge_force(node, forces0, pending);
-            self.net
-                .send_reliable(node, owner, MsgKind::ReplacePage, self.page_bytes())?;
+            let xfer = self.trace_transfer(pid, node, owner, ev.page.psn(), TransferWhy::Replace);
+            self.net.send_reliable_hdr(
+                node,
+                owner,
+                MsgKind::ReplacePage,
+                self.page_bytes(),
+                MsgHeader::of(SpanCtx::root(xfer)),
+            )?;
             self.nodes[ix(node)].recorder.record(
                 self.net.clock().now(),
                 TraceEvent::PageTransfer {
@@ -904,7 +1108,13 @@ impl Cluster {
         Ok(())
     }
 
-    fn send_flush_acks(&mut self, owner: NodeId, pid: PageId, acks: Vec<NodeId>) -> Result<()> {
+    fn send_flush_acks(
+        &mut self,
+        owner: NodeId,
+        pid: PageId,
+        acks: Vec<NodeId>,
+        parent: SpanId,
+    ) -> Result<()> {
         for a in acks {
             if self.net.is_crashed(a) {
                 continue; // the node will reconcile during its recovery
@@ -912,7 +1122,11 @@ impl Cluster {
             // Flush acks are loss-tolerant hints: a dropped ack just
             // leaves a stale (conservative) DPT entry at the replacer,
             // so there is no retry — the protocol stays correct.
-            match self.net.send(owner, a, MsgKind::FlushAck, CTRL_BYTES) {
+            let hdr = MsgHeader::of(SpanCtx::root(parent));
+            match self
+                .net
+                .send_hdr(owner, a, MsgKind::FlushAck, CTRL_BYTES, hdr)
+            {
                 Ok(()) => {
                     self.nodes[ix(a)].dpt.on_flush_ack(pid);
                 }
@@ -921,6 +1135,30 @@ impl Cluster {
             }
         }
         Ok(())
+    }
+
+    /// Emits a disk-write span for owned page `pid` on `node`. WAL
+    /// rule: the write is clean if the owner's log has no unforced
+    /// records covering the page — [`Node::write_owned_page`] forces
+    /// when a DPT entry exists, so a surviving entry with an unforced
+    /// tail means the rule was skipped.
+    fn trace_page_write(&self, node: NodeId, pid: PageId, psn: Psn) -> SpanId {
+        if !self.tracer.is_enabled() {
+            return SpanId::NONE;
+        }
+        let n = &self.nodes[ix(node)];
+        let wal_ok = !n.dpt.contains(pid) || n.log.fully_forced();
+        self.tracer.point(
+            self.now(),
+            node,
+            SpanId::NONE,
+            SpanKind::PageWrite {
+                pid,
+                node,
+                psn,
+                wal_ok,
+            },
+        )
     }
 
     // ------------------------------------------------------------------
@@ -944,8 +1182,13 @@ impl Cluster {
                 if !self.nodes[h].is_crashed()
                     && self.nodes[h].buffer.is_dirty(pid).unwrap_or(false)
                 {
-                    self.net
-                        .send_reliable(owner, holder, MsgKind::ForceRequest, CTRL_BYTES)?;
+                    self.net.send_reliable_hdr(
+                        owner,
+                        holder,
+                        MsgKind::ForceRequest,
+                        CTRL_BYTES,
+                        MsgHeader::NONE,
+                    )?;
                     let forces0 = self.nodes[h].log.forces();
                     let pending = self.pending_log_bytes(holder);
                     self.nodes[h].prepare_replace_to_owner(pid)?;
@@ -955,8 +1198,15 @@ impl Cluster {
                         .peek(pid)
                         .expect("dirty implies cached")
                         .clone();
-                    self.net
-                        .send_reliable(holder, owner, MsgKind::PageShip, self.page_bytes())?;
+                    let xfer =
+                        self.trace_transfer(pid, holder, owner, copy.psn(), TransferWhy::Callback);
+                    self.net.send_reliable_hdr(
+                        holder,
+                        owner,
+                        MsgKind::PageShip,
+                        self.page_bytes(),
+                        MsgHeader::of(SpanCtx::root(xfer)),
+                    )?;
                     let ev = self.nodes[o].receive_replaced(holder, copy)?;
                     if let Some(ev) = ev {
                         self.route_eviction(owner, ev)?;
@@ -967,6 +1217,7 @@ impl Cluster {
         }
         let dirty =
             self.nodes[o].buffer.is_dirty(pid).unwrap_or(false) || self.nodes[o].dpt.contains(pid);
+        let mut write = SpanId::NONE;
         let acks = if dirty {
             let (page, did_io) = self.nodes[o].authoritative_copy(pid)?;
             if did_io {
@@ -977,6 +1228,7 @@ impl Cluster {
             let acks = self.nodes[o].write_owned_page(&page)?;
             self.charge_force(owner, forces0, pending);
             self.net.disk_io(owner, self.page_size());
+            write = self.trace_page_write(owner, pid, page.psn());
             acks
         } else {
             // Nothing dirty owner-side; ack any recorded replacers
@@ -987,7 +1239,7 @@ impl Cluster {
                 .map(|s| s.into_iter().collect())
                 .unwrap_or_default()
         };
-        self.send_flush_acks(owner, pid, acks)
+        self.send_flush_acks(owner, pid, acks, write)
     }
 
     /// The §2.5 log-space protocol: repeatedly replace the DPT page
@@ -1038,8 +1290,13 @@ impl Cluster {
                 } else {
                     self.nodes[n].buffer.remove(pid);
                 }
-                self.net
-                    .send_reliable(node, pid.owner, MsgKind::ForceRequest, CTRL_BYTES)?;
+                self.net.send_reliable_hdr(
+                    node,
+                    pid.owner,
+                    MsgKind::ForceRequest,
+                    CTRL_BYTES,
+                    MsgHeader::NONE,
+                )?;
                 self.force_page(pid)?;
             }
         }
@@ -1091,6 +1348,12 @@ impl Cluster {
         self.nodes[ix(node)]
             .recorder
             .record(self.now(), TraceEvent::Crash);
+        // The crash span doubles as a watchdog epoch marker: unforced
+        // PSNs above the durable coverage died with the volatile state
+        // and will legitimately be re-walked after recovery.
+        self.tracer
+            .point(self.now(), node, SpanId::NONE, SpanKind::Crash { node });
+        self.txn_spans.retain(|t, _| t.node != node);
         match tear {
             Some((landed, corrupt)) => self.nodes[ix(node)].crash_torn(landed, corrupt),
             None => self.nodes[ix(node)].crash(),

@@ -97,6 +97,17 @@ pub struct ClusterConfig {
     /// Deterministic fault-injection plan (message loss/delay/dup/
     /// reorder and torn log writes). The default plan injects nothing.
     pub(crate) faults: FaultPlan,
+    /// Causal tracing: when on, every transaction, page transfer, lock
+    /// grant, recovery phase and message carries a span with a causal
+    /// parent, the online invariant watchdog checks PSN/WAL invariants
+    /// live, and traced messages pay 16 extra wire bytes for the span
+    /// header. Off by default — disabled tracing costs one branch per
+    /// would-be span and changes no accounting.
+    pub(crate) tracing: bool,
+    /// Spans retained by the tracer (the watchdog still observes every
+    /// span past this bound; the overflow count is reported as
+    /// dropped).
+    pub(crate) trace_capacity: usize,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +120,8 @@ impl Default for ClusterConfig {
             force_on_transfer: false,
             group_commit: GroupCommitPolicy::Immediate,
             faults: FaultPlan::default(),
+            tracing: false,
+            trace_capacity: cblog_common::span::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -157,6 +170,16 @@ impl ClusterConfig {
     /// The fault-injection plan.
     pub fn faults(&self) -> &FaultPlan {
         &self.faults
+    }
+
+    /// True if causal tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Spans retained by the tracer when tracing is enabled.
+    pub fn trace_capacity(&self) -> usize {
+        self.trace_capacity
     }
 }
 
@@ -243,6 +266,21 @@ impl ClusterConfigBuilder {
     /// Installs a fault-injection plan.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = plan;
+        self
+    }
+
+    /// Enables/disables causal tracing (spans, PSN lineage, invariant
+    /// watchdog, Chrome-trace export). Traced messages carry a 16-byte
+    /// span header on the wire; with tracing off no accounting changes.
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.cfg.tracing = on;
+        self
+    }
+
+    /// Bounds the number of spans the tracer retains (earliest spans
+    /// win; the watchdog still sees everything).
+    pub fn trace_capacity(mut self, spans: usize) -> Self {
+        self.cfg.trace_capacity = spans;
         self
     }
 

@@ -9,6 +9,7 @@
 
 use crate::config::NodeConfig;
 use crate::txn::{Savepoint, TxnState, TxnStatus};
+use cblog_common::metrics::keys;
 use cblog_common::{
     Counter, Error, FlightRecorder, Lsn, NodeId, PageId, Psn, Registry, Result, TxnId,
 };
@@ -134,20 +135,25 @@ impl Node {
         // WAL / buffer / storage code needs no metric plumbing of its
         // own.
         let registry = Registry::new();
-        registry.register_counter("wal/records", log.records_counter());
-        registry.register_counter("wal/forces", log.forces_counter());
-        registry.register_counter("wal/bytes", log.bytes_appended_counter());
-        registry.register_counter("wal/store_syncs", log.store_syncs_counter());
-        registry.register_counter("buf/hits", buffer.hits());
-        registry.register_counter("buf/misses", buffer.misses());
-        registry.register_counter("buf/evictions", buffer.evictions());
+        registry.register_counter(keys::WAL_RECORDS, log.records_counter());
+        registry.register_counter(keys::WAL_FORCES, log.forces_counter());
+        registry.register_counter(keys::WAL_BYTES, log.bytes_appended_counter());
+        registry.register_counter(keys::WAL_STORE_SYNCS, log.store_syncs_counter());
+        registry.register_counter(keys::BUF_HITS, buffer.hits());
+        registry.register_counter(keys::BUF_MISSES, buffer.misses());
+        registry.register_counter(keys::BUF_EVICTIONS, buffer.evictions());
         if let Some(db) = &db {
-            registry.register_counter("db/reads", db.reads_counter());
-            registry.register_counter("db/writes", db.writes_counter());
-            registry.register_counter("db/syncs", db.syncs_counter());
+            registry.register_counter(keys::DB_READS, db.reads_counter());
+            registry.register_counter(keys::DB_WRITES, db.writes_counter());
+            registry.register_counter(keys::DB_SYNCS, db.syncs_counter());
         }
-        let commits = registry.counter("txn/commits");
-        let aborts = registry.counter("txn/aborts");
+        let commits = registry.counter(keys::TXN_COMMITS);
+        let aborts = registry.counter(keys::TXN_ABORTS);
+        let recorder = FlightRecorder::new(256);
+        // Ring wraparound is visible as a gauge, not just a method:
+        // experiments that undersize the ring see the loss in their
+        // metrics snapshot.
+        recorder.set_dropped_gauge(registry.gauge(keys::TRACE_DROPPED_EVENTS));
         Ok(Node {
             id,
             buffer,
@@ -159,7 +165,7 @@ impl Node {
             global_locks: GlobalLockTable::new(),
             txns: HashMap::new(),
             replacers: BTreeMap::new(),
-            recorder: FlightRecorder::new(256),
+            recorder,
             registry,
             next_seq: 1,
             crashed: false,
@@ -697,7 +703,7 @@ impl Node {
         self.crashed = false;
         let torn = self.log.repair_tail()?;
         if torn > 0 {
-            self.registry.counter("wal/torn_bytes").add(torn);
+            self.registry.counter(keys::WAL_TORN_BYTES).add(torn);
         }
         Ok(torn)
     }

@@ -27,10 +27,11 @@
 use crate::cluster::{Cluster, CTRL_BYTES};
 use crate::node::{NodePsnEntry, RollbackStep};
 use cblog_common::{
-    Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, TraceEvent, TxnId,
+    Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, Span, SpanCtx, SpanId,
+    SpanKind, TraceEvent, TransferWhy, TxnId,
 };
 use cblog_locks::LockMode;
-use cblog_net::MsgKind;
+use cblog_net::{MsgHeader, MsgKind};
 use cblog_wal::DptEntry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -134,6 +135,7 @@ fn end_phase(
     out: &mut Vec<(RecoveryPhase, u64)>,
     phase: RecoveryPhase,
     crash_after: Option<RecoveryPhase>,
+    root: SpanId,
 ) -> Result<()> {
     let now = cluster.network().clock().now();
     let us = now.saturating_sub(*t0);
@@ -144,6 +146,17 @@ fn end_phase(
             .node(c)
             .recorder()
             .record(now, TraceEvent::RecoveryPhase { phase, us });
+        let id = cluster.tracer().alloc();
+        if !id.is_none() {
+            cluster.tracer().emit(Span {
+                id,
+                parent: root,
+                node: c,
+                start: now - us,
+                dur: us,
+                kind: SpanKind::Phase { node: c, phase },
+            });
+        }
     }
     if crash_after == Some(phase) {
         for &c in crashed {
@@ -207,6 +220,12 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
             return Err(Error::Protocol(format!("{c} is not crashed")));
         }
     }
+    // The root span of this run: every phase span and cross-node
+    // recovery message is parented to it, so a trace query for a page
+    // can tell recovery traffic from normal processing.
+    let t_start = cluster.network().clock().now();
+    let root = cluster.tracer().alloc();
+    let hdr = MsgHeader::of(SpanCtx::root(root));
     // Restart: nodes become reachable again for the recovery dialogue,
     // and each repairs (discards) any torn log tail before scanning.
     for &c in crashed {
@@ -239,6 +258,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::Analysis,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 2: information exchange. Every crashed node C hears
@@ -253,11 +273,12 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
             }
             let co = coord_of(c);
             if co != r {
-                cluster.network_mut().send_reliable(
+                cluster.network_mut().send_reliable_hdr(
                     co,
                     r,
                     MsgKind::RecoveryInfoRequest,
                     CTRL_BYTES,
+                    hdr,
                 )?;
             }
             let contrib = collect_contribution(cluster, r, c, crashed_set.contains(&r));
@@ -267,11 +288,12 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
                 + contrib.locks_held.len() * 12
                 + contrib.crashed_exclusive.len() * 8;
             if co != r {
-                cluster.network_mut().send_reliable(
+                cluster.network_mut().send_reliable_hdr(
                     r,
                     co,
                     MsgKind::RecoveryInfoReply,
                     reply_bytes,
+                    hdr,
                 )?;
             }
             info.insert((c, r), contrib);
@@ -284,6 +306,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::InfoExchange,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 3: lock reconstruction (§2.3.3). ----
@@ -298,11 +321,12 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
             if !locks.is_empty() {
                 let co = coord_of(c);
                 if co != r {
-                    cluster.network_mut().send_reliable(
+                    cluster.network_mut().send_reliable_hdr(
                         r,
                         co,
                         MsgKind::LockListShip,
                         CTRL_BYTES + locks.len() * 12,
+                        hdr,
                     )?;
                 }
                 for (pid, mode) in locks {
@@ -331,6 +355,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::LockRebuild,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 4: determine per-owner recovery sets (§2.3.1 / §2.4).
@@ -378,11 +403,12 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
                 // whose eventual flush acknowledges the DPT holders).
                 report.pages_skipped_cached += 1;
                 let src = cachers[0];
-                cluster.network_mut().send_reliable(
+                cluster.network_mut().send_reliable_hdr(
                     coord_of(c),
                     src,
                     MsgKind::RecoveryPageFetch,
                     CTRL_BYTES,
+                    hdr,
                 )?;
                 let copy = cluster
                     .node_mut(src)
@@ -391,9 +417,14 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
                     .expect("inventory said cached")
                     .clone();
                 let page_bytes = copy.size() + 64;
-                cluster
-                    .network_mut()
-                    .send_reliable(src, c, MsgKind::PageShip, page_bytes)?;
+                let xfer = cluster.trace_transfer(pid, src, c, copy.psn(), TransferWhy::Recovery);
+                cluster.network_mut().send_reliable_hdr(
+                    src,
+                    c,
+                    MsgKind::PageShip,
+                    page_bytes,
+                    MsgHeader::of(SpanCtx::child(xfer, root)),
+                )?;
                 let ev = cluster.node_mut(c).receive_replaced(src, copy)?;
                 if let Some(ev) = ev {
                     cluster.route_eviction(c, ev)?;
@@ -485,6 +516,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::RecoverySets,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 5: recovery locks. The recovering owner takes (or
@@ -501,16 +533,24 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         for (h, _) in holders {
             if h != owner && !crashed_set.contains(&h) {
                 if co != h {
-                    cluster
-                        .network_mut()
-                        .send_reliable(co, h, MsgKind::Callback, CTRL_BYTES)?;
+                    cluster.network_mut().send_reliable_hdr(
+                        co,
+                        h,
+                        MsgKind::Callback,
+                        CTRL_BYTES,
+                        hdr,
+                    )?;
                 }
                 cluster.node_mut(h).cached_locks.release(*pid);
                 cluster.node_mut(h).buffer.remove(*pid);
                 if co != h {
-                    cluster
-                        .network_mut()
-                        .send_reliable(h, co, MsgKind::CallbackAck, CTRL_BYTES)?;
+                    cluster.network_mut().send_reliable_hdr(
+                        h,
+                        co,
+                        MsgKind::CallbackAck,
+                        CTRL_BYTES,
+                        hdr,
+                    )?;
                 }
                 cluster.node_mut(owner).global_locks.release(*pid, h);
             }
@@ -527,6 +567,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::RecoveryLocks,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 6: NodePSNList exchange (§2.3.4). Each involved node
@@ -554,20 +595,22 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
                     .expect("checked"),
             );
             if coord != n {
-                cluster.network_mut().send_reliable(
+                cluster.network_mut().send_reliable_hdr(
                     coord,
                     n,
                     MsgKind::PsnListRequest,
                     CTRL_BYTES + pages.len() * 8,
+                    hdr,
                 )?;
             }
             let list = cluster.node_mut(n).build_psn_list(&pages)?;
             if coord != n {
-                cluster.network_mut().send_reliable(
+                cluster.network_mut().send_reliable_hdr(
                     n,
                     coord,
                     MsgKind::PsnListReply,
                     CTRL_BYTES + list.len() * 24,
+                    hdr,
                 )?;
             }
             psn_lists.insert(n, list);
@@ -594,6 +637,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::PsnLists,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 7: coordinated replay, page by page, in ascending PSN
@@ -616,6 +660,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
             &plan.involved.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
             &psn_lists,
             &mut report,
+            root,
         )?;
         report.records_replayed += replayed;
         report.pages_recovered += 1;
@@ -642,24 +687,46 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
     // onto the owner's authoritative copy and re-caches the page.
     for (c, pid) in &remote_candidates {
         let owner = pid.owner;
-        cluster
-            .network_mut()
-            .send_reliable(*c, owner, MsgKind::RecoveryPageFetch, CTRL_BYTES)?;
+        cluster.network_mut().send_reliable_hdr(
+            *c,
+            owner,
+            MsgKind::RecoveryPageFetch,
+            CTRL_BYTES,
+            hdr,
+        )?;
         let (mut page, did_io) = cluster.node_mut(owner).authoritative_copy(*pid)?;
         if did_io {
             cluster.network_mut().disk_io(owner, page.size());
         }
         let pb = page.size() + 64;
-        cluster
-            .network_mut()
-            .send_reliable(owner, *c, MsgKind::PageShip, pb)?;
+        let xfer = cluster.trace_transfer(*pid, owner, *c, page.psn(), TransferWhy::Recovery);
+        cluster.network_mut().send_reliable_hdr(
+            owner,
+            *c,
+            MsgKind::PageShip,
+            pb,
+            MsgHeader::of(SpanCtx::child(xfer, root)),
+        )?;
         let start = cluster
             .node(*c)
             .dpt()
             .get(*pid)
             .map(|e| e.redo_lsn)
             .unwrap_or(Lsn::ZERO);
+        let from_psn = page.psn();
         let (_, applied, _) = cluster.node_mut(*c).replay_page(&mut page, start, None)?;
+        cluster.tracer().point(
+            cluster.network().clock().now(),
+            *c,
+            root,
+            SpanKind::ReplayHop {
+                pid: *pid,
+                node: *c,
+                from_psn,
+                to_psn: page.psn(),
+                applied,
+            },
+        );
         report.records_replayed += applied;
         report.pages_recovered += 1;
         let ev = cluster.node_mut(*c).cache_page(page, true)?;
@@ -674,6 +741,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::Replay,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 8: undo loser transactions locally, with CLRs. ----
@@ -704,6 +772,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::Undo,
         opts.crash_after,
+        root,
     )?;
 
     // ---- Phase 9: recovery complete. The completion broadcast is
@@ -715,7 +784,7 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
             if co != r {
                 match cluster
                     .network_mut()
-                    .send(co, r, MsgKind::RecoveryDone, CTRL_BYTES)
+                    .send_hdr(co, r, MsgKind::RecoveryDone, CTRL_BYTES, hdr)
                 {
                     Ok(()) | Err(Error::MsgLost { .. }) => {}
                     Err(e) => return Err(e),
@@ -730,7 +799,21 @@ pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recovery
         &mut phase_us,
         RecoveryPhase::Done,
         opts.crash_after,
+        root,
     )?;
+    if !root.is_none() {
+        let now = cluster.network().clock().now();
+        cluster.tracer().emit(Span {
+            id: root,
+            parent: SpanId::NONE,
+            node: coord_of(crashed[0]),
+            start: t_start,
+            dur: now.saturating_sub(t_start),
+            kind: SpanKind::Recovery {
+                nodes: crashed.len() as u32,
+            },
+        });
+    }
     report.phase_us = phase_us;
     report.messages = cluster.network().stats().recovery_messages() - msgs0;
     Ok(report)
@@ -776,6 +859,7 @@ fn collect_contribution(
 
 /// Runs the §2.3.4 coordination loop for one page. Returns the number
 /// of records applied.
+#[allow(clippy::too_many_arguments)]
 fn coordinate_page_replay(
     cluster: &mut Cluster,
     coordinator: NodeId,
@@ -784,6 +868,7 @@ fn coordinate_page_replay(
     involved: &[NodeId],
     psn_lists: &BTreeMap<NodeId, Vec<NodePsnEntry>>,
     report: &mut RecoveryReport,
+    root: SpanId,
 ) -> Result<u64> {
     // Merge the per-node lists for this page, ascending by PSN, then
     // merge adjacent same-node entries (keeping the minimum PSN).
@@ -808,27 +893,47 @@ fn coordinate_page_replay(
     let mut applied_total = 0u64;
     let page_bytes = page.size() + 64;
     let mut queue = std::collections::VecDeque::from(merged);
+    let hdr = MsgHeader::of(SpanCtx::root(root));
     while let Some((_psn, n, lsn)) = queue.pop_front() {
         let bound = queue.front().map(|(p, _, _)| *p);
         let start = *resume.get(&n).unwrap_or(&lsn);
         if n != coordinator {
-            cluster.network_mut().send_reliable(
+            cluster.network_mut().send_reliable_hdr(
                 coordinator,
                 n,
                 MsgKind::RecoveryPageSend,
                 page_bytes,
+                hdr,
             )?;
             report.page_hops += 1;
         }
+        let from_psn = page.psn();
         let (res, applied, _hit) = cluster.node_mut(n).replay_page(page, start, bound)?;
         resume.insert(n, res);
         applied_total += applied;
+        // One hop of the §2.3.4 shuttle: node `n` advanced the page
+        // from `from_psn` to the page's new PSN by replaying `applied`
+        // records of its own log. The watchdog checks the hops visit
+        // the page in ascending global PSN order.
+        cluster.tracer().point(
+            cluster.network().clock().now(),
+            n,
+            root,
+            SpanKind::ReplayHop {
+                pid,
+                node: n,
+                from_psn,
+                to_psn: page.psn(),
+                applied,
+            },
+        );
         if n != coordinator {
-            cluster.network_mut().send_reliable(
+            cluster.network_mut().send_reliable_hdr(
                 n,
                 coordinator,
                 MsgKind::RecoveryPageReturn,
                 page_bytes,
+                hdr,
             )?;
             report.page_hops += 1;
         }

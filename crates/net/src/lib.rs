@@ -8,8 +8,38 @@
 //! after the send has been accounted — which keeps runs deterministic
 //! and the protocol state machines synchronous.
 
-use cblog_common::{CostModel, Error, NodeId, Result, Rng, SimClock, SimTime};
+use cblog_common::{
+    CostModel, Error, NodeId, Result, Rng, SimClock, SimTime, Span, SpanCtx, SpanKind, Tracer,
+};
 use std::collections::HashSet;
+
+/// Trace header attached to a protocol message: the span of the
+/// operation the message belongs to and that span's causal parent.
+///
+/// This is how cross-node causal edges (page ship, lock grant, DPT
+/// exchange, replay shuttle) become explicit in the trace instead of
+/// being inferred: the sender stamps its operation's [`SpanCtx`] on the
+/// message, and the transport records a `Msg` span parented to it. On
+/// a traced run the header also costs [`MsgHeader::WIRE_BYTES`] on the
+/// wire, so the trace-overhead experiment can price the propagation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgHeader {
+    /// The causal context of the sending operation.
+    pub ctx: SpanCtx,
+}
+
+impl MsgHeader {
+    /// The empty header (untraced send).
+    pub const NONE: MsgHeader = MsgHeader { ctx: SpanCtx::NONE };
+
+    /// Wire size of a header: two 8-byte span ids.
+    pub const WIRE_BYTES: usize = 16;
+
+    /// Header carrying `ctx`.
+    pub fn of(ctx: SpanCtx) -> MsgHeader {
+        MsgHeader { ctx }
+    }
+}
 
 /// Deterministic fault-injection plan for the transport (and, via
 /// [`Network::roll_tear`], for torn log writes at crash time).
@@ -342,6 +372,7 @@ pub struct Network {
     faults: FaultPlan,
     fault_rng: Rng,
     fault_stats: FaultStats,
+    tracer: Tracer,
 }
 
 impl Network {
@@ -364,7 +395,19 @@ impl Network {
             faults,
             fault_rng,
             fault_stats: FaultStats::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs the cluster's tracer: every header-carrying send emits
+    /// a `Msg` span parented to the header's context.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The transport's tracer handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The active fault plan.
@@ -424,6 +467,75 @@ impl Network {
             }
         }
         Ok(())
+    }
+
+    /// As [`Network::send`] with a trace header: on a traced run the
+    /// header's [`MsgHeader::WIRE_BYTES`] are accounted on the wire and
+    /// a `Msg` span (the explicit cross-node causal edge) is emitted,
+    /// parented to the header's span. A dropped message still emits —
+    /// it consumed the wire; only an unreachable endpoint does not.
+    pub fn send_hdr(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        bytes: usize,
+        hdr: MsgHeader,
+    ) -> Result<()> {
+        let bytes = bytes + self.header_bytes();
+        let r = self.send(from, to, kind, bytes);
+        if !matches!(r, Err(Error::NodeDown(_))) {
+            self.trace_msg(from, to, kind, bytes, hdr);
+        }
+        r
+    }
+
+    /// As [`Network::send_reliable`] with a trace header (see
+    /// [`Network::send_hdr`]); one `Msg` span covers the logical
+    /// message regardless of how many resends masked losses.
+    pub fn send_reliable_hdr(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: MsgKind,
+        bytes: usize,
+        hdr: MsgHeader,
+    ) -> Result<()> {
+        let bytes = bytes + self.header_bytes();
+        let r = self.send_reliable(from, to, kind, bytes);
+        if !matches!(r, Err(Error::NodeDown(_))) {
+            self.trace_msg(from, to, kind, bytes, hdr);
+        }
+        r
+    }
+
+    fn header_bytes(&self) -> usize {
+        if self.tracer.is_enabled() {
+            MsgHeader::WIRE_BYTES
+        } else {
+            0
+        }
+    }
+
+    fn trace_msg(&self, from: NodeId, to: NodeId, kind: MsgKind, bytes: usize, hdr: MsgHeader) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let id = self.tracer.alloc();
+        self.tracer.emit(Span {
+            id,
+            parent: hdr.ctx.span,
+            node: from,
+            start: self.clock.now(),
+            dur: 0,
+            kind: SpanKind::Msg {
+                kind: kind.label(),
+                from,
+                to,
+                bytes: bytes as u64,
+                carries_log: matches!(kind, MsgKind::LogShip),
+            },
+        });
     }
 
     /// As [`Network::send`] but resends on loss, up to the plan's retry
@@ -762,6 +874,96 @@ mod tests {
         assert_eq!(a.roll_tear(0), None, "nothing pending, nothing torn");
         let mut c = net();
         assert_eq!(c.roll_tear(100), None, "no-op plan never tears");
+    }
+
+    #[test]
+    fn traced_send_emits_msg_span_with_header_parent() {
+        let mut n = net();
+        let t = Tracer::new(64);
+        n.set_tracer(t.clone());
+        let op = t.alloc();
+        n.send_hdr(
+            NodeId(0),
+            NodeId(1),
+            MsgKind::PageShip,
+            100,
+            MsgHeader::of(SpanCtx::root(op)),
+        )
+        .unwrap();
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].parent, op, "edge parented to the operation");
+        match &spans[0].kind {
+            SpanKind::Msg {
+                kind,
+                from,
+                to,
+                bytes,
+                carries_log,
+            } => {
+                assert_eq!(*kind, "page-ship");
+                assert_eq!((*from, *to), (NodeId(0), NodeId(1)));
+                assert_eq!(*bytes, 100 + MsgHeader::WIRE_BYTES as u64);
+                assert!(!carries_log);
+            }
+            k => panic!("expected Msg span, got {k:?}"),
+        }
+        // The header cost hit the accounted wire bytes too.
+        assert_eq!(
+            n.stats().bytes_of(MsgKind::PageShip),
+            100 + MsgHeader::WIRE_BYTES as u64
+        );
+    }
+
+    #[test]
+    fn untraced_send_hdr_costs_nothing_and_emits_nothing() {
+        let mut n = net();
+        n.send_hdr(NodeId(0), NodeId(1), MsgKind::Callback, 50, MsgHeader::NONE)
+            .unwrap();
+        assert_eq!(n.stats().bytes_of(MsgKind::Callback), 50, "no header bytes");
+        assert!(n.tracer().spans().is_empty());
+    }
+
+    #[test]
+    fn reliable_hdr_emits_one_span_across_retries() {
+        let mut n = Network::with_faults(2, CostModel::unit(), FaultPlan::new(42).with_drop(0.5));
+        let t = Tracer::new(256);
+        n.set_tracer(t.clone());
+        for _ in 0..20 {
+            n.send_reliable_hdr(
+                NodeId(0),
+                NodeId(1),
+                MsgKind::LockRequest,
+                48,
+                MsgHeader::NONE,
+            )
+            .unwrap();
+        }
+        assert!(n.fault_stats().retries > 0, "losses actually retried");
+        assert_eq!(t.spans().len(), 20, "one span per logical message");
+    }
+
+    #[test]
+    fn log_ship_span_trips_the_watchdog() {
+        let mut n = net();
+        let t = Tracer::new(64);
+        n.set_tracer(t.clone());
+        n.send_hdr(NodeId(1), NodeId(0), MsgKind::LogShip, 256, MsgHeader::NONE)
+            .unwrap();
+        let err = t.check().unwrap_err();
+        assert!(err.contains("log records crossed the network"), "{err}");
+    }
+
+    #[test]
+    fn send_to_crashed_node_emits_no_span() {
+        let mut n = net();
+        let t = Tracer::new(64);
+        n.set_tracer(t.clone());
+        n.mark_crashed(NodeId(1));
+        assert!(n
+            .send_hdr(NodeId(0), NodeId(1), MsgKind::PageShip, 10, MsgHeader::NONE)
+            .is_err());
+        assert!(t.spans().is_empty(), "unreachable endpoint: nothing sent");
     }
 
     #[test]

@@ -60,6 +60,13 @@ pub trait System {
     fn flight_dump(&self) -> Option<String> {
         None
     }
+    /// Runs the system's online invariant watchdog over every span it
+    /// traced, failing with the offending lineage slice. Untraced
+    /// systems (and traced runs with no violations) return `Ok(())`;
+    /// the driver calls this once at the end of every workload run.
+    fn trace_check(&self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Implements the shared half of [`System`] (begin / read / write /
@@ -115,6 +122,9 @@ impl_system!(
     },
     fn flight_dump(&self) -> Option<String> {
         Some(cblog_core::Cluster::flight_dump(self))
+    },
+    fn trace_check(&self) -> Result<()> {
+        cblog_core::Cluster::trace_check(self)
     },
 );
 
@@ -329,6 +339,11 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
             ));
         }
     }
+    // Every span the run produced has already been checked online as
+    // it was emitted; this surfaces the first violation (with its
+    // lineage slice) as a hard error so no run passes on a broken
+    // invariant.
+    sys.trace_check()?;
     let net = sys.network();
     stats.net = net.stats();
     stats.faults = net.fault_stats();

@@ -9,6 +9,7 @@
 
 use super::{cbl_cluster, cbl_cluster_gc, csa_cluster, pages0};
 use crate::report::{f, Table};
+use cblog_common::metrics::keys;
 use cblog_common::{HistogramSnapshot, NodeId, TxnId};
 use cblog_core::GroupCommitPolicy;
 
@@ -79,7 +80,7 @@ fn run_cbl(updates: usize) -> CblCommitCost {
     let h0 = c
         .node(client)
         .registry()
-        .histogram("wal/commit_force_us")
+        .histogram(keys::WAL_COMMIT_FORCE_US)
         .snapshot();
     for i in 0..TXNS {
         let t = c.begin(client).unwrap();
@@ -94,7 +95,7 @@ fn run_cbl(updates: usize) -> CblCommitCost {
     let force_us = c
         .node(client)
         .registry()
-        .histogram("wal/commit_force_us")
+        .histogram(keys::WAL_COMMIT_FORCE_US)
         .snapshot()
         .since(&h0);
     CblCommitCost {
@@ -176,7 +177,7 @@ pub fn run_group_commit_point(mpl: usize, window_us: u64) -> GroupCommitPoint {
     let g0 = c
         .node(client)
         .registry()
-        .histogram("wal/group_size")
+        .histogram(keys::WAL_GROUP_SIZE)
         .snapshot();
     for r in 0..ROUNDS {
         // mpl transactions each update their own page, then all submit
@@ -210,7 +211,7 @@ pub fn run_group_commit_point(mpl: usize, window_us: u64) -> GroupCommitPoint {
     let groups = c
         .node(client)
         .registry()
-        .histogram("wal/group_size")
+        .histogram(keys::WAL_GROUP_SIZE)
         .snapshot()
         .since(&g0);
     GroupCommitPoint {

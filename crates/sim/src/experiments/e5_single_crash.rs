@@ -11,6 +11,7 @@
 use super::{cbl_cluster, pages0};
 use crate::report::{f, Table};
 use cblog_baselines::log_merge_cost;
+use cblog_common::metrics::keys;
 use cblog_common::{HistogramSnapshot, NodeId, PageId, RecoveryPhase};
 use cblog_core::recovery::recover;
 use cblog_core::Cluster;
@@ -129,12 +130,30 @@ pub struct CrashRow {
 pub fn run_one(d: u32) -> CrashRow {
     // Three clients: 1 and 2 produce the recovery-relevant updates;
     // client 3 produces unrelated flushed noise on separate pages.
-    let noise_pages = 4u32;
     let mut c = cbl_cluster(
         CLIENTS + 1,
-        d.max(1) + noise_pages,
+        d.max(1) + NOISE_PAGES,
         (d as usize + 6).max(12),
     );
+    run_on(&mut c, d)
+}
+
+/// Cluster shape [`run_one`] uses for `d` dirty pages — exposed so the
+/// tracedump scenarios can rebuild it with tracing enabled.
+pub fn shape(d: u32) -> (usize, u32, usize) {
+    (
+        CLIENTS + 1,
+        d.max(1) + NOISE_PAGES,
+        (d as usize + 6).max(12),
+    )
+}
+
+const NOISE_PAGES: u32 = 4;
+
+/// Drives the E5 scenario on a caller-provided cluster of the matching
+/// [`shape`]: noise workload, dirty pages, owner crash, recovery.
+pub fn run_on(c: &mut Cluster, d: u32) -> CrashRow {
+    let noise_pages = NOISE_PAGES;
     let pages = pages0(d);
     // Noise first: committed, then forced to the owner's disk and
     // flush-acked, so client 3 ends with an empty DPT and is not
@@ -153,15 +172,15 @@ pub fn run_one(d: u32) -> CrashRow {
         c.node(noise_client).dpt().is_empty(),
         "noise client fully flushed"
     );
-    dirty_pages(&mut c, &pages);
-    let merge = log_merge_cost(&c, &[NodeId(0)]);
+    dirty_pages(c, &pages);
+    let merge = log_merge_cost(c, &[NodeId(0)]);
     let commit_force_us = c
         .node(NodeId(1))
         .registry()
-        .histogram("wal/commit_force_us")
+        .histogram(keys::WAL_COMMIT_FORCE_US)
         .snapshot();
     c.crash(NodeId(0));
-    let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0))).expect("recovery");
+    let rep = recover(c, &RecoveryOptions::single(NodeId(0))).expect("recovery");
     CrashRow {
         pages: rep.pages_recovered,
         records: rep.records_replayed,

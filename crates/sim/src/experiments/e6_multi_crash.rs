@@ -47,18 +47,26 @@ pub fn run() -> Table {
     t
 }
 
+/// The E6 topology (two owners + three clients) — exposed so the
+/// tracedump scenarios can rebuild it with tracing enabled.
+pub fn builder() -> cblog_core::ClusterConfigBuilder {
+    ClusterConfig::builder()
+        .owned_pages(vec![PAGES_PER_OWNER, PAGES_PER_OWNER, 0, 0, 0])
+        .page_size(PAGE_SIZE)
+        .buffer_frames(16)
+        .default_owned_pages(0)
+}
+
 /// Builds the topology, runs a mixed workload, crashes `which`, and
 /// recovers them together.
 pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
-    let mut c = Cluster::new(
-        ClusterConfig::builder()
-            .owned_pages(vec![PAGES_PER_OWNER, PAGES_PER_OWNER, 0, 0, 0])
-            .page_size(PAGE_SIZE)
-            .buffer_frames(16)
-            .default_owned_pages(0)
-            .build(),
-    )
-    .expect("config");
+    let mut c = Cluster::new(builder().build()).expect("config");
+    run_on(&mut c, which)
+}
+
+/// Drives the E6 scenario on a caller-provided cluster of the
+/// [`builder`] topology.
+pub fn run_on(c: &mut Cluster, which: &[NodeId]) -> cblog_core::RecoveryReport {
     // Committed cross-owner traffic from every client.
     for round in 0..3u64 {
         for client in 2..=4u32 {
@@ -94,7 +102,7 @@ pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
     for &n in which {
         c.crash(n);
     }
-    recover(&mut c, &RecoveryOptions::nodes(which)).expect("multi recovery")
+    recover(c, &RecoveryOptions::nodes(which)).expect("multi recovery")
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@ pub fn run() -> Table {
     t
 }
 
-fn warm(clients: usize) -> Vec<crate::workload::TxnSpec> {
+pub(crate) fn warm(clients: usize) -> Vec<crate::workload::TxnSpec> {
     let cfg = WorkloadConfig {
         txns_per_client: 10,
         ops_per_txn: 4,

@@ -15,6 +15,7 @@ pub mod e6_multi_crash;
 pub mod e7_checkpoint;
 pub mod e7_faults;
 pub mod e8_log_space;
+pub mod e8_trace_overhead;
 pub mod e9_rollback;
 pub mod t1_protocol_ops;
 
@@ -115,6 +116,7 @@ pub fn run_all() -> Vec<Table> {
         e7_checkpoint::run(),
         e7_faults::run(),
         e8_log_space::run(),
+        e8_trace_overhead::run(),
         e9_rollback::run(),
         e10_pca::run(),
         e11_mobile::run(),

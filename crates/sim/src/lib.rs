@@ -8,6 +8,7 @@ pub mod driver;
 pub mod experiments;
 pub mod oracle;
 pub mod report;
+pub mod tracedump;
 pub mod workload;
 
 pub use driver::{run_workload, RunStats, System};

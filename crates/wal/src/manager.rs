@@ -142,6 +142,20 @@ impl LogManager {
         self.flushed_lsn
     }
 
+    /// True iff every record up to `lsn` is durable — the WAL-rule
+    /// predicate a page write or dirty-page transfer must satisfy for
+    /// the log records covering the page (PSN edges ≤ the page's PSN).
+    pub fn covers(&self, lsn: Lsn) -> bool {
+        self.flushed_lsn >= lsn
+    }
+
+    /// True iff the log has no volatile tail at all (`force_all` has
+    /// nothing to do) — the conservative WAL-rule check used when a
+    /// dirty page leaves the node.
+    pub fn fully_forced(&self) -> bool {
+        self.flushed_lsn >= self.end_lsn
+    }
+
     /// Truncation point.
     pub fn base_lsn(&self) -> Lsn {
         self.base_lsn
