@@ -15,6 +15,10 @@ echo "==> E1b group-commit experiment (BENCH_e1_groupcommit.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
     --json --only "E1b" > BENCH_e1_groupcommit.json
 
+echo "==> E1c adaptive group-commit experiment (BENCH_e1c_adaptive.json)"
+cargo run --release --offline -p cblog-bench --bin experiments -- \
+    --json --only "E1c" > BENCH_e1c_adaptive.json
+
 echo "==> E7 fault-injection experiment (BENCH_e7_faults.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
     --json --only "E7 faults" > BENCH_e7_faults.json

@@ -24,6 +24,7 @@
 
 use cblog_common::metrics::keys;
 use cblog_common::{CostModel, Error, Lsn, NodeId, PageId, Psn, Registry, Result, SimTime, TxnId};
+use cblog_core::{ForceScheduler, GroupCommitPolicy};
 use cblog_locks::{
     CachedLockTable, CallbackAction, GlobalLockTable, GlobalRequestOutcome, LocalLockTable,
     LocalRequestOutcome, LockMode,
@@ -49,6 +50,13 @@ pub struct PcaConfig {
     pub buffer_frames: usize,
     /// Cost model.
     pub cost: CostModel,
+    /// Group-commit policy for each node's **local** commit force (the
+    /// first copy of the double log). Remote page/record shipping and
+    /// the PCA-side force still happen per transaction, at flush time
+    /// — batching applies where it does in the other two systems: the
+    /// committing node's own log force. Defaults to
+    /// [`GroupCommitPolicy::Immediate`].
+    pub group_commit: GroupCommitPolicy,
 }
 
 impl Default for PcaConfig {
@@ -59,6 +67,7 @@ impl Default for PcaConfig {
             page_size: 1024,
             buffer_frames: 64,
             cost: CostModel::default(),
+            group_commit: GroupCommitPolicy::Immediate,
         }
     }
 }
@@ -69,6 +78,9 @@ struct PcaTxn {
     ops: Vec<(PageId, Psn, PageOp)>,
     /// Local log chain tail.
     last_lsn: Lsn,
+    /// Commit record appended and force-pending; no further work is
+    /// accepted, shipping happens when the covering force lands.
+    submitted: bool,
     terminated: bool,
 }
 
@@ -90,6 +102,8 @@ pub struct PcaCluster {
     cfg: PcaConfig,
     net: Network,
     nodes: Vec<PcaNode>,
+    /// One force scheduler per node, batching local commit forces.
+    schedulers: Vec<ForceScheduler>,
     /// Cluster-level metrics: per-node WAL counters (prefixed `n<id>/`),
     /// commit and abort counts, the uniform `locks/wait_us` histogram.
     registry: Registry,
@@ -136,10 +150,14 @@ impl PcaCluster {
             registry.register_counter(&format!("n{i}/wal/forces"), n.log.forces_counter());
             registry.register_counter(&format!("n{i}/wal/bytes"), n.log.bytes_appended_counter());
         }
+        let schedulers = (0..cfg.nodes)
+            .map(|_| ForceScheduler::new(cfg.group_commit))
+            .collect();
         Ok(PcaCluster {
             cfg,
             net,
             nodes,
+            schedulers,
             registry,
         })
     }
@@ -191,6 +209,7 @@ impl PcaCluster {
             PcaTxn {
                 ops: Vec::new(),
                 last_lsn: lsn,
+                submitted: false,
                 terminated: false,
             },
         );
@@ -225,6 +244,9 @@ impl PcaCluster {
             n.buffer.pin(pid)?;
         }
         let t = n.txns.get_mut(&txn).ok_or(Error::NoSuchTxn(txn))?;
+        if t.submitted || t.terminated {
+            return Err(Error::TxnAborted(txn));
+        }
         let rec = LogRecord {
             txn,
             prev_lsn: t.last_lsn,
@@ -239,19 +261,163 @@ impl PcaCluster {
         Ok(())
     }
 
-    /// Commit: local log force **plus**, for every updated remote
-    /// page, shipping the page and its log records to the PCA node,
-    /// which double-logs them and forces before acknowledging.
+    /// Commit: synchronous wrapper over the async pipeline — submit
+    /// the commit record, then force the local log right away if the
+    /// scheduler is still holding the batch open.
     pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.commit_submit(txn)?;
+        let ni = txn.node.0 as usize;
+        if self.schedulers[ni].is_pending(txn) {
+            self.flush_pca_node(txn.node)?;
+        }
+        debug_assert!(
+            self.nodes[ni].txns[&txn].terminated,
+            "flush must complete the submitted txn"
+        );
+        Ok(())
+    }
+
+    /// Phase one of commit: append the local commit record (first copy
+    /// of the double log) and park the transaction in the node's force
+    /// scheduler. Remote page/log shipping happens once the covering
+    /// force lands, in [`PcaCluster::finish_pca_commit`].
+    pub fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
         let node = txn.node;
         let ni = node.0 as usize;
-        let (ops, prev) = {
+        let lsn = {
             let n = &mut self.nodes[ni];
-            let t = n.txns.get_mut(&txn).ok_or(Error::NoSuchTxn(txn))?;
-            if t.terminated {
-                return Err(Error::TxnAborted(txn));
+            let prev = {
+                let t = n.txns.get_mut(&txn).ok_or(Error::NoSuchTxn(txn))?;
+                if t.submitted || t.terminated {
+                    return Err(Error::TxnAborted(txn));
+                }
+                t.submitted = true;
+                t.last_lsn
+            };
+            n.log.append(&LogRecord {
+                txn,
+                prev_lsn: prev,
+                payload: LogPayload::Commit,
+            })?
+        };
+        let now = self.net.clock().now();
+        self.schedulers[ni].submit(txn, lsn, now);
+        self.registry
+            .gauge(keys::WAL_WINDOW_US)
+            .set(self.schedulers[ni].window_us() as i64);
+        if self.schedulers[ni].is_due(now) {
+            self.flush_pca_node(node)?;
+        }
+        Ok(())
+    }
+
+    /// Phase two of commit: has the transaction's covering force landed
+    /// and its shipping completed? Reaps any freshly acked batch and
+    /// flushes a due scheduler on the way.
+    pub fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
+        let node = txn.node;
+        let ni = node.0 as usize;
+        self.reap_pca_acked(node)?;
+        if self.schedulers[ni].pending_len() > 0
+            && self.schedulers[ni].is_due(self.net.clock().now())
+        {
+            self.flush_pca_node(node)?;
+        }
+        let t = self.nodes[ni].txns.get(&txn).ok_or(Error::NoSuchTxn(txn))?;
+        if t.terminated {
+            Ok(true)
+        } else if t.submitted {
+            Ok(false)
+        } else {
+            Err(Error::Protocol(format!(
+                "poll_committed({txn}) before commit_submit"
+            )))
+        }
+    }
+
+    /// Drive parked commits without submitting new work: flush every
+    /// due scheduler; if none is due, advance the clock to the earliest
+    /// open deadline and flush then. Returns whether progress was made.
+    pub fn pump_commits(&mut self) -> Result<bool> {
+        let mut finished = self.flush_due_pca_nodes()?;
+        if finished == 0 {
+            if let Some(d) = self.schedulers.iter().filter_map(|s| s.deadline()).min() {
+                let now = self.net.clock().now();
+                if d > now {
+                    self.net.advance_time(d - now);
+                }
+                finished += self.flush_due_pca_nodes()?;
             }
-            (t.ops.clone(), t.last_lsn)
+        }
+        Ok(finished > 0)
+    }
+
+    /// Flush every scheduler that is due, repeating the sweep until a
+    /// full pass finds none: shipping inside a flush advances the sim
+    /// clock, which can push other nodes' deadlines into the past.
+    fn flush_due_pca_nodes(&mut self) -> Result<usize> {
+        let mut finished = 0;
+        loop {
+            let mut flushed = false;
+            for i in 0..self.nodes.len() {
+                if self.schedulers[i].is_due(self.net.clock().now()) {
+                    finished += self.flush_pca_node(NodeId(i as u32))?;
+                    flushed = true;
+                }
+            }
+            if !flushed {
+                break;
+            }
+        }
+        Ok(finished)
+    }
+
+    /// Force the node's local log once for the whole open batch, then
+    /// run per-transaction completion for every commit it covered.
+    fn flush_pca_node(&mut self, node: NodeId) -> Result<usize> {
+        let ni = node.0 as usize;
+        let mut finished = self.reap_pca_acked(node)?;
+        let batch = self.schedulers[ni].pending_len();
+        if batch == 0 {
+            return Ok(finished);
+        }
+        {
+            let n = &mut self.nodes[ni];
+            let pending = (n.log.end_lsn().0 - n.log.flushed_lsn().0) as usize;
+            n.log.force_all()?;
+            self.net.disk_io(node, pending);
+        }
+        self.registry
+            .histogram(keys::WAL_GROUP_SIZE)
+            .record(batch as u64);
+        finished += self.reap_pca_acked(node)?;
+        Ok(finished)
+    }
+
+    /// Complete every parked commit the node's forces now cover.
+    fn reap_pca_acked(&mut self, node: NodeId) -> Result<usize> {
+        let ni = node.0 as usize;
+        let flushed = self.nodes[ni].log.flushed_lsn();
+        let acked = self.schedulers[ni].drain_acked(flushed);
+        let mut finished = 0;
+        for txn in acked {
+            self.finish_pca_commit(txn)?;
+            finished += 1;
+        }
+        Ok(finished)
+    }
+
+    /// Completion for a durably-committed transaction: for every
+    /// updated remote page, ship the page and its log records to the
+    /// PCA node, which double-logs them and forces before
+    /// acknowledging; then release pins and locks.
+    fn finish_pca_commit(&mut self, txn: TxnId) -> Result<()> {
+        let node = txn.node;
+        let ni = node.0 as usize;
+        let ops = {
+            let n = &self.nodes[ni];
+            let t = n.txns.get(&txn).ok_or(Error::NoSuchTxn(txn))?;
+            t.ops.clone()
         };
         // Group updates by remote PCA node (here: owner 0 if remote).
         let mut remote_pages: Vec<PageId> = ops
@@ -261,18 +427,6 @@ impl PcaCluster {
             .collect();
         remote_pages.sort();
         remote_pages.dedup();
-        // Local commit record + force (first log).
-        {
-            let n = &mut self.nodes[ni];
-            let lsn = n.log.append(&LogRecord {
-                txn,
-                prev_lsn: prev,
-                payload: LogPayload::Commit,
-            })?;
-            let pending = n.log.end_lsn().0 - n.log.flushed_lsn().0;
-            n.log.force(lsn)?;
-            self.net.disk_io(node, pending as usize);
-        }
         // Ship each remote page + its records to the PCA node.
         for pid in &remote_pages {
             let pca = pid.owner;
@@ -529,6 +683,7 @@ mod tests {
             page_size: 512,
             buffer_frames: 16,
             cost: CostModel::unit(),
+            group_commit: GroupCommitPolicy::Immediate,
         })
         .unwrap()
     }
@@ -599,6 +754,45 @@ mod tests {
         }
         assert!(s.nodes[1].buffer.contains(pid(0)), "pinned page survives");
         s.commit(t).unwrap();
+    }
+
+    #[test]
+    fn local_commit_force_batches_across_txns() {
+        let mut s = PcaCluster::new(PcaConfig {
+            nodes: 2,
+            pages: 8,
+            page_size: 512,
+            buffer_frames: 16,
+            cost: CostModel::unit(),
+            group_commit: GroupCommitPolicy::Window {
+                window_us: 1_000_000,
+                max_batch: 64,
+            },
+        })
+        .unwrap();
+        let a = s.begin(NodeId(1)).unwrap();
+        let b = s.begin(NodeId(1)).unwrap();
+        s.write_u64(a, pid(0), 0, 1).unwrap();
+        s.write_u64(b, pid(1), 0, 2).unwrap();
+        let forces0 = s.log_of(NodeId(1)).forces();
+        let stats0 = s.network().stats();
+        s.commit_submit(a).unwrap();
+        s.commit_submit(b).unwrap();
+        assert!(!s.poll_committed(a).unwrap(), "window still open");
+        assert!(!s.poll_committed(b).unwrap());
+        assert_eq!(s.log_of(NodeId(1)).forces(), forces0, "no force yet");
+        assert!(s.pump_commits().unwrap());
+        assert_eq!(
+            s.log_of(NodeId(1)).forces(),
+            forces0 + 1,
+            "one local force covers the whole batch"
+        );
+        assert!(s.poll_committed(a).unwrap());
+        assert!(s.poll_committed(b).unwrap());
+        // Shipping is still per transaction, after the covering force.
+        let d = s.network().stats().since(&stats0);
+        assert_eq!(d.count(MsgKind::PageShip), 2);
+        assert_eq!(d.count(MsgKind::CommitAck), 2);
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub mod keys {
     pub const WAL_COMMIT_FORCE_US: &str = "wal/commit_force_us";
     /// Gauge: forces per commit ×1000 (running ratio).
     pub const WAL_FORCES_PER_COMMIT: &str = "wal/forces_per_commit";
+    /// Gauge: group-commit window currently chosen by the force
+    /// scheduler, sim-µs (resized per batch under the adaptive policy).
+    pub const WAL_WINDOW_US: &str = "wal/window_us";
+    /// Bytes rescanned by torn-tail repair at restart (O(torn tail),
+    /// not O(log) — the scan starts at the last synced boundary).
+    pub const WAL_REPAIR_SCAN_BYTES: &str = "wal/repair_scan_bytes";
 
     // ---- buffer pool ----
     /// Buffer hits.
@@ -90,6 +96,8 @@ mod tests {
             keys::WAL_GROUP_SIZE,
             keys::WAL_COMMIT_FORCE_US,
             keys::WAL_FORCES_PER_COMMIT,
+            keys::WAL_WINDOW_US,
+            keys::WAL_REPAIR_SCAN_BYTES,
             keys::BUF_HITS,
             keys::BUF_MISSES,
             keys::BUF_EVICTIONS,

@@ -482,6 +482,12 @@ impl Cluster {
         self.tracer
             .point(now, node, self.txn_ctx(txn).span, SpanKind::Commit { txn });
         self.schedulers[n].submit(txn, lsn, now);
+        // Surface the adaptation online: the window this batch is (or
+        // the next batch would be) held open for.
+        self.nodes[n]
+            .registry
+            .gauge(keys::WAL_WINDOW_US)
+            .set(self.schedulers[n].window_us() as i64);
         if self.schedulers[n].is_due(now) {
             self.flush_node(node)?;
         }
@@ -520,26 +526,40 @@ impl Cluster {
     /// earliest open window deadline and flushes what became due.
     /// Returns true if any commit was acknowledged.
     pub fn pump_commits(&mut self) -> Result<bool> {
-        let mut acked = 0;
-        for i in 0..self.nodes.len() {
-            if self.schedulers[i].is_due(self.now()) {
-                acked += self.flush_node(NodeId(i as u32))?;
-            }
-        }
+        let mut acked = self.flush_due_nodes()?;
         if acked == 0 {
             if let Some(d) = self.schedulers.iter().filter_map(|s| s.deadline()).min() {
                 let now = self.now();
                 if d > now {
                     self.net.advance_time(d - now);
                 }
-                for i in 0..self.nodes.len() {
-                    if self.schedulers[i].is_due(self.now()) {
-                        acked += self.flush_node(NodeId(i as u32))?;
-                    }
-                }
+                acked += self.flush_due_nodes()?;
             }
         }
         Ok(acked > 0)
+    }
+
+    /// Flushes every node whose batch is due, re-evaluating *all*
+    /// schedulers until none is: forcing one node's log advances the
+    /// sim-clock (disk I/O), which can push another scheduler — one
+    /// already examined this pass, or one whose adaptive window
+    /// resized shorter — past its deadline. A single index sweep would
+    /// skip that batch until the next pump.
+    fn flush_due_nodes(&mut self) -> Result<usize> {
+        let mut acked = 0;
+        loop {
+            let mut flushed = false;
+            for i in 0..self.nodes.len() {
+                if self.schedulers[i].is_due(self.now()) {
+                    acked += self.flush_node(NodeId(i as u32))?;
+                    flushed = true;
+                }
+            }
+            if !flushed {
+                break;
+            }
+        }
+        Ok(acked)
     }
 
     /// Acknowledges every force-pending commit on `node` whose Commit

@@ -32,6 +32,24 @@ pub enum GroupCommitPolicy {
         /// both mean "never wait for company").
         max_batch: usize,
     },
+    /// Load-adaptive windows: the scheduler tracks a decayed estimate
+    /// of the commit inter-arrival gap and sizes each batch's window
+    /// to collect `target_batch` commits — `window = gap ×
+    /// (target_batch − 1)`, clamped to `[min_window_us,
+    /// max_window_us]`. When even one companion is not expected within
+    /// `max_window_us` (estimated gap exceeds it), the window
+    /// collapses to `min_window_us`, so light load degenerates to
+    /// near-[`GroupCommitPolicy::Immediate`] latency while heavy load
+    /// converges to full batches — no per-workload tuning.
+    Adaptive {
+        /// Smallest window a batch is ever held open, sim-µs.
+        min_window_us: SimTime,
+        /// Largest window a batch is ever held open, sim-µs.
+        max_window_us: SimTime,
+        /// Commits per force the controller aims for; a batch this
+        /// full is forced regardless of its window.
+        target_batch: usize,
+    },
 }
 
 impl GroupCommitPolicy {
@@ -40,6 +58,7 @@ impl GroupCommitPolicy {
         match *self {
             GroupCommitPolicy::Immediate => true,
             GroupCommitPolicy::Window { max_batch, .. } => max_batch <= 1,
+            GroupCommitPolicy::Adaptive { target_batch, .. } => target_batch <= 1,
         }
     }
 }

@@ -139,6 +139,7 @@ impl Node {
         registry.register_counter(keys::WAL_FORCES, log.forces_counter());
         registry.register_counter(keys::WAL_BYTES, log.bytes_appended_counter());
         registry.register_counter(keys::WAL_STORE_SYNCS, log.store_syncs_counter());
+        registry.register_counter(keys::WAL_REPAIR_SCAN_BYTES, log.repair_scanned_counter());
         registry.register_counter(keys::BUF_HITS, buffer.hits());
         registry.register_counter(keys::BUF_MISSES, buffer.misses());
         registry.register_counter(keys::BUF_EVICTIONS, buffer.evictions());

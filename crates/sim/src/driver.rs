@@ -130,6 +130,15 @@ impl_system!(
 
 impl_system!(
     cblog_baselines::ServerCluster,
+    fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
+        cblog_baselines::ServerCluster::commit_submit(self, txn)
+    },
+    fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
+        cblog_baselines::ServerCluster::poll_committed(self, txn)
+    },
+    fn pump_commits(&mut self) -> Result<bool> {
+        cblog_baselines::ServerCluster::pump_commits(self)
+    },
     fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
         cblog_baselines::ServerCluster::note_queue_wait(self, txn, us);
     },
@@ -137,6 +146,15 @@ impl_system!(
 
 impl_system!(
     cblog_baselines::PcaCluster,
+    fn commit_submit(&mut self, txn: TxnId) -> Result<()> {
+        cblog_baselines::PcaCluster::commit_submit(self, txn)
+    },
+    fn poll_committed(&mut self, txn: TxnId) -> Result<bool> {
+        cblog_baselines::PcaCluster::poll_committed(self, txn)
+    },
+    fn pump_commits(&mut self) -> Result<bool> {
+        cblog_baselines::PcaCluster::pump_commits(self)
+    },
     fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
         cblog_baselines::PcaCluster::note_queue_wait(self, txn, us);
     },
@@ -437,6 +455,7 @@ mod tests {
             client_buffer_frames: 32,
             server_buffer_frames: 64,
             cost: CostModel::unit(),
+            group_commit: cblog_core::GroupCommitPolicy::Immediate,
         })
         .unwrap();
         let cfg = WorkloadConfig {

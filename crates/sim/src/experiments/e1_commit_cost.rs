@@ -110,7 +110,8 @@ fn run_cbl(updates: usize) -> CblCommitCost {
 pub struct GroupCommitPoint {
     /// Concurrently committing transactions per round.
     pub mpl: usize,
-    /// Group-commit window (0 = immediate).
+    /// Group-commit window (0 = immediate; for adaptive policies this
+    /// is the configured maximum, see `live_window_us` for the actual).
     pub window_us: u64,
     /// Log forces per committed transaction.
     pub forces_per_commit: f64,
@@ -118,6 +119,9 @@ pub struct GroupCommitPoint {
     pub msgs_per_commit: f64,
     /// Mean transactions acknowledged per force.
     pub mean_group: f64,
+    /// Final `wal/window_us` gauge reading — the window the scheduler
+    /// was actually running at the end of the sweep.
+    pub live_window_us: i64,
 }
 
 /// MPL × window sweep: `mpl` transactions on one client run
@@ -154,7 +158,6 @@ pub fn run_group_commit() -> Table {
 /// Runs `ROUNDS` rounds of `mpl` concurrent single-page transactions
 /// under the given window (0 = today's immediate force-per-commit).
 pub fn run_group_commit_point(mpl: usize, window_us: u64) -> GroupCommitPoint {
-    const ROUNDS: u64 = 50;
     let policy = if window_us == 0 {
         GroupCommitPolicy::Immediate
     } else {
@@ -162,6 +165,19 @@ pub fn run_group_commit_point(mpl: usize, window_us: u64) -> GroupCommitPoint {
             window_us,
             max_batch: mpl.max(2),
         }
+    };
+    run_policy_point(mpl, policy)
+}
+
+/// As [`run_group_commit_point`] for an arbitrary policy — the E1c
+/// adaptive sweep reuses the identical workload so its points are
+/// directly comparable with the static-window grid.
+pub fn run_policy_point(mpl: usize, policy: GroupCommitPolicy) -> GroupCommitPoint {
+    const ROUNDS: u64 = 50;
+    let window_us = match policy {
+        GroupCommitPolicy::Immediate => 0,
+        GroupCommitPolicy::Window { window_us, .. } => window_us,
+        GroupCommitPolicy::Adaptive { max_window_us, .. } => max_window_us,
     };
     let mut c = cbl_cluster_gc(1, mpl.max(4) as u32, 64, policy);
     let client = NodeId(1);
@@ -214,12 +230,14 @@ pub fn run_group_commit_point(mpl: usize, window_us: u64) -> GroupCommitPoint {
         .histogram(keys::WAL_GROUP_SIZE)
         .snapshot()
         .since(&g0);
+    let live_window_us = c.node(client).registry().gauge(keys::WAL_WINDOW_US).get();
     GroupCommitPoint {
         mpl,
         window_us,
         forces_per_commit: forces as f64 / commits as f64,
         msgs_per_commit: d.total_messages() as f64 / commits as f64,
         mean_group: groups.mean(),
+        live_window_us,
     }
 }
 

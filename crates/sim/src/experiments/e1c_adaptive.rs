@@ -1,0 +1,154 @@
+//! E1c — adaptive group commit vs the best static window.
+//!
+//! The static E1b sweep shows each MPL has its own best window: too
+//! short and batches split, too long and light load pays pure latency.
+//! The adaptive controller (DESIGN.md §5.1) resizes the window online
+//! from the observed commit-arrival rate, so one configuration should
+//! track the best static window at *every* MPL. This sweep reruns the
+//! identical workload and compares forces-per-commit point by point.
+
+use super::e1_commit_cost::{run_group_commit_point, run_policy_point, GroupCommitPoint};
+use crate::report::{f, Table};
+use cblog_core::GroupCommitPolicy;
+
+/// The static windows the adaptive controller competes against —
+/// the same grid as the E1b sweep (0 = immediate).
+pub const STATIC_WINDOWS_US: [u64; 3] = [0, 500, 5_000];
+
+/// MPLs swept by the comparison.
+pub const MPLS: [usize; 4] = [1, 2, 4, 8];
+
+/// The single adaptive configuration used at every MPL. The target
+/// batch deliberately exceeds the deepest MPL in the sweep so the
+/// deadline — not an early batch fill — is what closes every group,
+/// exercising the rate estimator rather than the size cap.
+pub fn adaptive_policy() -> GroupCommitPolicy {
+    GroupCommitPolicy::Adaptive {
+        min_window_us: 50,
+        max_window_us: 20_000,
+        target_batch: 16,
+    }
+}
+
+/// One MPL's comparison: the best static point vs the adaptive point.
+pub struct AdaptivePoint {
+    /// Concurrently committing transactions per round.
+    pub mpl: usize,
+    /// The static point with the fewest forces per commit.
+    pub best: GroupCommitPoint,
+    /// The fixed adaptive configuration on the identical workload.
+    pub adaptive: GroupCommitPoint,
+}
+
+impl AdaptivePoint {
+    /// Adaptive forces-per-commit relative to the best static point.
+    pub fn ratio(&self) -> f64 {
+        self.adaptive.forces_per_commit / self.best.forces_per_commit
+    }
+}
+
+/// Runs the full static grid plus the adaptive policy at one MPL.
+pub fn run_point(mpl: usize) -> AdaptivePoint {
+    let best = STATIC_WINDOWS_US
+        .iter()
+        .map(|&w| run_group_commit_point(mpl, w))
+        .min_by(|a, b| a.forces_per_commit.total_cmp(&b.forces_per_commit))
+        .expect("static sweep is non-empty");
+    let adaptive = run_policy_point(mpl, adaptive_policy());
+    AdaptivePoint {
+        mpl,
+        best,
+        adaptive,
+    }
+}
+
+/// Runs the MPL sweep.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E1c adaptive group commit vs best static window (1 client)",
+        &[
+            "mpl",
+            "best window us",
+            "best forces/commit",
+            "adaptive forces/commit",
+            "adaptive/best",
+            "adaptive mean group",
+            "adaptive msgs/commit",
+            "adaptive live window us",
+        ],
+    );
+    for mpl in MPLS {
+        let p = run_point(mpl);
+        t.row(vec![
+            p.mpl.to_string(),
+            p.best.window_us.to_string(),
+            f(p.best.forces_per_commit),
+            f(p.adaptive.forces_per_commit),
+            f(p.ratio()),
+            f(p.adaptive.mean_group),
+            f(p.adaptive.msgs_per_commit),
+            p.adaptive.live_window_us.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_matches_the_best_static_window_at_every_mpl() {
+        for mpl in MPLS {
+            let p = run_point(mpl);
+            assert!(
+                p.adaptive.forces_per_commit <= p.best.forces_per_commit * 1.10 + 1e-9,
+                "mpl {}: adaptive {} vs best static {} (window {})",
+                mpl,
+                p.adaptive.forces_per_commit,
+                p.best.forces_per_commit,
+                p.best.window_us
+            );
+            assert_eq!(
+                p.adaptive.msgs_per_commit, 0.0,
+                "mpl {mpl}: commit path stays message-free under adaptive"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_amortizes_at_depth_and_stays_single_force_when_light() {
+        let p1 = run_point(1);
+        assert!(
+            (p1.adaptive.forces_per_commit - 1.0).abs() < 1e-9,
+            "mpl 1 degenerates to one force per commit: {}",
+            p1.adaptive.forces_per_commit
+        );
+        let p8 = run_point(8);
+        assert!(
+            p8.adaptive.forces_per_commit < 0.5,
+            "mpl 8 shares forces: {}",
+            p8.adaptive.forces_per_commit
+        );
+    }
+
+    #[test]
+    fn the_window_gauge_surfaces_the_adapted_window() {
+        let p = run_point(4);
+        assert!(
+            p.adaptive.live_window_us >= 50,
+            "gauge reports a live window at or above the floor: {}",
+            p.adaptive.live_window_us
+        );
+        assert!(
+            p.adaptive.live_window_us <= 20_000,
+            "gauge never exceeds the cap: {}",
+            p.adaptive.live_window_us
+        );
+    }
+
+    #[test]
+    fn table_has_a_row_per_mpl() {
+        assert_eq!(run().len(), MPLS.len());
+    }
+}

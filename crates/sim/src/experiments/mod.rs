@@ -7,6 +7,7 @@ pub mod a1_ckpt_interval;
 pub mod e10_pca;
 pub mod e11_mobile;
 pub mod e1_commit_cost;
+pub mod e1c_adaptive;
 pub mod e2_scalability;
 pub mod e3_log_volume;
 pub mod e4_page_transfer;
@@ -85,6 +86,16 @@ pub fn cbl_cluster_faults(clients: usize, pages: u32, frames: usize, plan: Fault
 
 /// Builds the ARIES/CSA server-logging baseline with matching shape.
 pub fn csa_cluster(clients: usize, pages: u32, frames: usize) -> ServerCluster {
+    csa_cluster_gc(clients, pages, frames, GroupCommitPolicy::Immediate)
+}
+
+/// As [`csa_cluster`] with a group-commit policy for the server log.
+pub fn csa_cluster_gc(
+    clients: usize,
+    pages: u32,
+    frames: usize,
+    group_commit: GroupCommitPolicy,
+) -> ServerCluster {
     ServerCluster::new(ServerClientConfig {
         clients,
         pages,
@@ -92,6 +103,7 @@ pub fn csa_cluster(clients: usize, pages: u32, frames: usize) -> ServerCluster {
         client_buffer_frames: frames,
         server_buffer_frames: (pages as usize).max(frames) * 2,
         cost: CostModel::default(),
+        group_commit,
     })
     .expect("server config valid")
 }
@@ -107,6 +119,7 @@ pub fn run_all() -> Vec<Table> {
         t1_protocol_ops::run(),
         e1_commit_cost::run(),
         e1_commit_cost::run_group_commit(),
+        e1c_adaptive::run(),
         e2_scalability::run(),
         e3_log_volume::run(),
         e4_page_transfer::run(),

@@ -55,6 +55,10 @@ pub struct LogManager {
     master: MasterRecord,
     records: Counter,
     forces: Counter,
+    /// Bytes rescanned by [`LogManager::repair_tail`] (cumulative).
+    /// The scan starts at the last synced boundary, so this stays
+    /// O(torn tail) per restart — a test hook for that guarantee.
+    repair_scanned: Counter,
 }
 
 impl std::fmt::Debug for LogManager {
@@ -100,6 +104,7 @@ impl LogManager {
             master,
             records: Counter::new(),
             forces: Counter::new(),
+            repair_scanned: Counter::new(),
         })
     }
 
@@ -207,6 +212,12 @@ impl LogManager {
         self.store.bytes_appended()
     }
 
+    /// Shared handle to the repair-scan byte counter (bytes rescanned
+    /// by [`LogManager::repair_tail`], cumulatively).
+    pub fn repair_scanned_counter(&self) -> &Counter {
+        &self.repair_scanned
+    }
+
     /// Last complete checkpoint anchor.
     pub fn last_checkpoint(&self) -> Lsn {
         self.master.last_checkpoint
@@ -293,6 +304,17 @@ impl LogManager {
             }
             return Err(Error::Corrupt(format!("tail read out of range at {lsn}")));
         }
+        // A store-resident record's 8-byte header must lie wholly below
+        // the durable boundary. A stale LSN within 8 bytes of a
+        // torn-tail truncation point would otherwise short-read the
+        // store; every genuine record has total ≥ 8, so rejecting here
+        // loses nothing.
+        if lsn.0 + 8 > self.tail_start.0 {
+            return Err(Error::Corrupt(format!(
+                "record header at {lsn} crosses the durable boundary {}",
+                self.tail_start
+            )));
+        }
         let mut header = [0u8; 8];
         self.store.read_at(lsn.0, &mut header)?;
         let total = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
@@ -368,14 +390,28 @@ impl LogManager {
     }
 
     /// Validates the log's tail after a crash: scans forward from the
-    /// truncation point checking record framing and checksums, and cuts
-    /// the store back to the end of the last valid record. Returns the
-    /// number of torn bytes discarded — 0 on a clean log. Idempotent;
-    /// a torn tail is discarded here and never replayed.
+    /// last synced boundary checking record framing and checksums, and
+    /// cuts the store back to the end of the last valid record. Returns
+    /// the number of torn bytes discarded — 0 on a clean log.
+    /// Idempotent; a torn tail is discarded here and never replayed.
+    ///
+    /// Every byte below the store's synced boundary went down inside a
+    /// completed `sync` of whole records, so only the bytes a torn
+    /// write landed past it need rescanning: restart cost is O(torn
+    /// tail), not O(live log). A store that cannot report its synced
+    /// boundary (a freshly reopened file) falls back to the master
+    /// record's checkpoint anchor — durable and record-aligned — then
+    /// to the truncation point.
     pub fn repair_tail(&mut self) -> Result<u64> {
         debug_assert!(self.tail.is_empty(), "repair runs on a post-crash log");
         let len = self.store.len();
-        let mut pos = self.base_lsn.0;
+        let mut pos = self
+            .store
+            .synced_len()
+            .unwrap_or(self.master.last_checkpoint.0)
+            .max(self.base_lsn.0)
+            .min(len);
+        self.repair_scanned.add(len - pos);
         while pos + 8 <= len {
             let mut header = [0u8; 8];
             self.store.read_at(pos, &mut header)?;
@@ -596,6 +632,92 @@ mod tests {
                 }
                 assert_eq!(n, valid);
                 assert!(lm.append(&rec(9, Lsn::ZERO)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn repair_scan_is_bounded_by_the_torn_tail_not_the_log() {
+        // A long history of forced batches, then a small torn tail: the
+        // restart scan must cover only the bytes landed past the last
+        // sync, not the whole live window.
+        let mut lm = lm();
+        let mut prev = Lsn::ZERO;
+        for i in 1..=100 {
+            prev = lm.append(&rec(i, prev)).unwrap();
+            lm.force_all().unwrap();
+        }
+        let synced = lm.flushed_lsn().0;
+        assert!(synced > 4_000, "plenty of history below the boundary");
+        // One unsynced record, torn mid-write.
+        lm.append(&rec(101, prev)).unwrap();
+        let pending = lm.end_lsn().0 - synced;
+        let landed = pending / 2;
+        lm.simulate_crash_torn(landed, true);
+        let scanned0 = lm.repair_scanned_counter().get();
+        let torn = lm.repair_tail().unwrap();
+        assert_eq!(torn, landed, "whole fragment discarded");
+        let scanned = lm.repair_scanned_counter().get() - scanned0;
+        assert_eq!(scanned, landed, "scan covers exactly the landed fragment");
+        assert!(scanned < synced, "O(torn tail), not O(log)");
+        // A second repair on the now-clean log rescans nothing.
+        let torn = lm.repair_tail().unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(
+            lm.repair_scanned_counter().get() - scanned0,
+            landed,
+            "idempotent repair adds no scan work"
+        );
+    }
+
+    #[test]
+    fn repair_still_discards_torn_records_that_survive_below_store_end() {
+        // The fragment contains whole valid records followed by a torn
+        // one: the scan starting at the synced boundary must keep the
+        // valid prefix and discard only the genuinely torn suffix.
+        let mut lm = lm();
+        let a = lm.append(&rec(1, Lsn::ZERO)).unwrap();
+        lm.force_all().unwrap();
+        let b = lm.append(&rec(2, a)).unwrap();
+        let c = lm.append(&rec(3, b)).unwrap();
+        let second = c.0 - b.0;
+        let tail = lm.end_lsn().0 - b.0;
+        // Record 2 fully lands, record 3 half-lands.
+        let landed = second + (tail - second) / 2;
+        lm.simulate_crash_torn(landed, false);
+        let torn = lm.repair_tail().unwrap();
+        assert_eq!(torn, landed - second);
+        assert_eq!(lm.end_lsn(), c, "record 2 survives");
+        assert_eq!(lm.read_record(b).unwrap().0, rec(2, a));
+    }
+
+    #[test]
+    fn reads_near_the_durable_boundary_fail_gracefully() {
+        // A record LSN within 8 bytes of `tail_start` (as a stale
+        // pointer can produce after a torn-tail truncation) must return
+        // Corrupt from every byte offset — never short-read or panic.
+        let mut lm = lm();
+        let a = lm.append(&rec(1, Lsn::ZERO)).unwrap();
+        lm.append(&rec(2, a)).unwrap();
+        lm.force_all().unwrap();
+        let end = lm.end_lsn().0;
+        for off in 1..=8 {
+            match lm.read_record(Lsn(end - off)) {
+                Err(Error::Corrupt(_)) => {}
+                other => panic!("offset {off} below boundary: {other:?}"),
+            }
+        }
+        // The same sweep against a truncated torn tail: the boundary
+        // moved back, stale LSNs beyond it must still fail cleanly.
+        lm.append(&rec(3, Lsn::ZERO)).unwrap();
+        let pending = lm.end_lsn().0 - lm.flushed_lsn().0;
+        lm.simulate_crash_torn(pending / 2, true);
+        lm.repair_tail().unwrap();
+        let end = lm.end_lsn().0;
+        for off in 1..=8 {
+            match lm.read_record(Lsn(end - off)) {
+                Err(Error::Corrupt(_)) => {}
+                other => panic!("offset {off} after repair: {other:?}"),
             }
         }
     }

@@ -46,6 +46,18 @@ pub trait LogStore {
     /// Makes all appended bytes durable.
     fn sync(&mut self) -> Result<()>;
 
+    /// Byte length the store is *known* to have been synced at — the
+    /// position of the last [`LogStore::sync`], clamped by
+    /// [`LogStore::truncate_to`]. Unlike the durable length this is
+    /// **not** advanced by a torn write landing on the platter
+    /// ([`LogStore::crash_with_partial_tail`]), so every byte below it
+    /// is a checksum-valid record prefix and restart repair may begin
+    /// its scan here. `None` when the store cannot tell (a freshly
+    /// reopened file store: its on-disk tail may predate this
+    /// process), in which case repair falls back to the master-record
+    /// anchor.
+    fn synced_len(&self) -> Option<u64>;
+
     /// Atomically replaces the master record.
     fn write_master(&mut self, bytes: &[u8]) -> Result<()>;
 
@@ -81,6 +93,7 @@ pub trait LogStore {
 pub struct MemLogStore {
     data: Vec<u8>,
     durable_len: u64,
+    synced_len: u64,
     master: Vec<u8>,
     syncs: Counter,
     bytes: Counter,
@@ -119,8 +132,13 @@ impl LogStore for MemLogStore {
 
     fn sync(&mut self) -> Result<()> {
         self.durable_len = self.data.len() as u64;
+        self.synced_len = self.durable_len;
         self.syncs.bump();
         Ok(())
+    }
+
+    fn synced_len(&self) -> Option<u64> {
+        Some(self.synced_len)
     }
 
     fn write_master(&mut self, bytes: &[u8]) -> Result<()> {
@@ -147,6 +165,7 @@ impl LogStore for MemLogStore {
             self.data.truncate(len as usize);
         }
         self.durable_len = self.durable_len.min(self.data.len() as u64).min(len);
+        self.synced_len = self.synced_len.min(self.durable_len);
     }
 
     fn syncs(&self) -> &Counter {
@@ -165,6 +184,9 @@ pub struct FileLogStore {
     master_path: PathBuf,
     len: u64,
     durable_len: u64,
+    /// `None` until the first in-process sync: the reopened file's
+    /// tail cannot be distinguished from a torn write.
+    synced_len: Option<u64>,
     syncs: Counter,
     bytes: Counter,
 }
@@ -186,6 +208,7 @@ impl FileLogStore {
             master_path: PathBuf::from(master_path),
             len,
             durable_len: len,
+            synced_len: None,
             syncs: Counter::new(),
             bytes: Counter::new(),
         })
@@ -253,8 +276,13 @@ impl LogStore for FileLogStore {
     fn sync(&mut self) -> Result<()> {
         self.file.sync_data()?;
         self.durable_len = self.len;
+        self.synced_len = Some(self.len);
         self.syncs.bump();
         Ok(())
+    }
+
+    fn synced_len(&self) -> Option<u64> {
+        self.synced_len
     }
 
     fn write_master(&mut self, bytes: &[u8]) -> Result<()> {
@@ -302,6 +330,7 @@ impl LogStore for FileLogStore {
             self.len = len;
         }
         self.durable_len = self.durable_len.min(self.len);
+        self.synced_len = self.synced_len.map(|s| s.min(self.durable_len));
     }
 
     fn syncs(&self) -> &Counter {
@@ -327,7 +356,9 @@ mod tests {
         assert_eq!(&buf, b"world");
         assert!(s.read_at(8, &mut [0u8; 5]).is_err());
         s.sync().unwrap();
+        assert_eq!(s.synced_len(), Some(11));
         s.append(b" lost").unwrap();
+        assert_eq!(s.synced_len(), Some(11), "append alone does not sync");
         s.crash();
         assert_eq!(s.len(), 11, "unsynced tail dropped");
         s.write_master(b"anchor").unwrap();
@@ -407,6 +438,11 @@ mod tests {
         // Crash mid-write: the first 4 bytes of the batch landed.
         s.crash_with_partial_tail(b"in-f");
         assert_eq!(s.len(), 12, "durable prefix + torn fragment");
+        assert_eq!(
+            s.synced_len(),
+            Some(8),
+            "torn landed bytes are durable but not *synced*: repair must scan them"
+        );
         let mut buf = [0u8; 12];
         s.read_at(0, &mut buf).unwrap();
         assert_eq!(&buf, b"durable!in-f");

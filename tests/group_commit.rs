@@ -3,6 +3,7 @@
 //! forces interleave with a batch, and oracle-verified workloads
 //! across window settings.
 
+use cblog_common::metrics::keys;
 use cblog_common::{CostModel, NodeId, PageId};
 use cblog_core::{recovery, Cluster, ClusterConfig, GroupCommitPolicy, RecoveryOptions};
 use cblog_sim::{run_workload, workload, WorkloadConfig};
@@ -132,6 +133,162 @@ fn batch_acknowledges_in_submission_order_with_one_force() {
         c.flight_dump().contains("group-commit"),
         "flight recorder logs the batched force"
     );
+}
+
+#[test]
+fn one_pump_flushes_every_scheduler_the_clock_ran_past() {
+    // Regression test for the pump sweep: flushing the node with the
+    // earliest deadline spends disk time, which can push the clock
+    // past another node's deadline. A single pump_commits() must keep
+    // re-evaluating all schedulers until none is due — the old single
+    // pass skipped node 1 here because it was examined (not yet due)
+    // before node 2's flush advanced the clock.
+    let mut c = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![8, 0, 0, 0])
+            .page_size(1024)
+            .buffer_frames(32)
+            .default_owned_pages(0)
+            .cost(CostModel {
+                msg_fixed_us: 500,
+                wire_us_per_kib: 0,
+                io_fixed_us: 10_000,
+                disk_us_per_kib: 0,
+                handle_us: 0,
+            })
+            .group_commit(GroupCommitPolicy::Adaptive {
+                min_window_us: 1_000,
+                max_window_us: 100_000,
+                target_batch: 16,
+            })
+            .build(),
+    )
+    .unwrap();
+    let p1 = PageId::new(NodeId(0), 1);
+    let p2 = PageId::new(NodeId(0), 2);
+    let p_delta = PageId::new(NodeId(0), 3);
+    // Warm caches/locks and feed each node's rate estimator a first
+    // inter-arrival sample.
+    let a = c.begin(NodeId(1)).unwrap();
+    c.write_u64(a, p1, 0, 1).unwrap();
+    c.commit(a).unwrap();
+    let b = c.begin(NodeId(2)).unwrap();
+    c.write_u64(b, p2, 0, 1).unwrap();
+    c.commit(b).unwrap();
+    // Cache p_delta (shared) at nodes 1 and 3 so node 3's later lock
+    // upgrade on it costs only messages — a sub-force clock advance.
+    let warm = c.begin(NodeId(1)).unwrap();
+    c.read_u64(warm, p_delta, 0).unwrap();
+    c.abort(warm).unwrap();
+    let warm3 = c.begin(NodeId(3)).unwrap();
+    c.read_u64(warm3, p_delta, 0).unwrap();
+    c.abort(warm3).unwrap();
+    // Node 2 submits first: its adaptive deadline is the earliest.
+    let t2 = c.begin(NodeId(2)).unwrap();
+    c.write_u64(t2, p2, 0, 22).unwrap();
+    c.commit_submit(t2).unwrap();
+    // A message-only operation (X upgrade on a cached page, with a
+    // callback to node 1's shared copy) staggers the clock by less
+    // than one disk force, so node 1's deadline lands inside node 2's
+    // flush.
+    let d = c.begin(NodeId(3)).unwrap();
+    c.write_u64(d, p_delta, 0, 9).unwrap();
+    c.abort(d).unwrap();
+    let t1 = c.begin(NodeId(1)).unwrap();
+    c.write_u64(t1, p1, 0, 11).unwrap();
+    c.commit_submit(t1).unwrap();
+    // Precondition: both estimators trained onto the same clamped
+    // window, so the deadlines differ by exactly the submit stagger.
+    for n in [1u32, 2] {
+        assert_eq!(
+            c.node(NodeId(n))
+                .registry()
+                .gauge(keys::WAL_WINDOW_US)
+                .get(),
+            100_000,
+            "node {n} window clamps to the cap"
+        );
+    }
+    assert!(!c.poll_committed(t1).unwrap());
+    assert!(!c.poll_committed(t2).unwrap());
+    let f1 = c.node(NodeId(1)).log().forces();
+    let f2 = c.node(NodeId(2)).log().forces();
+    assert!(c.pump_commits().unwrap(), "pump makes progress");
+    assert!(
+        c.poll_committed(t2).unwrap(),
+        "earliest deadline flushed by the pump"
+    );
+    assert!(
+        c.poll_committed(t1).unwrap(),
+        "the same pump re-evaluates node 1 after node 2's flush \
+         advanced the clock past its deadline"
+    );
+    assert_eq!(c.node(NodeId(1)).log().forces(), f1 + 1);
+    assert_eq!(c.node(NodeId(2)).log().forces(), f2 + 1);
+}
+
+#[test]
+fn adaptive_oracle_verified_workload_across_crash_and_recovery() {
+    let policy = GroupCommitPolicy::Adaptive {
+        min_window_us: 100,
+        max_window_us: 20_000,
+        target_batch: 4,
+    };
+    let mut c = gc_cluster(2, 8, policy);
+    let pages: Vec<PageId> = (0..8).map(|i| PageId::new(NodeId(0), i)).collect();
+    // Phase 1: a mixed workload commits entirely through the adaptive
+    // pipeline and every acknowledged value is readable.
+    let cfg = WorkloadConfig {
+        txns_per_client: 30,
+        ops_per_txn: 5,
+        write_ratio: 0.6,
+        hot_access: 0.3,
+        seed: 7,
+        ..WorkloadConfig::default()
+    };
+    let specs = workload::generate(&cfg, &[NodeId(1), NodeId(2)], &pages, None);
+    let stats = run_workload(&mut c, specs).unwrap();
+    assert_eq!(stats.committed, 60, "adaptive pipeline commits everything");
+    stats.oracle.verify(&mut c, NodeId(1)).unwrap();
+    // Crash with an open adaptive window: A is acknowledged before the
+    // crash, B's commit record is parked behind a deadline that never
+    // arrives. Durability is only ever acknowledged by the covering
+    // force, so B must roll back and A must survive.
+    let p0 = pages[0];
+    let a = c.begin(NodeId(1)).unwrap();
+    c.write_u64(a, p0, 0, 10).unwrap();
+    c.commit(a).unwrap();
+    let b = c.begin(NodeId(1)).unwrap();
+    c.write_u64(b, p0, 0, 20).unwrap();
+    c.node_mut(NodeId(1)).force_log().unwrap();
+    c.commit_submit(b).unwrap();
+    assert!(
+        !c.poll_committed(b).unwrap(),
+        "no ack before the covering force"
+    );
+    c.crash(NodeId(1));
+    recovery::recover(&mut c, &RecoveryOptions::single(NodeId(1))).unwrap();
+    let t = c.begin(NodeId(2)).unwrap();
+    assert_eq!(
+        c.read_u64(t, p0, 0).unwrap(),
+        10,
+        "A survives, B rolls back"
+    );
+    c.commit(t).unwrap();
+    // Phase 2: the recovered node keeps committing under the same
+    // adaptive scheduler, and the oracle still verifies end to end.
+    let cfg2 = WorkloadConfig {
+        txns_per_client: 20,
+        ops_per_txn: 4,
+        write_ratio: 0.6,
+        hot_access: 0.3,
+        seed: 43,
+        ..WorkloadConfig::default()
+    };
+    let specs2 = workload::generate(&cfg2, &[NodeId(1), NodeId(2)], &pages, None);
+    let stats2 = run_workload(&mut c, specs2).unwrap();
+    assert_eq!(stats2.committed, 40, "recovered node commits again");
+    stats2.oracle.verify(&mut c, NodeId(1)).unwrap();
 }
 
 #[test]
