@@ -13,27 +13,56 @@ cargo test -q --offline
 
 echo "==> E1b group-commit experiment (BENCH_e1_groupcommit.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
-    --json --only "E1b" > BENCH_e1_groupcommit.json
+    --json --only e1b > BENCH_e1_groupcommit.json
 
 echo "==> E1c adaptive group-commit experiment (BENCH_e1c_adaptive.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
-    --json --only "E1c" > BENCH_e1c_adaptive.json
+    --json --only e1c > BENCH_e1c_adaptive.json
 
 echo "==> E7 fault-injection experiment (BENCH_e7_faults.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
-    --json --only "E7 faults" > BENCH_e7_faults.json
+    --json --only e7b > BENCH_e7_faults.json
 
 echo "==> E8b trace-overhead experiment (BENCH_e8_trace_overhead.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
-    --json --only "E8b" > BENCH_e8_trace_overhead.json
+    --json --only e8b > BENCH_e8_trace_overhead.json
+
+echo "==> perf-regression gate (BASELINES.json)"
+cargo run --release --offline -p cblog-bench --bin experiments -- \
+    --check-baselines BASELINES.json
+
+echo "==> perf-regression gate rejects an injected regression"
+# Self-test of the gate itself: perturb one pinned value and assert
+# the check exits nonzero. Without this, a gate that silently passes
+# everything would look green forever.
+sed 's/"expect": 0.125/"expect": 0.225/' BASELINES.json > /tmp/ci_perturbed_baselines.json
+if cargo run --release --offline -p cblog-bench --bin experiments -- \
+    --check-baselines /tmp/ci_perturbed_baselines.json > /dev/null 2>&1; then
+    echo "ERROR: gate accepted a perturbed baseline" >&2
+    exit 1
+fi
+rm -f /tmp/ci_perturbed_baselines.json
 
 echo "==> tracedump smoke: watchdog-verified E5 lineage + Chrome JSON"
-# (plain grep, not -q: -q exits at first match and the early SIGPIPE
-# would mask the dump's own exit status)
+# Write to a file first, then grep the file: in a `cmd | grep` pipeline
+# the pipeline's exit status is grep's, which would mask a nonzero exit
+# from the dump itself (e.g. a watchdog violation).
 cargo run --release --offline -p cblog-bench --bin tracedump -- \
-    --scenario e5 | grep "replay-hop" > /dev/null
+    --scenario e5 > /tmp/ci_tracedump.txt
+grep "replay-hop" /tmp/ci_tracedump.txt > /dev/null
 cargo run --release --offline -p cblog-bench --bin tracedump -- \
-    --scenario e5 --json | grep '"traceEvents"' > /dev/null
+    --scenario e5 --json > /tmp/ci_tracedump.json
+grep '"traceEvents"' /tmp/ci_tracedump.json > /dev/null
+rm -f /tmp/ci_tracedump.txt /tmp/ci_tracedump.json
+
+echo "==> obsreport smoke: self-contained HTML + folded stacks (OBS_e1.html)"
+cargo run --release --offline -p cblog-bench --bin obsreport -- \
+    --scenario e1 --out OBS_e1.html
+grep '<svg' OBS_e1.html > /dev/null
+cargo run --release --offline -p cblog-bench --bin obsreport -- \
+    --scenario e1 --folded > /tmp/ci_obs_folded.txt
+grep 'n0;disk ' /tmp/ci_obs_folded.txt > /dev/null
+rm -f /tmp/ci_obs_folded.txt
 
 echo "==> cargo fmt --check"
 cargo fmt --check

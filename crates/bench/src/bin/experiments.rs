@@ -1,31 +1,81 @@
 //! Prints every experiment table (T1, E1–E11, A1). Usage:
 //!
 //! ```text
-//! cargo run --release -p cblog-bench --bin experiments [--csv | --json] [--only PATTERN]
+//! cargo run --release -p cblog-bench --bin experiments -- \
+//!     [--csv | --json] [--only NAME|PATTERN] [--list] \
+//!     [--check-baselines FILE]
 //! ```
 //!
 //! `--json` emits one JSON array of table objects (`{"title",
 //! "headers", "rows"}`), suitable for scripted post-processing.
-//! `--only PATTERN` keeps only tables whose title contains `PATTERN`
-//! (case-insensitive), e.g. `--only E1b` for the group-commit sweep.
+//! `--only` takes either a registry short name (exact, e.g. `e1b` —
+//! see `--list`; only that experiment runs) or a case-insensitive
+//! title substring (the whole suite runs, then filters).
+//! `--list` prints the registry: one `name  title` line per
+//! experiment, without running anything expensive beyond the t1 probe.
+//! `--check-baselines FILE` runs the perf-regression gate against the
+//! pinned numbers in FILE (see `BASELINES.json` at the repo root) and
+//! exits nonzero if any value leaves its tolerance band.
+
+use cblog_bench::experiments::{run_all, run_named, REGISTRY};
+use cblog_sim::baseline;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let csv = args.iter().any(|a| a == "--csv");
     let json = args.iter().any(|a| a == "--json");
-    let only: Option<String> = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.to_lowercase());
-    let mut tables = cblog_bench::experiments::run_all();
-    if let Some(pat) = &only {
-        tables.retain(|t| t.title().to_lowercase().contains(pat));
-        if tables.is_empty() {
-            eprintln!("no experiment table matches --only {pat}");
-            std::process::exit(1);
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    if args.iter().any(|a| a == "--list") {
+        for (name, desc, _) in REGISTRY {
+            println!("{name:<5} {desc}");
+        }
+        return;
+    }
+    if let Some(path) = arg_after("--check-baselines") {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("cannot read baselines file {path:?}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match baseline::check(&doc) {
+            Ok(outcomes) => {
+                print!("{}", baseline::render(&outcomes));
+                if outcomes.iter().any(|o| !o.ok) {
+                    eprintln!("perf-regression gate FAILED");
+                    std::process::exit(1);
+                }
+                return;
+            }
+            Err(e) => {
+                eprintln!("baseline check error: {e}");
+                std::process::exit(2);
+            }
         }
     }
+    let only: Option<String> = arg_after("--only").map(|s| s.to_lowercase());
+    let tables = match &only {
+        // Exact registry name: run just that experiment.
+        Some(name) if REGISTRY.iter().any(|(n, _, _)| n == name) => {
+            vec![run_named(name).expect("name checked against registry")]
+        }
+        // Otherwise: run the suite and filter by title substring.
+        Some(pat) => {
+            let mut ts = run_all();
+            ts.retain(|t| t.title().to_lowercase().contains(pat));
+            if ts.is_empty() {
+                eprintln!("no experiment table matches --only {pat} (try --list)");
+                std::process::exit(1);
+            }
+            ts
+        }
+        None => run_all(),
+    };
     if json {
         print!("[");
         for (i, table) in tables.iter().enumerate() {

@@ -1,0 +1,84 @@
+//! Renders resource-time telemetry as a self-contained HTML report
+//! (inline SVG only — no scripts, no external references). Usage:
+//!
+//! ```text
+//! cargo run --release -p cblog-bench --bin obsreport -- \
+//!     [--scenario e1|e2|e5 | --input FILE.json] \
+//!     [--json | --folded] [--out FILE]
+//! ```
+//!
+//! `--scenario` re-runs the named telemetry scenario (an experiment
+//! shape with interval sampling on) and renders it; `--input` renders
+//! a previously saved JSON export instead — the renderer works from
+//! the JSON alone. `--json` prints the raw export, `--folded` prints
+//! the flamegraph.pl-compatible folded stack (pipe into
+//! `flamegraph.pl` for an SVG flame graph of simulated time). The
+//! default output is the HTML report, to stdout or `--out`.
+
+use cblog_common::jsonv;
+use cblog_sim::telemetry::{render_html, run_scenario, SCENARIOS};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obsreport: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let json_mode = args.iter().any(|a| a == "--json");
+    let folded_mode = args.iter().any(|a| a == "--folded");
+    let json = match (arg_after("--input"), arg_after("--scenario")) {
+        (Some(path), _) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => fail(&format!("cannot read {path:?}: {e}")),
+        },
+        (None, scenario) => {
+            let name = scenario.map_or("e1", |s| s.as_str());
+            match run_scenario(name) {
+                Ok(s) => s,
+                Err(e) => fail(&format!("scenario failed (known: {SCENARIOS:?}): {e}")),
+            }
+        }
+    };
+    let out = if json_mode {
+        json
+    } else {
+        let doc = match jsonv::parse(&json) {
+            Ok(d) => d,
+            Err(e) => fail(&format!("telemetry JSON does not parse: {e}")),
+        };
+        if folded_mode {
+            match doc.get("folded").and_then(|v| v.as_arr()) {
+                Some(lines) => {
+                    let mut s = String::new();
+                    for l in lines {
+                        if let Some(l) = l.as_str() {
+                            s.push_str(l);
+                            s.push('\n');
+                        }
+                    }
+                    s
+                }
+                None => fail("export has no \"folded\" array"),
+            }
+        } else {
+            match render_html(&doc) {
+                Ok(h) => h,
+                Err(e) => fail(&e),
+            }
+        }
+    };
+    match arg_after("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &out) {
+                fail(&format!("cannot write {path:?}: {e}"));
+            }
+        }
+        None => print!("{out}"),
+    }
+}

@@ -22,6 +22,7 @@
 pub mod codec;
 pub mod error;
 pub mod ids;
+pub mod jsonv;
 pub mod metrics;
 pub mod obs;
 pub mod rng;
@@ -33,9 +34,12 @@ pub mod trace;
 pub use codec::{crc32, Decoder, Encoder};
 pub use error::{Error, Result};
 pub use ids::{Lsn, NodeId, PageId, Psn, Rid, TxnId};
-pub use obs::{Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Snapshot};
+pub use jsonv::JsonValue;
+pub use obs::{
+    Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Sampler, SeriesRing, Snapshot,
+};
 pub use rng::Rng;
-pub use simclock::{CostModel, SimClock, SimTime};
+pub use simclock::{Bucket, CostModel, SimClock, SimTime, BUCKETS};
 pub use span::{Span, SpanCtx, SpanId, SpanKind, Tracer, TransferWhy, TreeOp, Violation};
 pub use stats::Counter;
 pub use trace::{FlightRecorder, RecoveryPhase, TraceEvent, TraceRecord};

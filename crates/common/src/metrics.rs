@@ -32,6 +32,21 @@ pub mod keys {
     /// Bytes rescanned by torn-tail repair at restart (O(torn tail),
     /// not O(log) — the scan starts at the last synced boundary).
     pub const WAL_REPAIR_SCAN_BYTES: &str = "wal/repair_scan_bytes";
+    /// Gauge: commits queued in the force scheduler awaiting their
+    /// group force — the commit-pipeline queue depth.
+    pub const WAL_PENDING_COMMITS: &str = "wal/pending_commits";
+
+    // ---- simulated-time profiler (DESIGN §11) ----
+    /// Gauge: cumulative sim-time attributed to disk I/O, µs.
+    pub const PROF_DISK_US: &str = "prof/disk_us";
+    /// Gauge: cumulative sim-time attributed to plain CPU work, µs.
+    pub const PROF_CPU_US: &str = "prof/cpu_us";
+    /// Gauge: cumulative sim-time attributed to message handling, µs.
+    pub const PROF_NET_US: &str = "prof/net_us";
+    /// Gauge: cumulative sim-time spent blocked on locks, µs.
+    pub const PROF_LOCK_WAIT_US: &str = "prof/lock_wait_us";
+    /// Gauge: cumulative sim-time attributed to crash recovery, µs.
+    pub const PROF_REPLAY_US: &str = "prof/replay_us";
 
     // ---- buffer pool ----
     /// Buffer hits.
@@ -80,9 +95,29 @@ pub mod keys {
     pub const ACCESS_MERGES: &str = "access/merges";
 }
 
+/// The profiler gauge key for `bucket` (see the `prof/*` keys).
+pub fn prof_key(bucket: crate::simclock::Bucket) -> &'static str {
+    use crate::simclock::Bucket;
+    match bucket {
+        Bucket::Disk => keys::PROF_DISK_US,
+        Bucket::Cpu => keys::PROF_CPU_US,
+        Bucket::Net => keys::PROF_NET_US,
+        Bucket::LockWait => keys::PROF_LOCK_WAIT_US,
+        Bucket::Replay => keys::PROF_REPLAY_US,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::keys;
+
+    #[test]
+    fn prof_keys_follow_bucket_labels() {
+        use crate::simclock::Bucket;
+        for b in Bucket::ALL {
+            assert_eq!(super::prof_key(b), format!("prof/{}_us", b.label()));
+        }
+    }
 
     #[test]
     fn key_names_are_unique_and_well_formed() {
@@ -98,6 +133,12 @@ mod tests {
             keys::WAL_FORCES_PER_COMMIT,
             keys::WAL_WINDOW_US,
             keys::WAL_REPAIR_SCAN_BYTES,
+            keys::WAL_PENDING_COMMITS,
+            keys::PROF_DISK_US,
+            keys::PROF_CPU_US,
+            keys::PROF_NET_US,
+            keys::PROF_LOCK_WAIT_US,
+            keys::PROF_REPLAY_US,
             keys::BUF_HITS,
             keys::BUF_MISSES,
             keys::BUF_EVICTIONS,

@@ -70,6 +70,62 @@ impl CostModel {
     }
 }
 
+/// Resource bucket for per-node simulated-time attribution (the
+/// profiler dimension of DESIGN §11).
+///
+/// Every microsecond of per-node service time lands in exactly one
+/// bucket, so a node's bucket row is a partition of its busy time;
+/// [`Bucket::LockWait`] is the one exception — blocked time is not
+/// service time, so it accumulates beside `busy`, not inside it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Bucket {
+    /// Synchronous disk work: log forces, page reads/writes.
+    Disk,
+    /// Plain CPU work (record generation, replay application, …).
+    Cpu,
+    /// Message handling (send/receive software path).
+    Net,
+    /// Time a transaction spent blocked on a conflicting lock.
+    LockWait,
+    /// Work performed on behalf of crash recovery (any resource).
+    Replay,
+}
+
+/// Number of [`Bucket`] variants.
+pub const BUCKETS: usize = 5;
+
+impl Bucket {
+    /// Every bucket, in display order.
+    pub const ALL: [Bucket; BUCKETS] = [
+        Bucket::Disk,
+        Bucket::Cpu,
+        Bucket::Net,
+        Bucket::LockWait,
+        Bucket::Replay,
+    ];
+
+    /// Stable label used in metric keys, folded stacks and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Disk => "disk",
+            Bucket::Cpu => "cpu",
+            Bucket::Net => "net",
+            Bucket::LockWait => "lock_wait",
+            Bucket::Replay => "replay",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Bucket::Disk => 0,
+            Bucket::Cpu => 1,
+            Bucket::Net => 2,
+            Bucket::LockWait => 3,
+            Bucket::Replay => 4,
+        }
+    }
+}
+
 /// Simulated clock with per-node busy-time accounting.
 ///
 /// `busy[n]` accumulates the service time node `n` spent handling
@@ -78,10 +134,15 @@ impl CostModel {
 /// sustainable system throughput is bounded by the busiest resource,
 /// which is how the scalability experiment (E2) quantifies the paper's
 /// "dependencies on server resources are reduced considerably" claim.
+///
+/// Alongside `busy`, each charge is attributed to a [`Bucket`], so
+/// `profile(n)` decomposes a node's busy time into disk / CPU / net /
+/// replay (plus lock-wait, which is tracked but never part of `busy`).
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
     now: SimTime,
     busy: Vec<SimTime>,
+    buckets: Vec<[SimTime; BUCKETS]>,
 }
 
 impl SimClock {
@@ -90,6 +151,7 @@ impl SimClock {
         SimClock {
             now: 0,
             busy: vec![0; nodes],
+            buckets: vec![[0; BUCKETS]; nodes],
         }
     }
 
@@ -104,24 +166,66 @@ impl SimClock {
     }
 
     /// Charges `dt` µs of service time to `node` (also advances time).
+    /// Attributed to [`Bucket::Cpu`]; use [`SimClock::charge_as`] for
+    /// an explicit bucket.
     pub fn charge(&mut self, node: NodeId, dt: SimTime) {
+        self.charge_as(node, Bucket::Cpu, dt);
+    }
+
+    /// Charges `dt` µs of service time to `node` under `bucket` (also
+    /// advances time).
+    pub fn charge_as(&mut self, node: NodeId, bucket: Bucket, dt: SimTime) {
         self.now += dt;
         if let Some(b) = self.busy.get_mut(node.0 as usize) {
             *b += dt;
+            self.buckets[node.0 as usize][bucket.index()] += dt;
         }
     }
 
     /// Charges service time to `node` without advancing global time
-    /// (work overlapped with other activity).
+    /// (work overlapped with other activity). Attributed to
+    /// [`Bucket::Cpu`]; see [`SimClock::charge_overlapped_as`].
     pub fn charge_overlapped(&mut self, node: NodeId, dt: SimTime) {
+        self.charge_overlapped_as(node, Bucket::Cpu, dt);
+    }
+
+    /// As [`SimClock::charge_overlapped`] with an explicit bucket.
+    pub fn charge_overlapped_as(&mut self, node: NodeId, bucket: Bucket, dt: SimTime) {
         if let Some(b) = self.busy.get_mut(node.0 as usize) {
             *b += dt;
+            self.buckets[node.0 as usize][bucket.index()] += dt;
+        }
+    }
+
+    /// Records `dt` µs `node` spent blocked on a lock. Blocked time is
+    /// not service time: it lands in [`Bucket::LockWait`] only, never
+    /// in `busy`.
+    pub fn charge_wait(&mut self, node: NodeId, dt: SimTime) {
+        if let Some(b) = self.buckets.get_mut(node.0 as usize) {
+            b[Bucket::LockWait.index()] += dt;
         }
     }
 
     /// Busy time accumulated by `node`, µs.
     pub fn busy(&self, node: NodeId) -> SimTime {
         self.busy.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Time attributed to `bucket` on `node`, µs.
+    pub fn bucket_us(&self, node: NodeId, bucket: Bucket) -> SimTime {
+        self.buckets
+            .get(node.0 as usize)
+            .map(|b| b[bucket.index()])
+            .unwrap_or(0)
+    }
+
+    /// The full per-bucket profile of `node`, in [`Bucket::ALL`] order.
+    /// All buckets except lock-wait sum to exactly `busy(node)`.
+    pub fn profile(&self, node: NodeId) -> [SimTime; BUCKETS] {
+        self.buckets
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or([0; BUCKETS])
     }
 
     /// Busy time of the busiest node — the bottleneck resource.
@@ -143,6 +247,9 @@ impl SimClock {
         self.now = 0;
         for b in &mut self.busy {
             *b = 0;
+        }
+        for b in &mut self.buckets {
+            *b = [0; BUCKETS];
         }
     }
 }
@@ -190,5 +297,38 @@ mod tests {
         c.charge(NodeId(9), 7);
         assert_eq!(c.now(), 7);
         assert_eq!(c.busy(NodeId(9)), 0);
+        assert_eq!(c.profile(NodeId(9)), [0; BUCKETS]);
+    }
+
+    #[test]
+    fn buckets_partition_busy_time() {
+        let mut c = SimClock::new(2);
+        c.charge_as(NodeId(0), Bucket::Disk, 10);
+        c.charge_overlapped_as(NodeId(0), Bucket::Net, 3);
+        c.charge(NodeId(0), 4); // defaults to Cpu
+        c.charge_overlapped_as(NodeId(1), Bucket::Replay, 8);
+        c.charge_wait(NodeId(0), 100);
+        for n in [NodeId(0), NodeId(1)] {
+            let p = c.profile(n);
+            let service: SimTime = Bucket::ALL
+                .iter()
+                .filter(|b| **b != Bucket::LockWait)
+                .map(|b| p[b.index()])
+                .sum();
+            assert_eq!(service, c.busy(n), "buckets partition busy for {n:?}");
+        }
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::Disk), 10);
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::Cpu), 4);
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::LockWait), 100);
+        assert_eq!(c.busy(NodeId(0)), 17, "lock-wait never counts as busy");
+        assert_eq!(c.bucket_us(NodeId(1), Bucket::Replay), 8);
+        c.reset();
+        assert_eq!(c.profile(NodeId(0)), [0; BUCKETS]);
+    }
+
+    #[test]
+    fn bucket_labels_are_stable() {
+        let labels: Vec<&str> = Bucket::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, vec!["disk", "cpu", "net", "lock_wait", "replay"]);
     }
 }

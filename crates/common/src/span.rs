@@ -281,6 +281,18 @@ pub enum SpanKind {
         /// The transaction driving it.
         txn: TxnId,
     },
+    /// §2.5 log-space reclamation: a node discarded the prefix of its
+    /// local log below `upto`. The protocol may only reclaim records
+    /// already covered by the master checkpoint, so `upto` past
+    /// `anchor` is a violation the watchdog flags.
+    LogTruncate {
+        /// The reclaiming node.
+        node: NodeId,
+        /// New start of the retained log (everything below is gone).
+        upto: Lsn,
+        /// The master-record checkpoint anchor at reclamation time.
+        anchor: Lsn,
+    },
 }
 
 impl SpanKind {
@@ -312,6 +324,7 @@ impl SpanKind {
             SpanKind::ReplayHop { .. } => "replay",
             SpanKind::Msg { .. } => "msg",
             SpanKind::Tree { .. } => "tree",
+            SpanKind::LogTruncate { .. } => "wal",
         }
     }
 }
@@ -400,6 +413,9 @@ impl fmt::Display for SpanKind {
                 write!(f, "msg {kind} {from}→{to} {bytes}B")
             }
             SpanKind::Tree { op, txn } => write!(f, "btree-{} by {txn}", op.label()),
+            SpanKind::LogTruncate { node, upto, anchor } => {
+                write!(f, "log-truncate {node} upto {upto} (anchor {anchor})")
+            }
         }
     }
 }
@@ -565,6 +581,17 @@ impl Watchdog {
                     what: format!(
                         "log records crossed the network: {kind} {from}→{to} \
                          (the paper's design ships none)"
+                    ),
+                });
+            }
+            SpanKind::LogTruncate { node, upto, anchor } if upto > anchor => {
+                self.violations.push(Violation {
+                    span: span.id,
+                    pid: None,
+                    what: format!(
+                        "log-space protocol violated: {node} reclaimed its log up to \
+                         {upto}, past the master checkpoint anchor {anchor} — records \
+                         newer than the checkpoint were discarded"
                     ),
                 });
             }
@@ -875,7 +902,8 @@ fn lane_of(cat: &str) -> usize {
         "crash" => 10,
         "msg" => 11,
         "tree" => 12,
-        _ => 13,
+        "wal" => 13,
+        _ => 14,
     }
 }
 
@@ -1024,6 +1052,39 @@ mod tests {
         assert!(err.contains("WAL rule violated"), "{err}");
         assert!(err.contains("log records crossed the network"), "{err}");
         assert_eq!(t.violations().len(), 2);
+    }
+
+    #[test]
+    fn log_truncation_past_the_anchor_is_caught() {
+        let t = Tracer::new(64);
+        // Reclaiming below (or exactly to) the anchor is the protocol
+        // working as designed.
+        t.point(
+            10,
+            NodeId(0),
+            SpanId::NONE,
+            SpanKind::LogTruncate {
+                node: NodeId(0),
+                upto: Lsn(100),
+                anchor: Lsn(100),
+            },
+        );
+        assert!(t.check().is_ok());
+        // Reclaiming past it discards records the master checkpoint
+        // still needs.
+        t.point(
+            20,
+            NodeId(0),
+            SpanId::NONE,
+            SpanKind::LogTruncate {
+                node: NodeId(0),
+                upto: Lsn(250),
+                anchor: Lsn(100),
+            },
+        );
+        let err = t.check().unwrap_err();
+        assert!(err.contains("log-space protocol violated"), "{err}");
+        assert!(err.contains("anchor"), "{err}");
     }
 
     #[test]

@@ -14,10 +14,10 @@ use crate::config::ClusterConfig;
 use crate::group_commit::ForceScheduler;
 use crate::node::{Node, RollbackStep};
 use crate::txn::{Savepoint, TxnStatus};
-use cblog_common::metrics::keys;
+use cblog_common::metrics::{keys, prof_key};
 use cblog_common::{
-    Error, Lsn, MetricValue, NodeId, PageId, Psn, Result, Rid, SimTime, Snapshot, Span, SpanCtx,
-    SpanId, SpanKind, TraceEvent, Tracer, TransferWhy, TxnId,
+    Bucket, Error, Lsn, MetricValue, NodeId, PageId, Psn, Result, Rid, Sampler, SimTime, Snapshot,
+    Span, SpanCtx, SpanId, SpanKind, TraceEvent, Tracer, TransferWhy, TxnId,
 };
 use cblog_locks::{
     CallbackAction, GlobalRequestOutcome, LocalRequestOutcome, LockMode, WaitsForGraph,
@@ -55,6 +55,12 @@ pub struct Cluster {
     /// In-flight transaction spans: id + begin sim-time, closed into a
     /// [`SpanKind::Txn`] interval span at durable-commit or abort.
     txn_spans: HashMap<TxnId, (SpanId, SimTime)>,
+    /// Transactions begun so far, cluster-wide — drives the 1-in-N
+    /// span-sampling decision (`trace_sample_one_in`).
+    txns_begun: u64,
+    /// Interval sampler turning the metrics snapshot into per-metric
+    /// time series (None unless the config enabled telemetry).
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -80,6 +86,9 @@ impl Cluster {
         let schedulers = (0..cfg.node_count)
             .map(|_| ForceScheduler::new(cfg.group_commit))
             .collect();
+        let sampler = cfg
+            .telemetry()
+            .map(|(interval_us, cap)| Sampler::new(interval_us, cap));
         Ok(Cluster {
             nodes,
             net,
@@ -89,6 +98,8 @@ impl Cluster {
             schedulers,
             tracer,
             txn_spans: HashMap::new(),
+            txns_begun: 0,
+            sampler,
         })
     }
 
@@ -220,7 +231,14 @@ impl Cluster {
             self.nodes[ix(node)]
                 .recorder
                 .record(self.now(), TraceEvent::TxnBegin { txn });
-            if self.tracer.is_enabled() {
+            // 1-in-N span sampling: an unsampled transaction gets no
+            // root span, so its child spans carry a NONE context and
+            // drop at emission. Cluster-wide invariant spans (updates,
+            // transfers, page writes, truncations) are still traced —
+            // the watchdog's checks never lose coverage.
+            self.txns_begun += 1;
+            let sampled = (self.txns_begun - 1) % self.cfg.trace_sample_one_in() == 0;
+            if self.tracer.is_enabled() && sampled {
                 self.txn_spans
                     .insert(txn, (self.tracer.alloc(), self.now()));
             }
@@ -536,6 +554,7 @@ impl Cluster {
                 acked += self.flush_due_nodes()?;
             }
         }
+        self.sample_telemetry();
         Ok(acked > 0)
     }
 
@@ -664,10 +683,12 @@ impl Cluster {
         // successful acquisitions feed.
         if let Some(t0) = self.wait_since.remove(&txn) {
             let now = self.now();
+            let waited = now.saturating_sub(t0);
             self.nodes[n]
                 .registry
                 .histogram(keys::LOCKS_WAIT_US)
-                .record(now.saturating_sub(t0));
+                .record(waited);
+            self.net.charge_wait(txn.node, waited);
         }
         self.wfg.remove(txn);
         Ok(())
@@ -705,8 +726,28 @@ impl Cluster {
         let forces0 = self.nodes[n].log.forces();
         let lsn = self.nodes[n].checkpoint()?;
         self.charge_force(node, forces0, pending);
-        self.nodes[n].truncate_log();
+        self.truncate_log_traced(node);
         Ok(lsn)
+    }
+
+    /// Truncates `node`'s log and emits the §2.5 audit span: the
+    /// reclaimed prefix (`upto`) against the master checkpoint anchor.
+    /// The online watchdog flags any truncation past the anchor —
+    /// records newer than the checkpoint must never be discarded.
+    /// Before the first checkpoint there is no anchor, so nothing is
+    /// emitted (the low-water mark alone bounds the reclaim).
+    fn truncate_log_traced(&mut self, node: NodeId) {
+        let n = ix(node);
+        let anchor = self.nodes[n].log.last_checkpoint();
+        let upto = self.nodes[n].truncate_log();
+        if !anchor.is_zero() {
+            self.tracer.point(
+                self.now(),
+                node,
+                SpanId::NONE,
+                SpanKind::LogTruncate { node, upto, anchor },
+            );
+        }
     }
 
     // ------------------------------------------------------------------
@@ -755,8 +796,9 @@ impl Cluster {
                 reg.counter(keys::LOCKS_ACQUISITIONS).bump();
                 if let Some(t0) = self.wait_since.remove(&txn) {
                     let now = self.net.clock().now();
-                    reg.histogram(keys::LOCKS_WAIT_US)
-                        .record(now.saturating_sub(t0));
+                    let waited = now.saturating_sub(t0);
+                    reg.histogram(keys::LOCKS_WAIT_US).record(waited);
+                    self.net.charge_wait(txn.node, waited);
                 }
             }
             Err(Error::WouldBlock { .. }) => {
@@ -1273,7 +1315,7 @@ impl Cluster {
             ));
         }
         for _round in 0..64 {
-            self.nodes[n].truncate_log();
+            self.truncate_log_traced(node);
             let cap_ok = self.nodes[n]
                 .log()
                 .available_space()
@@ -1285,7 +1327,7 @@ impl Cluster {
             let Some(entry) = self.nodes[n].dpt.min_redo_entry().copied() else {
                 // Nothing replaceable: space is pinned by active
                 // transactions or the checkpoint anchor.
-                self.nodes[n].truncate_log();
+                self.truncate_log_traced(node);
                 return Ok(());
             };
             let pid = entry.pid;
@@ -1320,7 +1362,7 @@ impl Cluster {
                 self.force_page(pid)?;
             }
         }
-        self.nodes[n].truncate_log();
+        self.truncate_log_traced(node);
         Ok(())
     }
 
@@ -1408,6 +1450,7 @@ impl Cluster {
     /// an `n<id>/` prefix, plus the network's per-message-kind counts
     /// and bytes under `net/`.
     pub fn metrics_snapshot(&self) -> Snapshot {
+        self.mirror_profile_gauges();
         let mut out = Snapshot::default();
         for node in &self.nodes {
             out.merge_prefixed(&format!("n{}/", node.id().0), node.registry().snapshot());
@@ -1436,6 +1479,46 @@ impl Cluster {
             MetricValue::Counter(stats.total_bytes()),
         );
         out
+    }
+
+    /// Mirrors derived observability state into per-node gauges so it
+    /// flows through snapshots and the interval sampler: the sim-clock
+    /// resource-time profile (`prof/{disk,cpu,net,lock_wait,replay}_us`,
+    /// cumulative) and the force scheduler's queue depth
+    /// (`wal/pending_commits`). Gauges use interior mutability, so
+    /// `&self` suffices.
+    fn mirror_profile_gauges(&self) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let reg = node.registry();
+            for b in Bucket::ALL {
+                reg.gauge(prof_key(b))
+                    .set(self.net.clock().bucket_us(node.id(), b) as i64);
+            }
+            reg.gauge(keys::WAL_PENDING_COMMITS)
+                .set(self.schedulers[i].pending_len() as i64);
+        }
+    }
+
+    /// Feeds the interval sampler, if telemetry is on: every sim-clock
+    /// boundary crossed since the last call records one point per
+    /// metric (counter/histogram deltas, gauge levels). The simulation
+    /// driver calls this after each scheduler step; the cluster also
+    /// calls it from [`Cluster::pump_commits`], which idle-advances
+    /// the clock. Free when telemetry is off.
+    pub fn sample_telemetry(&mut self) {
+        if self.sampler.is_some() {
+            let now = self.now();
+            let snap = self.metrics_snapshot();
+            if let Some(s) = self.sampler.as_mut() {
+                s.sample(now, &snap);
+            }
+        }
+    }
+
+    /// The accumulated per-metric time series (None unless the config
+    /// enabled telemetry via [`crate::ClusterConfigBuilder::telemetry`]).
+    pub fn sampler(&self) -> Option<&Sampler> {
+        self.sampler.as_ref()
     }
 
     /// Renders every node's flight-recorder ring, oldest event first —
@@ -1470,6 +1553,106 @@ mod tests {
 
     fn pid(owner: u32, idx: u32) -> PageId {
         PageId::new(NodeId(owner), idx)
+    }
+
+    #[test]
+    fn span_sampling_traces_one_txn_in_n() {
+        let mut c = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![4])
+                .page_size(512)
+                .buffer_frames(8)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .tracing(true)
+                .trace_sample_one_in(2)
+                .build(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            let t = c.begin(NodeId(0)).unwrap();
+            c.write_u64(t, pid(0, 0), 0, i).unwrap();
+            c.commit(t).unwrap();
+        }
+        let spans = c.tracer().spans();
+        let txn_spans = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Txn { .. }))
+            .count();
+        assert_eq!(txn_spans, 2, "1-in-2 sampling keeps half the txn trees");
+        // Sampling must not thin invariant coverage: every update is
+        // still traced (as an unparented point for unsampled txns).
+        let updates = spans
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::Update { .. }))
+            .count();
+        assert_eq!(updates, 4, "invariant spans survive sampling");
+        c.trace_check().unwrap();
+    }
+
+    #[test]
+    fn telemetry_sampler_collects_profile_and_queue_series() {
+        let mut c = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![4])
+                .page_size(512)
+                .buffer_frames(8)
+                .default_owned_pages(0)
+                .telemetry(1_000, 64)
+                .build(),
+        )
+        .unwrap();
+        for i in 0..5 {
+            let t = c.begin(NodeId(0)).unwrap();
+            c.write_u64(t, pid(0, 0), 0, i).unwrap();
+            c.commit(t).unwrap();
+            c.sample_telemetry();
+        }
+        let s = c.sampler().expect("telemetry is on");
+        let disk = s
+            .series("n0/prof/disk_us")
+            .unwrap_or_else(|| panic!("disk profile sampled; have {:?}", s.names()));
+        // The cumulative disk gauge's last sample matches the clock's
+        // disk bucket at the time it was taken.
+        let (_, last) = *disk.samples().last().unwrap();
+        assert!(last > 0, "commit forces charged disk time");
+        assert!(
+            s.series("n0/wal/pending_commits").is_some(),
+            "queue-depth gauge sampled"
+        );
+        assert_eq!(
+            last as u64,
+            c.network().clock().bucket_us(NodeId(0), Bucket::Disk),
+            "cumulative gauge mirrors the clock bucket"
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncation_emits_the_log_space_audit_span() {
+        let mut c = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![4])
+                .page_size(512)
+                .buffer_frames(8)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .tracing(true)
+                .build(),
+        )
+        .unwrap();
+        let t = c.begin(NodeId(0)).unwrap();
+        c.write_u64(t, pid(0, 0), 0, 7).unwrap();
+        c.commit(t).unwrap();
+        c.checkpoint(NodeId(0)).unwrap();
+        let truncs: Vec<_> = c
+            .tracer()
+            .spans()
+            .into_iter()
+            .filter(|s| matches!(s.kind, SpanKind::LogTruncate { .. }))
+            .collect();
+        assert!(!truncs.is_empty(), "checkpoint truncation is audited");
+        // And the watchdog agrees the reclaim respected the anchor.
+        c.trace_check().unwrap();
     }
 
     #[test]

@@ -127,6 +127,18 @@ pub struct ClusterConfig {
     /// span past this bound; the overflow count is reported as
     /// dropped).
     pub(crate) trace_capacity: usize,
+    /// Span sampling: trace the full span tree of 1-in-N transactions
+    /// (1 = every transaction, the pre-sampling behavior). Cluster-wide
+    /// invariants (WAL rule on writes/transfers, log truncation,
+    /// messages) are still traced for every transaction — sampling only
+    /// thins the per-transaction trees, which is what makes long
+    /// checked runs cheap.
+    pub(crate) trace_sample_one_in: u64,
+    /// Time-series telemetry: `Some((interval_us, ring_capacity))`
+    /// attaches a metrics [`Sampler`](cblog_common::Sampler) to the
+    /// cluster, sampling every registry metric once per sim-time
+    /// interval into a bounded ring. Off by default (zero cost).
+    pub(crate) telemetry: Option<(SimTime, usize)>,
 }
 
 impl Default for ClusterConfig {
@@ -141,6 +153,8 @@ impl Default for ClusterConfig {
             faults: FaultPlan::default(),
             tracing: false,
             trace_capacity: cblog_common::span::DEFAULT_TRACE_CAPACITY,
+            trace_sample_one_in: 1,
+            telemetry: None,
         }
     }
 }
@@ -199,6 +213,17 @@ impl ClusterConfig {
     /// Spans retained by the tracer when tracing is enabled.
     pub fn trace_capacity(&self) -> usize {
         self.trace_capacity
+    }
+
+    /// Span-sampling rate: the full span tree is traced for 1-in-N
+    /// transactions (1 = all).
+    pub fn trace_sample_one_in(&self) -> u64 {
+        self.trace_sample_one_in
+    }
+
+    /// Time-series telemetry `(interval_us, ring_capacity)`, if on.
+    pub fn telemetry(&self) -> Option<(SimTime, usize)> {
+        self.telemetry
     }
 }
 
@@ -300,6 +325,22 @@ impl ClusterConfigBuilder {
     /// win; the watchdog still sees everything).
     pub fn trace_capacity(mut self, spans: usize) -> Self {
         self.cfg.trace_capacity = spans;
+        self
+    }
+
+    /// Samples the full span tree of 1-in-`n` transactions instead of
+    /// all of them (`n` is clamped to at least 1). Cluster-wide
+    /// invariant spans stay untouched.
+    pub fn trace_sample_one_in(mut self, n: u64) -> Self {
+        self.cfg.trace_sample_one_in = n.max(1);
+        self
+    }
+
+    /// Attaches time-series telemetry: every registry metric is
+    /// sampled once per `interval_us` of sim-time into a ring of
+    /// `capacity` per-interval values.
+    pub fn telemetry(mut self, interval_us: SimTime, capacity: usize) -> Self {
+        self.cfg.telemetry = Some((interval_us, capacity));
         self
     }
 

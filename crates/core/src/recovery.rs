@@ -27,7 +27,7 @@
 use crate::cluster::{Cluster, CTRL_BYTES};
 use crate::node::{NodePsnEntry, RollbackStep};
 use cblog_common::{
-    Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, Span, SpanCtx, SpanId,
+    Bucket, Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, Span, SpanCtx, SpanId,
     SpanKind, TraceEvent, TransferWhy, TxnId,
 };
 use cblog_locks::LockMode;
@@ -199,6 +199,18 @@ struct ContributedInfo {
 /// [`Error::RecoveryInterrupted`]; re-running `recover` from scratch
 /// then completes normally (the protocol is idempotent).
 pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+    // Everything the run charges — log scans, page forces, the
+    // cross-node replay shuttle — lands in the profiler's Replay
+    // bucket, so resource-time breakdowns separate recovery work from
+    // normal processing. The scope is restored even on the early
+    // returns (crash-after injection, owner-down).
+    cluster.network_mut().set_attribution(Some(Bucket::Replay));
+    let r = recover_inner(cluster, opts);
+    cluster.network_mut().set_attribution(None);
+    r
+}
+
+fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<RecoveryReport> {
     let crashed: &[NodeId] = &opts.nodes;
     let standby = opts.standby;
     if let Some(s) = standby {

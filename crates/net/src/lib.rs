@@ -9,7 +9,8 @@
 //! and the protocol state machines synchronous.
 
 use cblog_common::{
-    CostModel, Error, NodeId, Result, Rng, SimClock, SimTime, Span, SpanCtx, SpanKind, Tracer,
+    Bucket, CostModel, Error, NodeId, Result, Rng, SimClock, SimTime, Span, SpanCtx, SpanKind,
+    Tracer,
 };
 use std::collections::HashSet;
 
@@ -373,6 +374,7 @@ pub struct Network {
     fault_rng: Rng,
     fault_stats: FaultStats,
     tracer: Tracer,
+    attribution: Option<Bucket>,
 }
 
 impl Network {
@@ -396,7 +398,26 @@ impl Network {
             fault_rng,
             fault_stats: FaultStats::default(),
             tracer: Tracer::disabled(),
+            attribution: None,
         }
+    }
+
+    /// Overrides the profiler bucket every subsequent charge lands in
+    /// (None = each charge's natural bucket: disk I/O → `Disk`,
+    /// message handling → `Net`, CPU → `Cpu`). Crash recovery sets
+    /// this to [`Bucket::Replay`] for its whole run so restart work is
+    /// attributed as such regardless of the resource it consumed.
+    pub fn set_attribution(&mut self, bucket: Option<Bucket>) {
+        self.attribution = bucket;
+    }
+
+    /// The active attribution override.
+    pub fn attribution(&self) -> Option<Bucket> {
+        self.attribution
+    }
+
+    fn bucket_for(&self, natural: Bucket) -> Bucket {
+        self.attribution.unwrap_or(natural)
     }
 
     /// Installs the cluster's tracer: every header-carrying send emits
@@ -431,9 +452,12 @@ impl Network {
             *r += 1;
         }
         let wire = self.cost.message_cost(bytes);
+        let bucket = self.bucket_for(Bucket::Net);
         self.clock.advance(wire);
-        self.clock.charge_overlapped(from, self.cost.handle_us);
-        self.clock.charge_overlapped(to, self.cost.handle_us);
+        self.clock
+            .charge_overlapped_as(from, bucket, self.cost.handle_us);
+        self.clock
+            .charge_overlapped_as(to, bucket, self.cost.handle_us);
     }
 
     /// Records one message `from → to` of `kind` carrying `bytes`
@@ -591,8 +615,9 @@ impl Network {
             *d += 1;
         }
         let t = self.cost.io_cost(bytes);
+        let bucket = self.bucket_for(Bucket::Disk);
         self.clock.advance(t);
-        self.clock.charge_overlapped(node, t);
+        self.clock.charge_overlapped_as(node, bucket, t);
     }
 
     /// Marks a node crashed (unreachable).
@@ -648,7 +673,14 @@ impl Network {
 
     /// Charges pure CPU service time to a node.
     pub fn charge_node(&mut self, node: NodeId, dt: SimTime) {
-        self.clock.charge_overlapped(node, dt);
+        let bucket = self.bucket_for(Bucket::Cpu);
+        self.clock.charge_overlapped_as(node, bucket, dt);
+    }
+
+    /// Records lock-blocked time for a node (profiler only — blocked
+    /// time is never busy time).
+    pub fn charge_wait(&mut self, node: NodeId, dt: SimTime) {
+        self.clock.charge_wait(node, dt);
     }
 
     /// Resets statistics and clock (after warmup); crash flags and the
@@ -964,6 +996,39 @@ mod tests {
             .send_hdr(NodeId(0), NodeId(1), MsgKind::PageShip, 10, MsgHeader::NONE)
             .is_err());
         assert!(t.spans().is_empty(), "unreachable endpoint: nothing sent");
+    }
+
+    #[test]
+    fn profiler_buckets_follow_charge_sites() {
+        let cost = CostModel::default();
+        let mut n = Network::new(2, cost.clone());
+        n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 100)
+            .unwrap();
+        n.disk_io(NodeId(0), 1024);
+        n.charge_node(NodeId(0), 5);
+        n.charge_wait(NodeId(0), 9);
+        let c = n.clock();
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::Net), cost.handle_us);
+        assert_eq!(c.bucket_us(NodeId(1), Bucket::Net), cost.handle_us);
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::Disk), cost.io_cost(1024));
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::Cpu), 5);
+        assert_eq!(c.bucket_us(NodeId(0), Bucket::LockWait), 9);
+        assert_eq!(
+            c.busy(NodeId(0)),
+            cost.handle_us + cost.io_cost(1024) + 5,
+            "lock-wait stays out of busy"
+        );
+        // A replay scope reroutes every charge, whatever the resource.
+        n.set_attribution(Some(Bucket::Replay));
+        n.disk_io(NodeId(1), 1024);
+        n.charge_node(NodeId(1), 7);
+        n.set_attribution(None);
+        assert_eq!(n.clock().bucket_us(NodeId(1), Bucket::Disk), 0);
+        assert_eq!(
+            n.clock().bucket_us(NodeId(1), Bucket::Replay),
+            cost.io_cost(1024) + 7
+        );
+        assert_eq!(n.attribution(), None);
     }
 
     #[test]

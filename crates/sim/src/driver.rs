@@ -55,6 +55,11 @@ pub trait System {
     fn note_queue_wait(&mut self, txn: TxnId, us: SimTime) {
         let _ = (txn, us);
     }
+    /// Feeds the system's interval telemetry sampler, if it has one:
+    /// the driver calls this after every scheduling sweep so time
+    /// series resolution follows the sim-clock rather than workload
+    /// phase boundaries. Systems without telemetry do nothing.
+    fn sample_telemetry(&mut self) {}
     /// Post-mortem flight-recorder dump, if the system keeps one.
     /// Printed by the oracle when verification finds a divergence.
     fn flight_dump(&self) -> Option<String> {
@@ -119,6 +124,9 @@ impl_system!(
     },
     fn pump_commits(&mut self) -> Result<bool> {
         cblog_core::Cluster::pump_commits(self)
+    },
+    fn sample_telemetry(&mut self) {
+        cblog_core::Cluster::sample_telemetry(self)
     },
     fn flight_dump(&self) -> Option<String> {
         Some(cblog_core::Cluster::flight_dump(self))
@@ -342,6 +350,7 @@ pub fn run_workload<S: System>(sys: &mut S, specs: Vec<TxnSpec>) -> Result<RunSt
                 progressed = true;
             }
         }
+        sys.sample_telemetry();
         if all_done && active.iter().all(Option::is_none) && committing.is_empty() {
             break;
         }

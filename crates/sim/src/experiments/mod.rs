@@ -113,33 +113,82 @@ pub fn pages0(count: u32) -> Vec<PageId> {
     (0..count).map(|i| PageId::new(NodeId(0), i)).collect()
 }
 
-/// Runs every experiment and returns the tables in order.
+/// One experiment registry row: short name, one-line description,
+/// runner.
+pub type Experiment = (&'static str, &'static str, fn() -> Table);
+
+/// The named experiment registry, in report order. Powers
+/// `experiments --list`, exact-name `--only`, and the selective runs
+/// behind the `--check-baselines` regression gate (which runs only
+/// the experiments its baseline file references).
+pub const REGISTRY: &[Experiment] = &[
+    ("t1", "protocol operation costs", t1_protocol_ops::run),
+    ("e1", "commit cost per transaction", e1_commit_cost::run),
+    (
+        "e1b",
+        "group commit: forces per commit",
+        e1_commit_cost::run_group_commit,
+    ),
+    ("e1c", "adaptive group-commit window", e1c_adaptive::run),
+    (
+        "e2",
+        "throughput scalability vs clients",
+        e2_scalability::run,
+    ),
+    ("e3", "log volume vs server logging", e3_log_volume::run),
+    ("e4", "page transfer costs", e4_page_transfer::run),
+    (
+        "e5",
+        "single crash: recovery vs log-merge",
+        e5_single_crash::run,
+    ),
+    (
+        "e5b",
+        "single crash: phase timings + force latency",
+        e5_single_crash::run_timings,
+    ),
+    ("e6", "simultaneous multi-node crashes", e6_multi_crash::run),
+    ("e7", "checkpoint cost", e7_checkpoint::run),
+    ("e7b", "fault-injection resilience", e7_faults::run),
+    ("e8", "log-space protocol (§2.5)", e8_log_space::run),
+    ("e8b", "tracing overhead", e8_trace_overhead::run),
+    ("e9", "partial rollback", e9_rollback::run),
+    ("e10", "PCA local-commit variant", e10_pca::run),
+    ("e11", "mobile/disconnected operation", e11_mobile::run),
+    ("a1", "checkpoint interval ablation", a1_ckpt_interval::run),
+];
+
+/// Runs the experiment registered under `name` (exact, lowercase),
+/// or None for an unknown name.
+pub fn run_named(name: &str) -> Option<Table> {
+    REGISTRY
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|(_, _, run)| run())
+}
+
+/// Runs every experiment and returns the tables in registry order.
 pub fn run_all() -> Vec<Table> {
-    vec![
-        t1_protocol_ops::run(),
-        e1_commit_cost::run(),
-        e1_commit_cost::run_group_commit(),
-        e1c_adaptive::run(),
-        e2_scalability::run(),
-        e3_log_volume::run(),
-        e4_page_transfer::run(),
-        e5_single_crash::run(),
-        e5_single_crash::run_timings(),
-        e6_multi_crash::run(),
-        e7_checkpoint::run(),
-        e7_faults::run(),
-        e8_log_space::run(),
-        e8_trace_overhead::run(),
-        e9_rollback::run(),
-        e10_pca::run(),
-        e11_mobile::run(),
-        a1_ckpt_interval::run(),
-    ]
+    REGISTRY.iter().map(|(_, _, run)| run()).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        for (i, (name, _, _)) in REGISTRY.iter().enumerate() {
+            assert_eq!(*name, name.to_lowercase(), "registry names are lowercase");
+            assert!(
+                REGISTRY.iter().skip(i + 1).all(|(n, _, _)| n != name),
+                "duplicate registry name {name}"
+            );
+        }
+        assert!(run_named("nope").is_none());
+        let t = run_named("t1").expect("t1 registered");
+        assert!(!t.is_empty());
+    }
 
     #[test]
     fn builders_produce_expected_shapes() {

@@ -4,10 +4,12 @@
 //! plain-text report tables, and the T1/E1–E11/A1 experiment suite mapped
 //! out in `DESIGN.md`.
 
+pub mod baseline;
 pub mod driver;
 pub mod experiments;
 pub mod oracle;
 pub mod report;
+pub mod telemetry;
 pub mod tracedump;
 pub mod workload;
 
