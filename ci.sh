@@ -64,6 +64,20 @@ cargo run --release --offline -p cblog-bench --bin obsreport -- \
 grep 'n0;disk ' /tmp/ci_obs_folded.txt > /dev/null
 rm -f /tmp/ci_obs_folded.txt
 
+echo "==> rtbench smoke: threaded runtime wall-clock sweep (BENCH_rt_threads.json)"
+# Real OS threads + real fsync, so the numbers are machine-dependent:
+# the cells are recorded for the report but deliberately EXCLUDED from
+# the BASELINES.json perf gate above, which only pins deterministic
+# simulator counters. The smoke checks structure, not speed.
+cargo run --release --offline -p cblog-bench --bin rtbench -- \
+    --quick --txns 4 --wal-dir /tmp/ci_rtbench_wal --out BENCH_rt_threads.json
+grep '"cells"' BENCH_rt_threads.json > /dev/null
+grep '"commit_msgs":0' BENCH_rt_threads.json > /dev/null
+cargo run --release --offline -p cblog-bench --bin obsreport -- \
+    --input BENCH_rt_threads.json --out /tmp/ci_rt_report.html
+grep 'Benchmark cells' /tmp/ci_rt_report.html > /dev/null
+rm -rf /tmp/ci_rtbench_wal /tmp/ci_rt_report.html
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

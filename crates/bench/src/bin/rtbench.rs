@@ -1,0 +1,258 @@
+//! Wall-clock benchmark of the threaded runtime: sweeps MPL ×
+//! group-commit policy on OS-thread nodes with file-backed WALs and
+//! reports real commits/sec and commit-latency percentiles.
+//!
+//! ```text
+//! cargo run --release -p cblog-bench --bin rtbench -- \
+//!     [--txns N] [--ops N] [--mpl 1,2,4] [--quick] \
+//!     [--wal-dir DIR] [--out FILE.json]
+//! ```
+//!
+//! Each cell runs a fresh two-node [`ThreadCluster`]: every node hosts
+//! MPL concurrent transaction streams, each stream writing its own
+//! private pages, so the commit path is exactly the paper's — one
+//! local log force (a real `fdatasync`), zero messages. `commit_msgs`
+//! in the export is the *measured* mesh traffic of the cell, so any
+//! commit-path message would be visible, not assumed away.
+//!
+//! The export (`BENCH_rt_threads.json` by default) carries the same
+//! `experiment`/`nodes`/`folded` skeleton as the simulator's telemetry
+//! exports — `obsreport --input` renders it into the usual HTML report
+//! — plus a `cells` array with one row per (MPL, policy) combination.
+//! Wall-clock numbers are machine-dependent and deliberately excluded
+//! from the BASELINES.json perf gate, which only checks deterministic
+//! simulator counters.
+
+use cblog_core::{GroupCommitPolicy, PlanOp, Runtime, TxnPlan};
+use cblog_rt::{RtNodeStats, ThreadCluster, ThreadClusterConfig, WalBacking};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const NODES: usize = 2;
+
+struct Cell {
+    mpl: usize,
+    policy: &'static str,
+    commits: u64,
+    commits_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    forces: u64,
+    forces_per_commit: f64,
+    commit_msgs: u64,
+    wall_us: u64,
+}
+
+fn policy_for(name: &str, mpl: usize) -> GroupCommitPolicy {
+    match name {
+        "immediate" => GroupCommitPolicy::Immediate,
+        "window" => GroupCommitPolicy::Window {
+            window_us: 500,
+            max_batch: mpl,
+        },
+        "adaptive" => GroupCommitPolicy::Adaptive {
+            min_window_us: 50,
+            max_window_us: 2_000,
+            target_batch: mpl,
+        },
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// Plans for one cell: NODES nodes × `mpl` lanes × `txns` transactions,
+/// each lane confined to its own two pages — stream-private write sets
+/// keep the commit path message-free and the run verifiable.
+fn plans_for(mpl: usize, txns: usize, ops: usize) -> Vec<TxnPlan> {
+    let mut plans = Vec::new();
+    for node in 0..NODES as u32 {
+        for lane in 0..mpl {
+            for t in 0..txns as u64 {
+                let ops = (0..ops as u64)
+                    .map(|o| PlanOp::Write {
+                        pid: cblog_common::PageId::new(
+                            cblog_common::NodeId(node),
+                            (2 * lane + (o % 2) as usize) as u32,
+                        ),
+                        slot: ((t + o) % 8) as usize,
+                        value: t * 1_000 + o,
+                    })
+                    .collect();
+                plans.push(TxnPlan {
+                    client: cblog_common::NodeId(node),
+                    stream: lane,
+                    ops,
+                    abort: false,
+                });
+            }
+        }
+    }
+    plans
+}
+
+fn run_cell(
+    mpl: usize,
+    policy_name: &'static str,
+    txns: usize,
+    ops: usize,
+    wal_dir: &std::path::Path,
+) -> (Cell, Vec<RtNodeStats>) {
+    let dir = wal_dir.join(format!("{policy_name}-mpl{mpl}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut tc = ThreadCluster::new(ThreadClusterConfig {
+        owned_pages: vec![2 * mpl as u32; NODES],
+        buffer_frames: 4 * mpl + 16,
+        group_commit: policy_for(policy_name, mpl),
+        wal: WalBacking::Dir(dir.clone()),
+        ..ThreadClusterConfig::default()
+    })
+    .expect("cluster construction");
+    let plans = plans_for(mpl, txns, ops);
+    let report = tc.run(&plans).expect("benchmark run");
+    let stats = tc.last_stats().expect("run stats");
+    let node_stats = tc.last_node_stats().to_vec();
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        report.committed,
+        (NODES * mpl * txns) as u64,
+        "every planned transaction must commit"
+    );
+    let cell = Cell {
+        mpl,
+        policy: policy_name,
+        commits: report.committed,
+        commits_per_sec: report.committed as f64 * 1e6 / stats.wall_us.max(1) as f64,
+        p50_us: stats.p50_us,
+        p99_us: stats.p99_us,
+        forces: stats.forces,
+        forces_per_commit: stats.forces as f64 / report.committed.max(1) as f64,
+        // Measured mesh traffic: the workload is all-local, so any
+        // message here would be a commit-path leak.
+        commit_msgs: stats.msgs,
+        wall_us: stats.wall_us,
+    };
+    (cell, node_stats)
+}
+
+fn export_json(cells: &[Cell], nodes: &[RtNodeStats], total_us: u64) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"experiment\":\"rt_threads\",\"now_us\":{total_us},\"nodes\":["
+    );
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let busy = n.disk_us + n.cpu_us + n.net_us;
+        let util = (busy * 100).checked_div(n.wall_us).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"node\":{},\"busy_us\":{busy},\"total_us\":{},\"utilization_pct\":{util},\"buckets\":{{\"disk\":{},\"cpu\":{},\"net\":{},\"lock_wait\":0,\"replay\":0}}}}",
+            n.node, n.wall_us, n.disk_us, n.cpu_us, n.net_us
+        );
+    }
+    out.push_str("],\"folded\":[");
+    let mut first = true;
+    for n in nodes {
+        for (bucket, us) in [("disk", n.disk_us), ("cpu", n.cpu_us), ("net", n.net_us)] {
+            if us == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"rt_threads;n{};{bucket} {us}\"", n.node);
+        }
+    }
+    out.push_str("],\"telemetry\":null,\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"mpl\":{},\"policy\":\"{}\",\"commits\":{},\"commits_per_sec\":{:.1},\"p50_us\":{},\"p99_us\":{},\"forces\":{},\"forces_per_commit\":{:.4},\"commit_msgs\":{},\"wall_us\":{}}}",
+            c.mpl,
+            c.policy,
+            c.commits,
+            c.commits_per_sec,
+            c.p50_us,
+            c.p99_us,
+            c.forces,
+            c.forces_per_commit,
+            c.commit_msgs,
+            c.wall_us
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg_after = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let txns: usize = arg_after("--txns")
+        .map(|s| s.parse().expect("--txns N"))
+        .unwrap_or(if quick { 8 } else { 64 });
+    let ops: usize = arg_after("--ops")
+        .map(|s| s.parse().expect("--ops N"))
+        .unwrap_or(4);
+    let mpls: Vec<usize> = match arg_after("--mpl") {
+        Some(csv) => csv
+            .split(',')
+            .map(|s| s.trim().parse().expect("--mpl 1,2,4"))
+            .collect(),
+        None if quick => vec![1, 4],
+        None => vec![1, 2, 4, 8, 16, 32],
+    };
+    let wal_dir = arg_after("--wal-dir")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("cblog-rtbench-{}", std::process::id()))
+        });
+    let out_path = arg_after("--out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_rt_threads.json".into());
+
+    let mut cells = Vec::new();
+    let mut last_nodes: Vec<RtNodeStats> = Vec::new();
+    let mut total_us = 0u64;
+    println!(
+        "{:>4} {:>10} {:>9} {:>12} {:>8} {:>8} {:>8} {:>10} {:>6}",
+        "mpl", "policy", "commits", "commits/s", "p50_us", "p99_us", "forces", "forces/cmt", "msgs"
+    );
+    for &mpl in &mpls {
+        for policy in ["immediate", "window", "adaptive"] {
+            let (cell, nodes) = run_cell(mpl, policy, txns, ops, &wal_dir);
+            println!(
+                "{:>4} {:>10} {:>9} {:>12.1} {:>8} {:>8} {:>8} {:>10.4} {:>6}",
+                cell.mpl,
+                cell.policy,
+                cell.commits,
+                cell.commits_per_sec,
+                cell.p50_us,
+                cell.p99_us,
+                cell.forces,
+                cell.forces_per_commit,
+                cell.commit_msgs
+            );
+            total_us += cell.wall_us;
+            cells.push(cell);
+            last_nodes = nodes;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let json = export_json(&cells, &last_nodes, total_us);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("rtbench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

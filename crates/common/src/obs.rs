@@ -9,16 +9,26 @@
 //! `node/subsystem/metric` (e.g. `n1/wal/forces`).
 //!
 //! Like [`Counter`](crate::Counter), all handles are cheap clones
-//! sharing interior state via `Rc` — the simulator is single-threaded
-//! by design, so no atomics are needed (see `common::stats`).
+//! sharing interior state — gauges via `Arc<AtomicI64>`, histograms
+//! and the registry via `Arc<Mutex<_>>` — so one instrumentation layer
+//! serves both the single-threaded simulator and the OS-thread-per-node
+//! runtime, whose workers record into the same handles concurrently
+//! (see `common::stats` for the full contract).
 
-use std::cell::Cell;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::simclock::SimTime;
 use crate::stats::Counter;
+
+/// Locks `m`, recovering the data from a poisoned mutex: metrics must
+/// stay readable after a worker thread panics mid-record (a counter
+/// bump or histogram sample is never left half-written — the inner
+/// state is valid even if the panicking thread abandoned the guard).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of histogram buckets: bucket 0 holds the value 0, bucket
 /// `i` (1..=64) holds values whose bit length is `i`, i.e. the range
@@ -48,7 +58,7 @@ fn bucket_lower(i: usize) -> u64 {
 /// A shared, cheaply-clonable signed gauge (current value, not rate).
 #[derive(Clone, Debug, Default)]
 pub struct Gauge {
-    inner: Rc<Cell<i64>>,
+    inner: Arc<AtomicI64>,
 }
 
 impl Gauge {
@@ -59,17 +69,17 @@ impl Gauge {
 
     /// Sets the current value.
     pub fn set(&self, v: i64) {
-        self.inner.set(v);
+        self.inner.store(v, Ordering::Relaxed);
     }
 
     /// Adds `d` (may be negative).
     pub fn add(&self, d: i64) {
-        self.inner.set(self.inner.get() + d);
+        self.inner.fetch_add(d, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
-        self.inner.get()
+        self.inner.load(Ordering::Relaxed)
     }
 }
 
@@ -101,7 +111,7 @@ impl Default for HistInner {
 /// single-sample and tail queries stay exact.
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
-    inner: Rc<RefCell<HistInner>>,
+    inner: Arc<Mutex<HistInner>>,
 }
 
 impl Histogram {
@@ -112,7 +122,7 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        let mut h = self.inner.borrow_mut();
+        let mut h = lock(&self.inner);
         if h.count == 0 || v < h.min {
             h.min = v;
         }
@@ -126,12 +136,12 @@ impl Histogram {
 
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
-        self.inner.borrow().count
+        lock(&self.inner).count
     }
 
     /// Immutable copy of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let h = self.inner.borrow();
+        let h = lock(&self.inner);
         HistogramSnapshot {
             count: h.count,
             sum: h.sum,
@@ -143,7 +153,7 @@ impl Histogram {
 
     /// Clears all samples.
     pub fn reset(&self) {
-        *self.inner.borrow_mut() = HistInner::default();
+        *lock(&self.inner) = HistInner::default();
     }
 }
 
@@ -268,9 +278,13 @@ struct RegistryInner {
 /// Existing `Counter`s (e.g. the WAL manager's) can be registered
 /// as-is via [`register_counter`](Registry::register_counter) — the
 /// registry then observes the very cells the subsystem bumps.
+///
+/// The registry lock only guards the name → handle maps; recording
+/// into a resolved handle touches that metric's own cell, so hot-path
+/// bumps from different threads never contend on the registry itself.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
-    inner: Rc<RefCell<RegistryInner>>,
+    inner: Arc<Mutex<RegistryInner>>,
 }
 
 impl Registry {
@@ -281,8 +295,7 @@ impl Registry {
 
     /// Returns (creating if absent) the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .counters
             .entry(name.to_string())
             .or_default()
@@ -292,16 +305,14 @@ impl Registry {
     /// Registers an existing counter handle under `name` (replacing
     /// any previous registration).
     pub fn register_counter(&self, name: &str, c: &Counter) {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .counters
             .insert(name.to_string(), c.clone());
     }
 
     /// Returns (creating if absent) the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .gauges
             .entry(name.to_string())
             .or_default()
@@ -310,8 +321,7 @@ impl Registry {
 
     /// Returns (creating if absent) the histogram `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        self.inner
-            .borrow_mut()
+        lock(&self.inner)
             .histograms
             .entry(name.to_string())
             .or_default()
@@ -320,7 +330,7 @@ impl Registry {
 
     /// Point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
-        let r = self.inner.borrow();
+        let r = lock(&self.inner);
         let mut entries = BTreeMap::new();
         for (k, c) in &r.counters {
             entries.insert(k.clone(), MetricValue::Counter(c.get()));
@@ -336,7 +346,7 @@ impl Registry {
 
     /// Resets every metric to its empty state (e.g. after warmup).
     pub fn reset(&self) {
-        let r = self.inner.borrow();
+        let r = lock(&self.inner);
         for c in r.counters.values() {
             c.reset();
         }
@@ -939,6 +949,39 @@ mod tests {
         s.sample(100, &reg.snapshot());
         // Counter total re-appears as the first interval's delta.
         assert_eq!(s.series("x/events").unwrap().samples(), vec![(100, 4)]);
+    }
+
+    #[test]
+    fn concurrent_increments_through_one_registry_are_not_lost() {
+        let r = Registry::new();
+        let threads = 8u64;
+        let per_thread = 5_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = r.clone();
+                s.spawn(move || {
+                    // Resolve handles inside the thread: name lookup
+                    // races against other threads creating the same
+                    // entries, which must converge on one shared cell.
+                    let c = r.counter("rt/commits");
+                    let g = r.gauge("rt/pending");
+                    let h = r.histogram("rt/latency_us");
+                    for i in 0..per_thread {
+                        c.bump();
+                        g.add(1);
+                        g.add(-1);
+                        h.record(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter("rt/commits"), threads * per_thread);
+        assert_eq!(s.gauge("rt/pending"), 0);
+        let h = s.histogram("rt/latency_us").unwrap();
+        assert_eq!(h.count, threads * per_thread);
+        assert_eq!(h.max, threads * per_thread - 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
     }
 
     #[test]

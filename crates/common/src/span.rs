@@ -33,6 +33,19 @@
 //! and same-seed runs produce byte-identical exports. A disabled
 //! [`Tracer`] is a `None` behind the handle — emission is a single
 //! branch, which is what keeps the tracing-off overhead unmeasurable.
+//!
+//! # Sim-only (deliberately not `Send`)
+//!
+//! Unlike the metrics in [`obs`](crate::obs) and the flight recorder —
+//! which are thread-safe so both execution runtimes share them — the
+//! `Tracer` keeps `Rc<RefCell<_>>` internals and stays single-threaded
+//! on purpose: its value is the *deterministic* causal order of spans,
+//! which only the simulator's serialized schedule provides. Span ids
+//! come from one shared monotone counter and the watchdog asserts
+//! global orderings as spans arrive; interleaving emissions from real
+//! threads would make the lineage (and thus watchdog verdicts)
+//! run-dependent. The threaded runtime cross-checks its results against
+//! sim-oracle runs, where full tracing remains available.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

@@ -1,31 +1,32 @@
 //! Lightweight event counters used by every subsystem.
 //!
-//! # Single-threaded by design
+//! # Thread-safe by design
 //!
 //! `Counter` (and the richer metrics in [`crate::obs`] and the ring in
-//! [`crate::trace`]) share state through `Rc<Cell<_>>` /
-//! `Rc<RefCell<_>>`, so none of them are `Send`/`Sync`. This is a
-//! deliberate contract, not an oversight: the simulator executes the
-//! whole cluster on one thread to stay deterministic (identical seeds
-//! must replay identical histories), and `Rc<Cell>` makes every bump a
-//! plain load/store with zero synchronization cost on the hot paths
-//! being measured. Lifting the assumption later means swapping the
-//! interiors for `Arc<AtomicU64>` (counters/gauges) and a lock-free or
-//! sharded histogram — the public API here is shaped so that swap does
-//! not ripple into call sites.
+//! [`crate::trace`]) share state through `Arc<AtomicU64>` /
+//! `Arc<Mutex<_>>`, so one instrumentation layer serves both execution
+//! runtimes: the deterministic single-threaded simulator and the
+//! OS-thread-per-node runtime (`cblog-rt`), whose workers bump the same
+//! handles concurrently. Counters use relaxed atomics — each bump is a
+//! single uncontended RMW, and the only ordering the experiments need
+//! is "reads after the run observe all bumps", which thread join
+//! already provides. The one deliberately non-`Send` holdout is the
+//! span [`Tracer`](crate::Tracer): causal lineage capture assumes the
+//! simulator's deterministic single-threaded schedule, so it stays
+//! sim-only (see `common::span`).
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A shared, cheaply-clonable event counter.
 ///
 /// Subsystems hand out clones so the experiment harness can observe
 /// buffer-pool, log and network activity without threading references
-/// through every call. The simulator is single-threaded by design, so a
-/// `Cell` suffices (see the module docs for the full contract).
+/// through every call. Clones share one atomic cell, so handles may be
+/// bumped from any thread.
 #[derive(Clone, Debug, Default)]
 pub struct Counter {
-    inner: Rc<Cell<u64>>,
+    inner: Arc<AtomicU64>,
 }
 
 impl Counter {
@@ -36,7 +37,7 @@ impl Counter {
 
     /// Adds `n` events.
     pub fn add(&self, n: u64) {
-        self.inner.set(self.inner.get() + n);
+        self.inner.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Adds one event.
@@ -46,12 +47,12 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.inner.get()
+        self.inner.load(Ordering::Relaxed)
     }
 
     /// Resets to zero (e.g. after warmup).
     pub fn reset(&self) {
-        self.inner.set(0);
+        self.inner.store(0, Ordering::Relaxed);
     }
 }
 
@@ -69,5 +70,23 @@ mod tests {
         assert_eq!(b.get(), 3);
         a.reset();
         assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        let c = Counter::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), threads * per_thread);
     }
 }

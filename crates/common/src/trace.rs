@@ -6,12 +6,20 @@
 //! dumped so recovery-protocol bugs come with the recent protocol
 //! history attached instead of just a final-state mismatch.
 //!
-//! Handles are cheap `Rc` clones (single-threaded simulator — see
-//! `common::stats`).
+//! Handles are cheap `Arc` clones sharing one `Mutex`-guarded ring, so
+//! a recorder can travel with its node into a worker thread of the
+//! threaded runtime (see `common::stats` for the thread-safety
+//! contract shared by all observability primitives).
 
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poisoning: the recorder must stay
+/// dumpable after a worker thread panics (that is exactly when the
+/// event history matters most).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 use crate::ids::{NodeId, PageId, TxnId};
 use crate::obs::Gauge;
@@ -193,7 +201,7 @@ struct RingInner {
 /// Bounded ring of [`TraceRecord`]s; cheap-clone shared handle.
 #[derive(Clone, Debug)]
 pub struct FlightRecorder {
-    inner: Rc<RefCell<RingInner>>,
+    inner: Arc<Mutex<RingInner>>,
 }
 
 impl FlightRecorder {
@@ -201,7 +209,7 @@ impl FlightRecorder {
     /// (`capacity` is clamped to at least 1).
     pub fn new(capacity: usize) -> Self {
         FlightRecorder {
-            inner: Rc::new(RefCell::new(RingInner {
+            inner: Arc::new(Mutex::new(RingInner {
                 cap: capacity.max(1),
                 next_seq: 0,
                 buf: Vec::new(),
@@ -216,12 +224,12 @@ impl FlightRecorder {
     /// without polling the recorder.
     pub fn set_dropped_gauge(&self, gauge: Gauge) {
         gauge.set(self.dropped() as i64);
-        self.inner.borrow_mut().dropped_gauge = Some(gauge);
+        lock(&self.inner).dropped_gauge = Some(gauge);
     }
 
     /// Appends an event at sim-time `at`, evicting the oldest if full.
     pub fn record(&self, at: SimTime, event: TraceEvent) {
-        let mut r = self.inner.borrow_mut();
+        let mut r = lock(&self.inner);
         let seq = r.next_seq;
         r.next_seq += 1;
         let rec = TraceRecord { seq, at, event };
@@ -240,7 +248,7 @@ impl FlightRecorder {
     /// Events currently retained, oldest first (sequence order is
     /// preserved across wraparound).
     pub fn events(&self) -> Vec<TraceRecord> {
-        let r = self.inner.borrow();
+        let r = lock(&self.inner);
         if r.buf.len() < r.cap {
             r.buf.clone()
         } else {
@@ -253,23 +261,23 @@ impl FlightRecorder {
 
     /// Total events ever recorded (including overwritten ones).
     pub fn recorded(&self) -> u64 {
-        self.inner.borrow().next_seq
+        lock(&self.inner).next_seq
     }
 
     /// Events lost to wraparound.
     pub fn dropped(&self) -> u64 {
-        let r = self.inner.borrow();
+        let r = lock(&self.inner);
         r.next_seq - r.buf.len() as u64
     }
 
     /// Ring capacity.
     pub fn capacity(&self) -> usize {
-        self.inner.borrow().cap
+        lock(&self.inner).cap
     }
 
     /// Discards all retained events (sequence numbers keep counting).
     pub fn clear(&self) {
-        let mut r = self.inner.borrow_mut();
+        let mut r = lock(&self.inner);
         r.buf.clear();
         r.write = 0;
     }

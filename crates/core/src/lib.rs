@@ -45,6 +45,7 @@ pub mod config;
 pub mod group_commit;
 pub mod node;
 pub mod recovery;
+pub mod runtime;
 pub mod txn;
 
 pub use cblog_common::RecoveryPhase;
@@ -54,4 +55,5 @@ pub use config::{ClusterConfig, ClusterConfigBuilder, GroupCommitPolicy, NodeCon
 pub use group_commit::{ForceScheduler, PendingCommit};
 pub use node::{AnalysisResult, Node, NodePsnEntry};
 pub use recovery::{RecoveryOptions, RecoveryReport};
+pub use runtime::{PlanOp, RunReport, Runtime, TxnPlan};
 pub use txn::{Savepoint, TxnState, TxnStatus};

@@ -16,8 +16,8 @@ use cblog_common::{
 use cblog_locks::{CachedLockTable, GlobalLockTable, LocalLockTable};
 use cblog_storage::{BufferPool, Database, EvictedPage, MemStorage, Page, PageKind};
 use cblog_wal::{
-    CheckpointBody, DirtyPageTable, DptEntry, LogManager, LogPayload, LogRecord, MemLogStore,
-    PageOp,
+    CheckpointBody, DirtyPageTable, DptEntry, LogManager, LogPayload, LogRecord, LogStore,
+    MemLogStore, PageOp,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -114,6 +114,13 @@ impl Node {
     /// (owned_pages > 0) get all their pages pre-allocated as raw
     /// counter pages.
     pub fn new(id: NodeId, cfg: NodeConfig) -> Result<Self> {
+        Node::with_log_store(id, cfg, Box::new(MemLogStore::new()))
+    }
+
+    /// Builds a node whose WAL lives on the caller-provided store.
+    /// The threaded runtime passes a `FileLogStore` here so log forces
+    /// are real `fsync`s; the simulator keeps the in-memory default.
+    pub fn with_log_store(id: NodeId, cfg: NodeConfig, store: Box<dyn LogStore>) -> Result<Self> {
         let db = if cfg.owned_pages > 0 {
             let storage = Box::new(MemStorage::new(cfg.page_size));
             let mut db = Database::create(storage, id, cfg.owned_pages)?;
@@ -124,7 +131,6 @@ impl Node {
         } else {
             None
         };
-        let store = Box::new(MemLogStore::new());
         let log = match cfg.log_capacity {
             Some(cap) => LogManager::with_capacity(id, store, cap)?,
             None => LogManager::new(id, store)?,
@@ -587,6 +593,13 @@ impl Node {
         }
         let db = self.db.as_mut().ok_or(Error::NoSuchPage(pid))?;
         Ok((db.read_page(pid.index)?, true))
+    }
+
+    /// Serialized current image of an owned page (buffer copy if
+    /// cached, else disk). Runtimes use this to cross-check final
+    /// database state byte-for-byte against the sim oracle.
+    pub fn page_image(&mut self, pid: PageId) -> Result<Vec<u8>> {
+        Ok(self.authoritative_copy(pid)?.0.to_bytes())
     }
 
     /// Owner-side ingestion of a dirty page replaced from `from`'s

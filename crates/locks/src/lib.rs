@@ -26,11 +26,13 @@ pub mod cached;
 pub mod deadlock;
 pub mod global;
 pub mod local;
+pub mod sharded;
 
 pub use cached::CachedLockTable;
 pub use deadlock::WaitsForGraph;
 pub use global::{CallbackAction, GlobalLockTable, GlobalRequestOutcome};
 pub use local::{LocalLockTable, LocalRequestOutcome};
+pub use sharded::ShardedLockTable;
 
 /// Lock modes at page granularity.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]

@@ -14,6 +14,8 @@ use cblog_common::{
 };
 use std::collections::HashSet;
 
+pub mod transport;
+
 /// Trace header attached to a protocol message: the span of the
 /// operation the message belongs to and that span's causal parent.
 ///

@@ -1,0 +1,951 @@
+//! Threaded execution runtime: real threads, real fsync, real clock.
+//!
+//! The simulator ([`cblog_core::Cluster`]) runs the CBL protocol on a
+//! simulated clock with in-memory stores — deterministic, and the
+//! correctness oracle for everything here. This crate runs the *same*
+//! per-node protocol machinery ([`cblog_core::Node`]) under real
+//! concurrency:
+//!
+//! * **one OS thread per node** — each worker owns its `Node` (moved
+//!   into the thread; `Node: Send` is asserted in core) and drives its
+//!   MPL transaction streams;
+//! * **file-backed WALs** — each node's log lives on a
+//!   [`FileLogStore`], so a log force is an actual `fdatasync`;
+//! * **channel transport** — inter-node traffic crosses threads over
+//!   [`cblog_net::transport::ChannelMesh`] (per-link FIFO, accounted);
+//! * **wall-clock group commit** — the per-node
+//!   [`ForceScheduler`] from core is time-source agnostic (it takes
+//!   `now` in µs), so the exact same Immediate/Window/Adaptive batching
+//!   logic runs here against a [`WallClock`];
+//! * **sharded page locks** — one process-wide
+//!   [`ShardedLockTable`] gives strict 2PL across all worker threads
+//!   without a global mutex.
+//!
+//! The paper's headline property survives the move to real threads
+//! unchanged: a commit is one local log force and **zero messages** —
+//! the only traffic on the mesh is read-path page fetching.
+//!
+//! # Scope
+//!
+//! Writes must target pages owned by the writing node; remote pages
+//! are readable (fetched from the owner over the transport, S-locked
+//! for the duration of the transaction). Remote *writes* need the full
+//! callback-locking / page-replacement machinery, which today only the
+//! simulator drives; plans containing them are rejected rather than
+//! half-supported.
+//!
+//! # Correctness anchor
+//!
+//! `tests/equivalence.rs` runs identical seeded plan lists on both
+//! engines and asserts the final page images are byte-identical and
+//! the commit tallies equal. With per-stream-private write sets the
+//! final state is interleaving-independent, so any divergence is an
+//! engine bug, not scheduling noise.
+
+use cblog_common::{
+    Error, Histogram, Lsn, MetricValue, NodeId, PageId, Result, SimTime, Snapshot, TxnId,
+};
+use cblog_core::{
+    ForceScheduler, GroupCommitPolicy, Node, NodeConfig, PlanOp, RunReport, Runtime, TxnPlan,
+};
+use cblog_locks::{LockMode, ShardedLockTable};
+use cblog_net::transport::{ChannelEndpoint, ChannelMesh, Envelope, Transport};
+use cblog_net::MsgKind;
+use cblog_storage::Page;
+use cblog_wal::{FileLogStore, LogStore, MemLogStore, PageOp};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time source, µs since construction. The value feeds the
+/// same [`ForceScheduler`] interfaces the simulator feeds sim-µs into.
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Clock starting at 0 now.
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since construction.
+    pub fn now_us(&self) -> SimTime {
+        self.epoch.elapsed().as_micros() as SimTime
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+/// Where each node's WAL lives.
+#[derive(Clone, Debug)]
+pub enum WalBacking {
+    /// In-memory log store (tests; no real fsync).
+    Mem,
+    /// One `node<i>.wal` file per node inside this directory, opened
+    /// as a [`FileLogStore`]: forces are real `fdatasync`s.
+    Dir(PathBuf),
+}
+
+/// Configuration of a threaded cluster.
+#[derive(Clone, Debug)]
+pub struct ThreadClusterConfig {
+    /// Pages owned by each node; length = node count.
+    pub owned_pages: Vec<u32>,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Buffer frames per node (size above the working set: the
+    /// threaded runtime treats eviction of a dirty page as overflow).
+    pub buffer_frames: usize,
+    /// Group-commit policy, shared by every node.
+    pub group_commit: GroupCommitPolicy,
+    /// Shards in the process-wide lock table.
+    pub lock_shards: usize,
+    /// WAL backing for every node.
+    pub wal: WalBacking,
+}
+
+impl Default for ThreadClusterConfig {
+    fn default() -> Self {
+        ThreadClusterConfig {
+            owned_pages: vec![16, 16],
+            page_size: 1024,
+            buffer_frames: 256,
+            group_commit: GroupCommitPolicy::Immediate,
+            lock_shards: 16,
+            wal: WalBacking::Mem,
+        }
+    }
+}
+
+/// Per-run aggregates beyond the [`RunReport`] tally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtRunStats {
+    /// Wall time of the run, µs.
+    pub wall_us: u64,
+    /// Log forces summed over nodes (delta for this run).
+    pub forces: u64,
+    /// Messages crossing the mesh (all read-path).
+    pub msgs: u64,
+    /// Messages on the commit path — zero by construction; reported
+    /// so benchmarks can assert the paper's headline property.
+    pub commit_msgs: u64,
+    /// Median commit latency (submit → durable ack), µs.
+    pub p50_us: u64,
+    /// Tail commit latency, µs.
+    pub p99_us: u64,
+}
+
+/// Coarse wall-time split of one worker thread, for observability
+/// exports. Buckets are approximate (nested service work counts
+/// toward the enclosing activity): `disk` wraps log forces, `net`
+/// top-level message service, `cpu` transaction execution; the rest of
+/// the wall time is idle waiting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RtNodeStats {
+    /// Node id.
+    pub node: u32,
+    /// Worker wall time, µs.
+    pub wall_us: u64,
+    /// Time inside log forces (fsync), µs.
+    pub disk_us: u64,
+    /// Time serving page fetches at top level, µs.
+    pub net_us: u64,
+    /// Time executing transactions, µs.
+    pub cpu_us: u64,
+}
+
+/// A set of OS-thread nodes executing [`TxnPlan`]s.
+pub struct ThreadCluster {
+    cfg: ThreadClusterConfig,
+    nodes: Vec<Node>,
+    locks: Arc<ShardedLockTable>,
+    latency: Histogram,
+    last: Option<RtRunStats>,
+    last_nodes: Vec<RtNodeStats>,
+}
+
+impl ThreadCluster {
+    /// Builds the nodes (and their WAL files, for
+    /// [`WalBacking::Dir`]).
+    pub fn new(cfg: ThreadClusterConfig) -> Result<Self> {
+        let mut nodes = Vec::with_capacity(cfg.owned_pages.len());
+        for (i, &owned) in cfg.owned_pages.iter().enumerate() {
+            let ncfg = NodeConfig {
+                page_size: cfg.page_size,
+                buffer_frames: cfg.buffer_frames,
+                owned_pages: owned,
+                log_capacity: None,
+            };
+            let store: Box<dyn LogStore> = match &cfg.wal {
+                WalBacking::Mem => Box::new(MemLogStore::new()),
+                WalBacking::Dir(dir) => {
+                    std::fs::create_dir_all(dir)?;
+                    Box::new(FileLogStore::open(&dir.join(format!("node{i}.wal")))?)
+                }
+            };
+            nodes.push(Node::with_log_store(NodeId(i as u32), ncfg, store)?);
+        }
+        let locks = Arc::new(ShardedLockTable::new(cfg.lock_shards));
+        Ok(ThreadCluster {
+            cfg,
+            nodes,
+            locks,
+            latency: Histogram::new(),
+            last: None,
+            last_nodes: Vec::new(),
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.cfg.owned_pages.len()
+    }
+
+    /// Aggregates of the most recent [`Runtime::run`].
+    pub fn last_stats(&self) -> Option<RtRunStats> {
+        self.last
+    }
+
+    /// Per-worker wall-time split of the most recent run, ordered by
+    /// node id.
+    pub fn last_node_stats(&self) -> &[RtNodeStats] {
+        &self.last_nodes
+    }
+
+    /// The shared commit-latency histogram (µs, submit → durable).
+    pub fn latency(&self) -> &Histogram {
+        &self.latency
+    }
+}
+
+impl Runtime for ThreadCluster {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run(&mut self, plans: &[TxnPlan]) -> Result<RunReport> {
+        let n = self.node_count();
+        let mut per_node: Vec<Vec<TxnPlan>> = vec![Vec::new(); n];
+        for plan in plans {
+            let i = plan.client.0 as usize;
+            if i >= n {
+                return Err(Error::Invalid(format!(
+                    "plan for unknown node {}",
+                    plan.client
+                )));
+            }
+            per_node[i].push(plan.clone());
+        }
+
+        let endpoints = ChannelMesh::endpoints(n);
+        let nodes = std::mem::take(&mut self.nodes);
+        let forces_before: u64 = nodes.iter().map(|nd| nd.log().forces()).sum();
+        let remaining = Arc::new(AtomicUsize::new(n));
+        let clock = WallClock::new();
+        let started = Instant::now();
+
+        let outcomes: Vec<Result<WorkerOutcome>> = std::thread::scope(|s| {
+            let handles: Vec<_> = nodes
+                .into_iter()
+                .zip(endpoints)
+                .zip(per_node)
+                .map(|((node, ep), plans)| {
+                    let locks = Arc::clone(&self.locks);
+                    let remaining = Arc::clone(&remaining);
+                    let latency = self.latency.clone();
+                    let policy = self.cfg.group_commit;
+                    s.spawn(move || {
+                        run_worker(node, ep, locks, plans, policy, clock, remaining, latency)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(Error::Protocol("worker thread panicked".into())),
+                })
+                .collect()
+        });
+
+        let wall_us = started.elapsed().as_micros() as u64;
+        let mut report = RunReport::default();
+        let mut msgs = 0;
+        let mut restored = Vec::with_capacity(n);
+        let mut node_stats = Vec::with_capacity(n);
+        let mut first_err = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(o) => {
+                    report.committed += o.report.committed;
+                    report.user_aborts += o.report.user_aborts;
+                    report.forced_aborts += o.report.forced_aborts;
+                    report.ops_executed += o.report.ops_executed;
+                    msgs += o.sent;
+                    node_stats.push(RtNodeStats {
+                        node: o.node.id().0,
+                        ..o.stats
+                    });
+                    restored.push(o.node);
+                }
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        restored.sort_by_key(|nd| nd.id().0);
+        node_stats.sort_by_key(|s| s.node);
+        self.nodes = restored;
+        self.last_nodes = node_stats;
+
+        let forces_after: u64 = self.nodes.iter().map(|nd| nd.log().forces()).sum();
+        let snap = self.latency.snapshot();
+        self.last = Some(RtRunStats {
+            wall_us,
+            forces: forces_after - forces_before,
+            msgs,
+            commit_msgs: 0,
+            p50_us: snap.percentile(50.0),
+            p99_us: snap.percentile(99.0),
+        });
+        Ok(report)
+    }
+
+    fn page_image(&mut self, pid: PageId) -> Result<Vec<u8>> {
+        let i = pid.owner.0 as usize;
+        if i >= self.nodes.len() {
+            return Err(Error::NoSuchPage(pid));
+        }
+        self.nodes[i].page_image(pid)
+    }
+
+    fn metrics(&self) -> Snapshot {
+        let mut out = Snapshot::default();
+        for node in &self.nodes {
+            out.merge_prefixed(&format!("n{}/", node.id().0), node.registry().snapshot());
+        }
+        out.entries.insert(
+            "rt/commit_latency_us".into(),
+            MetricValue::Histogram(Box::new(self.latency.snapshot())),
+        );
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Worker
+// ----------------------------------------------------------------------
+
+/// Spins this many times on a contended lock (serving the inbox in
+/// between) before aborting the transaction and retrying the plan.
+const ACQUIRE_SPINS: usize = 20_000;
+/// Retries of one plan after forced aborts before giving up.
+const PLAN_RETRIES: usize = 100;
+/// Patience for a remote page fetch (the owner may be mid-fsync).
+const FETCH_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct WorkerOutcome {
+    node: Node,
+    report: RunReport,
+    sent: u64,
+    stats: RtNodeStats,
+}
+
+/// One MPL lane: its plans run sequentially; the worker interleaves
+/// lanes so several commits can park in the force scheduler at once.
+struct Lane {
+    plans: Vec<TxnPlan>,
+    next: usize,
+    /// Parked commit: (txn, submit time, lock token).
+    waiting: Option<(TxnId, SimTime, u64)>,
+    retries: usize,
+}
+
+fn token_of(txn: TxnId) -> u64 {
+    ((txn.node.0 as u64) << 48) | (txn.seq & 0xffff_ffff_ffff)
+}
+
+fn encode_pid(pid: PageId) -> Vec<u8> {
+    pid.to_u64().to_le_bytes().to_vec()
+}
+
+fn decode_pid(payload: &[u8]) -> Result<PageId> {
+    let bytes: [u8; 8] = payload
+        .try_into()
+        .map_err(|_| Error::Protocol("bad page-fetch payload".into()))?;
+    Ok(PageId::from_u64(u64::from_le_bytes(bytes)))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    mut node: Node,
+    ep: ChannelEndpoint,
+    locks: Arc<ShardedLockTable>,
+    plans: Vec<TxnPlan>,
+    policy: GroupCommitPolicy,
+    clock: WallClock,
+    remaining: Arc<AtomicUsize>,
+    latency: Histogram,
+) -> Result<WorkerOutcome> {
+    let mut sched = ForceScheduler::new(policy);
+    let mut report = RunReport::default();
+    let started = Instant::now();
+    let mut disk_us = 0u64;
+    let mut net_us = 0u64;
+    let mut cpu_us = 0u64;
+    macro_rules! timed {
+        ($bucket:ident, $e:expr) => {{
+            let t = Instant::now();
+            let r = $e;
+            $bucket += t.elapsed().as_micros() as u64;
+            r
+        }};
+    }
+
+    // Bucket plans into lanes, preserving per-lane order.
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut lane_ids: Vec<usize> = Vec::new();
+    for plan in plans {
+        let idx = match lane_ids.iter().position(|&s| s == plan.stream) {
+            Some(i) => i,
+            None => {
+                lane_ids.push(plan.stream);
+                lanes.push(Lane {
+                    plans: Vec::new(),
+                    next: 0,
+                    waiting: None,
+                    retries: 0,
+                });
+                lanes.len() - 1
+            }
+        };
+        lanes[idx].plans.push(plan);
+    }
+
+    let mut finished = lanes.is_empty();
+    if finished {
+        remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+    loop {
+        timed!(net_us, serve_inbox(&mut node, &ep)?);
+        if sched.is_due(clock.now_us()) {
+            timed!(
+                disk_us,
+                flush(
+                    &mut node,
+                    &mut sched,
+                    &mut lanes,
+                    &locks,
+                    &clock,
+                    &latency,
+                    &mut report
+                )?
+            );
+        }
+
+        let mut progressed = false;
+        let mut live = false;
+        for li in 0..lanes.len() {
+            if lanes[li].waiting.is_some() {
+                live = true;
+                continue;
+            }
+            if lanes[li].next >= lanes[li].plans.len() {
+                continue;
+            }
+            live = true;
+            let plan = lanes[li].plans[lanes[li].next].clone();
+            let outcome = timed!(
+                cpu_us,
+                run_txn(
+                    &mut node,
+                    &ep,
+                    &locks,
+                    &clock,
+                    &plan,
+                    &mut sched,
+                    &mut report
+                )?
+            );
+            match outcome {
+                TxnOutcome::Committing(txn, at) => {
+                    lanes[li].waiting = Some((txn, at, token_of(txn)));
+                    lanes[li].retries = 0;
+                }
+                TxnOutcome::Done => {
+                    lanes[li].next += 1;
+                    lanes[li].retries = 0;
+                }
+                TxnOutcome::Retry => {
+                    lanes[li].retries += 1;
+                    if lanes[li].retries > PLAN_RETRIES {
+                        return Err(Error::Protocol(format!(
+                            "{} lane {} livelocked on plan {}",
+                            node.id(),
+                            lane_ids[li],
+                            lanes[li].next
+                        )));
+                    }
+                }
+            }
+            progressed = true;
+        }
+
+        if !live {
+            // All lanes done. Force out any stragglers, then keep
+            // serving page fetches until every node is done too.
+            while sched.pending_len() > 0 {
+                timed!(
+                    disk_us,
+                    flush(
+                        &mut node,
+                        &mut sched,
+                        &mut lanes,
+                        &locks,
+                        &clock,
+                        &latency,
+                        &mut report
+                    )?
+                );
+            }
+            if !finished {
+                finished = true;
+                remaining.fetch_sub(1, Ordering::AcqRel);
+            }
+            if remaining.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            if let Some(env) = ep.recv_timeout(Duration::from_micros(500)) {
+                timed!(net_us, serve(&mut node, &ep, env)?);
+            }
+            continue;
+        }
+
+        if !progressed {
+            // Every live lane is parked on a group-commit window.
+            let now = clock.now_us();
+            if sched.is_due(now) {
+                timed!(
+                    disk_us,
+                    flush(
+                        &mut node,
+                        &mut sched,
+                        &mut lanes,
+                        &locks,
+                        &clock,
+                        &latency,
+                        &mut report
+                    )?
+                );
+            } else if let Some(d) = sched.deadline() {
+                let wait = d.saturating_sub(now).clamp(1, 5_000);
+                if let Some(env) = ep.recv_timeout(Duration::from_micros(wait)) {
+                    timed!(net_us, serve(&mut node, &ep, env)?);
+                }
+            }
+        }
+    }
+
+    ep.drain();
+    Ok(WorkerOutcome {
+        stats: RtNodeStats {
+            node: node.id().0,
+            wall_us: started.elapsed().as_micros() as u64,
+            disk_us,
+            net_us,
+            cpu_us,
+        },
+        node,
+        report,
+        sent: ep.sent(),
+    })
+}
+
+enum TxnOutcome {
+    /// Commit record appended; parked in the scheduler.
+    Committing(TxnId, SimTime),
+    /// Plan consumed (user abort completed).
+    Done,
+    /// Forced abort (lock conflict); plan not consumed.
+    Retry,
+}
+
+fn run_txn(
+    node: &mut Node,
+    ep: &ChannelEndpoint,
+    locks: &ShardedLockTable,
+    clock: &WallClock,
+    plan: &TxnPlan,
+    sched: &mut ForceScheduler,
+    report: &mut RunReport,
+) -> Result<TxnOutcome> {
+    let me = node.id();
+    let txn = node.begin()?;
+    let token = token_of(txn);
+    for op in &plan.ops {
+        let (pid, mode) = match *op {
+            PlanOp::Read { pid, .. } => (pid, LockMode::Shared),
+            PlanOp::Write { pid, .. } => (pid, LockMode::Exclusive),
+        };
+        if mode == LockMode::Exclusive && pid.owner != me {
+            abort_txn(node, ep, locks, txn, token)?;
+            return Err(Error::Protocol(format!(
+                "{me} plan writes remote page {pid}: the threaded runtime only writes owned pages"
+            )));
+        }
+        if !acquire(node, ep, locks, pid, token, mode)? {
+            abort_txn(node, ep, locks, txn, token)?;
+            report.forced_aborts += 1;
+            return Ok(TxnOutcome::Retry);
+        }
+        match *op {
+            PlanOp::Read { pid, slot } => {
+                if pid.owner == me {
+                    ensure_cached(node, pid)?;
+                    node.peek_slot(pid, slot).ok_or(Error::NoSuchPage(pid))?;
+                } else {
+                    remote_read(node, ep, pid, slot)?;
+                }
+            }
+            PlanOp::Write { pid, slot, value } => {
+                ensure_cached(node, pid)?;
+                let before = node.peek_slot(pid, slot).ok_or(Error::NoSuchPage(pid))?;
+                node.log_update(
+                    txn,
+                    pid,
+                    PageOp::WriteRange {
+                        off: (slot * 8) as u32,
+                        before: before.to_le_bytes().to_vec(),
+                        after: value.to_le_bytes().to_vec(),
+                    },
+                )?;
+            }
+        }
+        report.ops_executed += 1;
+    }
+    if plan.abort {
+        abort_txn(node, ep, locks, txn, token)?;
+        report.user_aborts += 1;
+        return Ok(TxnOutcome::Done);
+    }
+    let lsn = node.commit_begin(txn)?;
+    // Strict 2PL releases transaction locks at commit_begin; the same
+    // early release is safe here because cross-thread visibility of
+    // this transaction's updates requires a page ship, and the serving
+    // path forces the whole log first (WAL rule).
+    locks.release_all(token);
+    let now = clock.now_us();
+    sched.submit(txn, lsn, now);
+    Ok(TxnOutcome::Committing(txn, now))
+}
+
+/// Forces the log and acknowledges every commit the force covered.
+fn flush(
+    node: &mut Node,
+    sched: &mut ForceScheduler,
+    lanes: &mut [Lane],
+    locks: &ShardedLockTable,
+    clock: &WallClock,
+    latency: &Histogram,
+    report: &mut RunReport,
+) -> Result<()> {
+    node.force_log()?;
+    let flushed = node.log().flushed_lsn();
+    for txn in sched.drain_acked(flushed) {
+        node.finish_commit(txn)?;
+        report.committed += 1;
+        let now = clock.now_us();
+        for lane in lanes.iter_mut() {
+            if let Some((w, at, token)) = lane.waiting {
+                if w == txn {
+                    latency.record(now.saturating_sub(at));
+                    // Locks were released at commit_begin; the token is
+                    // kept only for debugging, clear defensively.
+                    locks.release_all(token);
+                    lane.waiting = None;
+                    lane.next += 1;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Takes `pid` for `token`, serving incoming page fetches while it
+/// spins so two nodes waiting on each other's service cannot deadlock.
+fn acquire(
+    node: &mut Node,
+    ep: &ChannelEndpoint,
+    locks: &ShardedLockTable,
+    pid: PageId,
+    token: u64,
+    mode: LockMode,
+) -> Result<bool> {
+    for i in 0..ACQUIRE_SPINS {
+        if locks.try_acquire(pid, token, mode) {
+            return Ok(true);
+        }
+        serve_inbox(node, ep)?;
+        if i % 64 == 63 {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+    Ok(false)
+}
+
+fn abort_txn(
+    node: &mut Node,
+    _ep: &ChannelEndpoint,
+    locks: &ShardedLockTable,
+    txn: TxnId,
+    token: u64,
+) -> Result<()> {
+    node.start_abort(txn)?;
+    loop {
+        match node.rollback_step(txn, Lsn::ZERO)? {
+            cblog_core::node::RollbackStep::Done => break,
+            cblog_core::node::RollbackStep::Undone(_) => {}
+            cblog_core::node::RollbackStep::NeedPage(pid) => {
+                ensure_cached(node, pid)?;
+            }
+        }
+    }
+    node.finish_abort(txn)?;
+    locks.release_all(token);
+    Ok(())
+}
+
+/// Brings an owned page into the buffer (from disk if necessary). The
+/// buffer is sized above the working set, so eviction of a dirty page
+/// is an overflow error rather than a silent correctness hazard.
+fn ensure_cached(node: &mut Node, pid: PageId) -> Result<()> {
+    if node.buffer().contains(pid) {
+        return Ok(());
+    }
+    let (page, _) = node.authoritative_copy(pid)?;
+    if let Some(ev) = node.cache_page(page, false)? {
+        if ev.dirty {
+            return Err(Error::Protocol(format!(
+                "{} buffer overflow evicted dirty page {}: raise buffer_frames",
+                node.id(),
+                ev.page.id()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Fetches a remote page image from its owner and reads one slot. The
+/// image is used once and dropped — without callback locking there is
+/// no safe way to keep it cached past the transaction's S lock.
+fn remote_read(node: &mut Node, ep: &ChannelEndpoint, pid: PageId, slot: usize) -> Result<u64> {
+    ep.send(pid.owner, MsgKind::LockRequest, encode_pid(pid))?;
+    let deadline = Instant::now() + FETCH_TIMEOUT;
+    loop {
+        match ep.recv_timeout(Duration::from_millis(1)) {
+            Some(env) if env.kind == MsgKind::PageShip => {
+                let page = Page::from_bytes(env.payload)?;
+                if page.id() == pid {
+                    return page.read_slot(slot);
+                }
+                // A ship we did not ask for; workers have one fetch in
+                // flight at a time, so this cannot happen — drop it.
+            }
+            Some(env) => serve(node, ep, env)?,
+            None => {
+                if Instant::now() >= deadline {
+                    return Err(Error::Protocol(format!("page fetch of {pid} timed out")));
+                }
+            }
+        }
+    }
+}
+
+fn serve_inbox(node: &mut Node, ep: &ChannelEndpoint) -> Result<()> {
+    while let Some(env) = ep.try_recv() {
+        serve(node, ep, env)?;
+    }
+    Ok(())
+}
+
+/// Owner-side service: ship the authoritative image of an owned page.
+/// If the buffer copy is dirty, the WAL rule applies — our log records
+/// may cover its updates, so force the log before the image escapes
+/// the node.
+fn serve(node: &mut Node, ep: &ChannelEndpoint, env: Envelope) -> Result<()> {
+    match env.kind {
+        MsgKind::LockRequest => {
+            let pid = decode_pid(&env.payload)?;
+            if node.buffer().is_dirty(pid) == Some(true) {
+                node.force_log()?;
+            }
+            let (page, _) = node.authoritative_copy(pid)?;
+            ep.send(env.from, MsgKind::PageShip, page.to_bytes())?;
+        }
+        other => {
+            return Err(Error::Protocol(format!(
+                "threaded runtime got unexpected {other:?} message"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(owner: u32, index: u32) -> PageId {
+        PageId::new(NodeId(owner), index)
+    }
+
+    fn wplan(client: u32, stream: usize, writes: &[(PageId, usize, u64)]) -> TxnPlan {
+        TxnPlan {
+            client: NodeId(client),
+            stream,
+            ops: writes
+                .iter()
+                .map(|&(pid, slot, value)| PlanOp::Write { pid, slot, value })
+                .collect(),
+            abort: false,
+        }
+    }
+
+    #[test]
+    fn two_threaded_nodes_commit_locally() {
+        let mut tc = ThreadCluster::new(ThreadClusterConfig::default()).unwrap();
+        let plans = vec![
+            wplan(0, 0, &[(pid(0, 0), 0, 11)]),
+            wplan(1, 0, &[(pid(1, 0), 0, 22)]),
+        ];
+        let report = tc.run(&plans).unwrap();
+        assert_eq!(report.committed, 2);
+        assert_eq!(report.forced_aborts, 0);
+        let stats = tc.last_stats().unwrap();
+        assert_eq!(stats.commit_msgs, 0, "commit path sends no messages");
+        assert_eq!(stats.msgs, 0, "purely local plans need no traffic at all");
+        assert!(stats.forces >= 2, "each commit forced its local log");
+
+        let img = tc.page_image(pid(0, 0)).unwrap();
+        let page = Page::from_bytes(img).unwrap();
+        assert_eq!(page.read_slot(0).unwrap(), 11);
+    }
+
+    #[test]
+    fn remote_read_crosses_the_mesh() {
+        let mut tc = ThreadCluster::new(ThreadClusterConfig::default()).unwrap();
+        // Node 0 commits a value; then node 1 reads it remotely.
+        let report = tc.run(&[wplan(0, 0, &[(pid(0, 3), 2, 77)])]).unwrap();
+        assert_eq!(report.committed, 1);
+        let plans = vec![TxnPlan {
+            client: NodeId(1),
+            stream: 0,
+            ops: vec![PlanOp::Read {
+                pid: pid(0, 3),
+                slot: 2,
+            }],
+            abort: false,
+        }];
+        let report = tc.run(&plans).unwrap();
+        assert_eq!(report.committed, 1);
+        let stats = tc.last_stats().unwrap();
+        assert_eq!(stats.msgs, 2, "one fetch request, one page ship");
+        assert_eq!(stats.commit_msgs, 0);
+    }
+
+    #[test]
+    fn user_abort_rolls_back_on_a_real_thread() {
+        let mut tc = ThreadCluster::new(ThreadClusterConfig::default()).unwrap();
+        let setup = tc.run(&[wplan(0, 0, &[(pid(0, 1), 0, 5)])]).unwrap();
+        assert_eq!(setup.committed, 1);
+        let plans = vec![TxnPlan {
+            client: NodeId(0),
+            stream: 0,
+            ops: vec![PlanOp::Write {
+                pid: pid(0, 1),
+                slot: 0,
+                value: 99,
+            }],
+            abort: true,
+        }];
+        let report = tc.run(&plans).unwrap();
+        assert_eq!(report.committed, 0);
+        assert_eq!(report.user_aborts, 1);
+        let page = Page::from_bytes(tc.page_image(pid(0, 1)).unwrap()).unwrap();
+        assert_eq!(page.read_slot(0).unwrap(), 5, "abort undone");
+    }
+
+    #[test]
+    fn file_backed_wals_sync_for_real() {
+        let dir = std::env::temp_dir().join(format!(
+            "cblog-rt-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut tc = ThreadCluster::new(ThreadClusterConfig {
+            owned_pages: vec![4, 4],
+            wal: WalBacking::Dir(dir.clone()),
+            ..ThreadClusterConfig::default()
+        })
+        .unwrap();
+        let report = tc
+            .run(&[
+                wplan(0, 0, &[(pid(0, 0), 0, 1)]),
+                wplan(1, 0, &[(pid(1, 0), 0, 2)]),
+            ])
+            .unwrap();
+        assert_eq!(report.committed, 2);
+        assert!(dir.join("node0.wal").exists());
+        assert!(dir.join("node1.wal").exists());
+        assert!(
+            std::fs::metadata(dir.join("node0.wal")).unwrap().len() > 0,
+            "commit records reached the file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn window_policy_batches_forces_across_lanes() {
+        let mut tc = ThreadCluster::new(ThreadClusterConfig {
+            owned_pages: vec![16],
+            group_commit: GroupCommitPolicy::Window {
+                window_us: 2_000,
+                max_batch: 4,
+            },
+            ..ThreadClusterConfig::default()
+        })
+        .unwrap();
+        // 4 lanes × 4 txns, each lane on its own page: commits park
+        // together, so forces come out well below one per commit.
+        let mut plans = Vec::new();
+        for lane in 0..4usize {
+            for t in 0..4u64 {
+                plans.push(wplan(0, lane, &[(pid(0, lane as u32), 0, t + 1)]));
+            }
+        }
+        let report = tc.run(&plans).unwrap();
+        assert_eq!(report.committed, 16);
+        let stats = tc.last_stats().unwrap();
+        assert!(
+            stats.forces <= 8,
+            "expected batched forces, got {} for 16 commits",
+            stats.forces
+        );
+        let snap = tc.latency().snapshot();
+        assert_eq!(snap.count, 16, "every commit's latency was recorded");
+    }
+}

@@ -1,0 +1,221 @@
+//! Sim-vs-threads oracle equivalence.
+//!
+//! The deterministic simulator is the correctness oracle: both engines
+//! execute the *same* seeded plan list through the same `Node`
+//! protocol machinery, and because every stream writes only its own
+//! private pages, each page's update sequence is stream-local — the
+//! final page images are independent of how the threaded engine
+//! interleaves streams. Byte-identical images (PSNs included) and
+//! equal commit tallies are therefore hard requirements, not
+//! statistical expectations.
+
+use cblog_common::{NodeId, PageId};
+use cblog_core::{Cluster, ClusterConfig, GroupCommitPolicy, PlanOp, RunReport, Runtime, TxnPlan};
+use cblog_rt::{ThreadCluster, ThreadClusterConfig, WalBacking};
+use cblog_sim::workload::{self, Op, TxnSpec, WorkloadConfig};
+
+fn to_plans(specs: &[TxnSpec], stream: usize) -> Vec<TxnPlan> {
+    specs
+        .iter()
+        .map(|s| TxnPlan {
+            client: s.client,
+            stream,
+            ops: s
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    Op::Read { pid, slot } => PlanOp::Read { pid, slot },
+                    Op::Write { pid, slot, value } => PlanOp::Write { pid, slot, value },
+                })
+                .collect(),
+            abort: s.user_abort,
+        })
+        .collect()
+}
+
+/// Runs `plans` on both engines and asserts equal reports and
+/// byte-identical final images of every page.
+fn cross_check(
+    owned: &[u32],
+    policy: GroupCommitPolicy,
+    plans: &[TxnPlan],
+) -> (RunReport, RunReport) {
+    let mut sim = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(owned.to_vec())
+            .group_commit(policy)
+            .build(),
+    )
+    .unwrap();
+    let sim_report = Runtime::run(&mut sim, plans).unwrap();
+
+    let dir = std::env::temp_dir().join(format!(
+        "cblog-equiv-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rt = ThreadCluster::new(ThreadClusterConfig {
+        owned_pages: owned.to_vec(),
+        group_commit: policy,
+        wal: WalBacking::Dir(dir.clone()),
+        ..ThreadClusterConfig::default()
+    })
+    .unwrap();
+    let rt_report = Runtime::run(&mut rt, plans).unwrap();
+
+    assert_eq!(sim_report.committed, rt_report.committed, "commit tallies");
+    assert_eq!(
+        sim_report.user_aborts, rt_report.user_aborts,
+        "user-abort tallies"
+    );
+    assert_eq!(sim_report.forced_aborts, 0, "sim saw conflicts");
+    assert_eq!(rt_report.forced_aborts, 0, "threads saw conflicts");
+    assert_eq!(
+        sim_report.ops_executed, rt_report.ops_executed,
+        "op tallies"
+    );
+
+    for (o, &count) in owned.iter().enumerate() {
+        for i in 0..count {
+            let pid = PageId::new(NodeId(o as u32), i);
+            let a = Runtime::page_image(&mut sim, pid).unwrap();
+            let b = Runtime::page_image(&mut rt, pid).unwrap();
+            assert_eq!(a, b, "final image of {pid} diverged");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (sim_report, rt_report)
+}
+
+fn nodes(n: u32) -> Vec<NodeId> {
+    (0..n).map(NodeId).collect()
+}
+
+#[test]
+fn workload_a_write_heavy_no_aborts() {
+    let owned = [8u32, 8, 8, 8];
+    let cfg = WorkloadConfig {
+        seed: 42,
+        txns_per_client: 30,
+        ops_per_txn: 6,
+        write_ratio: 0.8,
+        abort_prob: 0.0,
+        ..WorkloadConfig::default()
+    };
+    let all: Vec<PageId> = (0..4)
+        .flat_map(|o| workload::owned_pages(NodeId(o), 8))
+        .collect();
+    let specs = workload::generate(
+        &cfg,
+        &nodes(4),
+        &all,
+        Some(&|c: NodeId| workload::owned_pages(c, 8)),
+    );
+    let plans = to_plans(&specs, 0);
+    let (_, rt_report) = cross_check(&owned, GroupCommitPolicy::Immediate, &plans);
+    assert!(rt_report.committed > 0);
+}
+
+#[test]
+fn workload_b_user_aborts_under_window_policy() {
+    let owned = [6u32, 6, 6];
+    let cfg = WorkloadConfig {
+        seed: 7,
+        txns_per_client: 25,
+        ops_per_txn: 5,
+        write_ratio: 0.6,
+        abort_prob: 0.3,
+        ..WorkloadConfig::default()
+    };
+    let all: Vec<PageId> = (0..3)
+        .flat_map(|o| workload::owned_pages(NodeId(o), 6))
+        .collect();
+    let specs = workload::generate(
+        &cfg,
+        &nodes(3),
+        &all,
+        Some(&|c: NodeId| workload::owned_pages(c, 6)),
+    );
+    let plans = to_plans(&specs, 0);
+    let policy = GroupCommitPolicy::Window {
+        window_us: 300,
+        max_batch: 8,
+    };
+    let (_, rt_report) = cross_check(&owned, policy, &plans);
+    assert!(rt_report.user_aborts > 0, "seed must exercise rollback");
+}
+
+#[test]
+fn workload_c_two_streams_per_node() {
+    // Each (node, stream) pair gets a disjoint half of the node's
+    // pages, so streams interleave freely on one worker without ever
+    // colliding — exactly the situation MPL creates in the benchmark.
+    let owned = [8u32, 8];
+    let mk = |seed: u64, lo: u32| {
+        let cfg = WorkloadConfig {
+            seed,
+            txns_per_client: 20,
+            ops_per_txn: 4,
+            write_ratio: 0.7,
+            abort_prob: 0.1,
+            ..WorkloadConfig::default()
+        };
+        let all: Vec<PageId> = (0..2)
+            .flat_map(|o| workload::owned_pages(NodeId(o), 8))
+            .collect();
+        workload::generate(
+            &cfg,
+            &nodes(2),
+            &all,
+            Some(&move |c: NodeId| (lo..lo + 4).map(|i| PageId::new(c, i)).collect()),
+        )
+    };
+    let mut plans = to_plans(&mk(99, 0), 0);
+    plans.extend(to_plans(&mk(100, 4), 1));
+    let policy = GroupCommitPolicy::Adaptive {
+        min_window_us: 50,
+        max_window_us: 2_000,
+        target_batch: 2,
+    };
+    let (_, rt_report) = cross_check(&owned, policy, &plans);
+    assert_eq!(rt_report.committed + rt_report.user_aborts, 80);
+}
+
+#[test]
+fn workload_d_remote_reads_of_quiescent_pages() {
+    // Writes stay stream-private; reads target the *other* node's high
+    // pages, which nobody writes. The read path crosses the channel
+    // mesh (threads) / the accounted network (sim); the final state is
+    // still fully determined by each node's own write stream.
+    let owned = [8u32, 8];
+    let mut plans = Vec::new();
+    for node in 0..2u32 {
+        let peer = 1 - node;
+        for t in 0..12u64 {
+            plans.push(TxnPlan {
+                client: NodeId(node),
+                stream: 0,
+                ops: vec![
+                    PlanOp::Write {
+                        pid: PageId::new(NodeId(node), (t % 4) as u32),
+                        slot: (t % 8) as usize,
+                        value: 1000 * node as u64 + t,
+                    },
+                    PlanOp::Read {
+                        pid: PageId::new(NodeId(peer), 6),
+                        slot: 0,
+                    },
+                    PlanOp::Read {
+                        pid: PageId::new(NodeId(peer), 7),
+                        slot: 1,
+                    },
+                ],
+                abort: t % 6 == 5,
+            });
+        }
+    }
+    let (_, rt_report) = cross_check(&owned, GroupCommitPolicy::Immediate, &plans);
+    assert_eq!(rt_report.committed, 20);
+    assert_eq!(rt_report.user_aborts, 4);
+}

@@ -255,10 +255,63 @@ pub fn render_html(doc: &JsonValue) -> std::result::Result<String, String> {
     out.push_str("</p>\n");
 
     render_profile_bars(&mut out, nodes)?;
+    render_cells(&mut out, doc);
     render_series(&mut out, doc);
     render_folded(&mut out, doc);
     out.push_str("</body></html>\n");
     Ok(out)
+}
+
+/// Benchmark-cell table (threaded-runtime exports): one row per
+/// (MPL, group-commit policy) combination with wall-clock throughput
+/// and latency. Absent from simulator exports — skipped silently.
+fn render_cells(out: &mut String, doc: &JsonValue) {
+    let Some(cells) = doc.get("cells").and_then(|v| v.as_arr()) else {
+        return;
+    };
+    if cells.is_empty() {
+        return;
+    }
+    out.push_str("<h2>Benchmark cells (wall clock)</h2>\n<table><tr>");
+    const COLS: &[(&str, &str)] = &[
+        ("mpl", "MPL"),
+        ("policy", "policy"),
+        ("commits", "commits"),
+        ("commits_per_sec", "commits/s"),
+        ("p50_us", "p50 µs"),
+        ("p99_us", "p99 µs"),
+        ("forces", "forces"),
+        ("forces_per_commit", "forces/commit"),
+        ("commit_msgs", "commit msgs"),
+        ("wall_us", "wall µs"),
+    ];
+    for (_, title) in COLS {
+        let _ = write!(out, "<th>{title}</th>");
+    }
+    out.push_str("</tr>\n");
+    for cell in cells {
+        out.push_str("<tr>");
+        for (key, _) in COLS {
+            match cell.get(key) {
+                Some(v) => {
+                    if let Some(s) = v.as_str() {
+                        let _ = write!(out, "<td>{}</td>", html_escape(s));
+                    } else if let Some(f) = v.as_f64() {
+                        if f.fract() == 0.0 {
+                            let _ = write!(out, "<td>{}</td>", f as i64);
+                        } else {
+                            let _ = write!(out, "<td>{f:.2}</td>");
+                        }
+                    } else {
+                        out.push_str("<td>—</td>");
+                    }
+                }
+                None => out.push_str("<td>—</td>"),
+            }
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
 }
 
 /// Per-node stacked horizontal bars: each node's total simulated time
@@ -475,6 +528,30 @@ mod tests {
             !html.contains("src=") && !html.contains("href="),
             "self-contained: no external references"
         );
+    }
+
+    #[test]
+    fn html_renders_benchmark_cells_when_present() {
+        // Shape of an rtbench export: the usual skeleton plus `cells`.
+        let json = r#"{"experiment":"rt_threads","now_us":1234,
+            "nodes":[{"node":0,"busy_us":10,"total_us":20,"utilization_pct":50,
+                      "buckets":{"disk":4,"cpu":3,"net":3,"lock_wait":0,"replay":0}}],
+            "folded":["rt_threads;n0;disk 4"],"telemetry":null,
+            "cells":[{"mpl":4,"policy":"window","commits":64,
+                      "commits_per_sec":22122.4,"p50_us":410,"p99_us":500,
+                      "forces":16,"forces_per_commit":0.25,
+                      "commit_msgs":0,"wall_us":2893}]}"#;
+        let doc = jsonv::parse(json).unwrap();
+        let html = render_html(&doc).unwrap();
+        assert!(html.contains("Benchmark cells"), "cells table heading");
+        assert!(html.contains("window"), "policy value");
+        assert!(html.contains("22122.40"), "float rendered with decimals");
+        assert!(html.contains(">64<"), "integer rendered without decimals");
+
+        // Sim exports carry no cells; the section must vanish entirely.
+        let sim = run_scenario("e1").unwrap();
+        let sim_doc = jsonv::parse(&sim).unwrap();
+        assert!(!render_html(&sim_doc).unwrap().contains("Benchmark cells"));
     }
 
     #[test]

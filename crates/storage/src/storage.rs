@@ -14,7 +14,11 @@ use std::path::Path;
 ///
 /// Blocks are `block_size` bytes; the device grows on demand when a
 /// block past the current end is written.
-pub trait Storage {
+///
+/// `Send` is a supertrait so a `Box<dyn Storage>` (and the `Database`
+/// / `Node` built on it) can move into a worker thread of the threaded
+/// runtime.
+pub trait Storage: Send {
     /// Block size in bytes.
     fn block_size(&self) -> usize;
 

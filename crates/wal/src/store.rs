@@ -16,7 +16,11 @@ use std::io::{IoSlice, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Append-oriented durable byte store with a master record side-slot.
-pub trait LogStore {
+///
+/// `Send` is a supertrait so a `Box<dyn LogStore>` (and therefore the
+/// `LogManager` and `Node` built on it) can move into a worker thread
+/// of the threaded runtime, where each node owns its file-backed WAL.
+pub trait LogStore: Send {
     /// Durable + appended (possibly unsynced) length in bytes.
     fn len(&self) -> u64;
 
