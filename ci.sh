@@ -27,6 +27,10 @@ echo "==> E8b trace-overhead experiment (BENCH_e8_trace_overhead.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
     --json --only e8b > BENCH_e8_trace_overhead.json
 
+echo "==> E9b parallel-recovery experiment (BENCH_e9_parallel_recovery.json)"
+cargo run --release --offline -p cblog-bench --bin experiments -- \
+    --json --only e9b > BENCH_e9_parallel_recovery.json
+
 echo "==> perf-regression gate (BASELINES.json)"
 cargo run --release --offline -p cblog-bench --bin experiments -- \
     --check-baselines BASELINES.json
@@ -77,6 +81,16 @@ cargo run --release --offline -p cblog-bench --bin obsreport -- \
     --input BENCH_rt_threads.json --out /tmp/ci_rt_report.html
 grep 'Benchmark cells' /tmp/ci_rt_report.html > /dev/null
 rm -rf /tmp/ci_rtbench_wal /tmp/ci_rt_report.html
+
+echo "==> rtbench recovery smoke: parallel replay sweep (BENCH_rt_recovery.json)"
+# Same caveat as above: wall-clock cells are machine-dependent (and
+# this container may expose a single CPU, where parallel replay cannot
+# beat serial in wall time) — the smoke checks structure only.
+cargo run --release --offline -p cblog-bench --bin rtbench -- \
+    --recovery --quick --wal-dir /tmp/ci_rtrec_wal --out BENCH_rt_recovery.json
+grep '"rt_recovery"' BENCH_rt_recovery.json > /dev/null
+grep '"workers":4' BENCH_rt_recovery.json > /dev/null
+rm -rf /tmp/ci_rtrec_wal
 
 echo "==> cargo fmt --check"
 cargo fmt --check

@@ -23,7 +23,10 @@
 //! from the BASELINES.json perf gate, which only checks deterministic
 //! simulator counters.
 
-use cblog_core::{GroupCommitPolicy, PlanOp, Runtime, TxnPlan};
+use cblog_common::NodeId;
+use cblog_core::{
+    GroupCommitPolicy, PlanOp, RecoveryOptions, ReplayMode, Runtime, TxnPlan, WaveTiming,
+};
 use cblog_rt::{RtNodeStats, ThreadCluster, ThreadClusterConfig, WalBacking};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -189,6 +192,171 @@ fn export_json(cells: &[Cell], nodes: &[RtNodeStats], total_us: u64) -> String {
     out
 }
 
+// ----------------------------------------------------------------------
+// Recovery benchmark (--recovery): wall-clock parallel replay
+// ----------------------------------------------------------------------
+
+/// Lanes of the recovery workload; each lane dirties its own slice of
+/// the owner's pages, so every page's redo chain is independent.
+const REC_LANES: usize = 8;
+
+struct RecCell {
+    workers: usize,
+    pages: usize,
+    waves: usize,
+    crit_path_psns: u64,
+    /// Sum of per-unit redo times — the serial cost of the waves.
+    apply_serial_us: u64,
+    /// Sum of per-wave makespans — what the workers actually took.
+    apply_makespan_us: u64,
+    replay_us: u64,
+    total_us: u64,
+}
+
+/// One crash/recovery measurement on a fresh [`ThreadCluster`]:
+/// `rounds` committed update rounds per page, crash the owner, recover
+/// with `workers` replay threads (`0` = the paper's serial protocol).
+fn run_recovery_cell(
+    workers: usize,
+    pages: u32,
+    rounds: usize,
+    wal_dir: &std::path::Path,
+) -> RecCell {
+    let dir = wal_dir.join(format!("recovery-w{workers}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut tc = ThreadCluster::new(ThreadClusterConfig {
+        owned_pages: vec![pages],
+        buffer_frames: pages as usize + 16,
+        group_commit: GroupCommitPolicy::Window {
+            window_us: 200,
+            max_batch: REC_LANES,
+        },
+        wal: WalBacking::Dir(dir.clone()),
+        ..ThreadClusterConfig::default()
+    })
+    .expect("cluster construction");
+    let per_lane = (pages as usize).div_ceil(REC_LANES);
+    let mut plans = Vec::new();
+    for lane in 0..REC_LANES {
+        for t in 0..(rounds * per_lane) as u64 {
+            let page = lane * per_lane + (t as usize % per_lane);
+            if page >= pages as usize {
+                continue;
+            }
+            let ops = (0..8u64)
+                .map(|o| PlanOp::Write {
+                    pid: cblog_common::PageId::new(NodeId(0), page as u32),
+                    slot: (o % 8) as usize,
+                    value: t * 1_000 + o,
+                })
+                .collect();
+            plans.push(TxnPlan {
+                client: NodeId(0),
+                stream: lane,
+                ops,
+                abort: false,
+            });
+        }
+    }
+    tc.run(&plans).expect("recovery workload");
+    tc.crash(NodeId(0)).expect("crash");
+    let mode = if workers == 0 {
+        ReplayMode::Serial
+    } else {
+        ReplayMode::Parallel { workers }
+    };
+    let rep = tc
+        .recover(&RecoveryOptions::single(NodeId(0)).replay(mode))
+        .expect("recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (serial, makespan) = rep
+        .timings
+        .replay_waves()
+        .iter()
+        .fold((0u64, 0u64), |(s, m), w: &WaveTiming| {
+            (s + w.serial_us, m + w.makespan_us)
+        });
+    RecCell {
+        workers,
+        pages: rep.pages_recovered,
+        waves: rep.replay_waves,
+        crit_path_psns: rep.critical_path_psns,
+        apply_serial_us: serial,
+        apply_makespan_us: makespan,
+        replay_us: rep.timings.replay_us(),
+        total_us: rep.timings.total_us(),
+    }
+}
+
+fn export_recovery_json(cells: &[RecCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"experiment\":\"rt_recovery\",\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let speedup = c.apply_serial_us as f64 / c.apply_makespan_us.max(1) as f64;
+        let _ = write!(
+            out,
+            "{{\"workers\":{},\"pages\":{},\"waves\":{},\"crit_path_psns\":{},\"apply_serial_us\":{},\"apply_makespan_us\":{},\"apply_speedup\":{:.2},\"replay_us\":{},\"total_us\":{}}}",
+            c.workers,
+            c.pages,
+            c.waves,
+            c.crit_path_psns,
+            c.apply_serial_us,
+            c.apply_makespan_us,
+            speedup,
+            c.replay_us,
+            c.total_us
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn run_recovery_bench(pages: u32, rounds: usize, wal_dir: &std::path::Path, out_path: &str) {
+    println!(
+        "{:>7} {:>6} {:>6} {:>10} {:>12} {:>14} {:>8} {:>10} {:>10}",
+        "workers",
+        "pages",
+        "waves",
+        "crit_psns",
+        "apply_ser_us",
+        "apply_mksp_us",
+        "speedup",
+        "replay_us",
+        "total_us"
+    );
+    let mut cells = Vec::new();
+    for workers in [0usize, 1, 2, 4, 8] {
+        let c = run_recovery_cell(workers, pages, rounds, wal_dir);
+        let speedup = c.apply_serial_us as f64 / c.apply_makespan_us.max(1) as f64;
+        println!(
+            "{:>7} {:>6} {:>6} {:>10} {:>12} {:>14} {:>8.2} {:>10} {:>10}",
+            if c.workers == 0 {
+                "serial".to_string()
+            } else {
+                c.workers.to_string()
+            },
+            c.pages,
+            c.waves,
+            c.crit_path_psns,
+            c.apply_serial_us,
+            c.apply_makespan_us,
+            speedup,
+            c.replay_us,
+            c.total_us
+        );
+        cells.push(c);
+    }
+    let json = export_recovery_json(&cells);
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("rtbench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let arg_after = |flag: &str| {
@@ -216,9 +384,28 @@ fn main() {
         .unwrap_or_else(|| {
             std::env::temp_dir().join(format!("cblog-rtbench-{}", std::process::id()))
         });
-    let out_path = arg_after("--out")
-        .cloned()
-        .unwrap_or_else(|| "BENCH_rt_threads.json".into());
+    let recovery = args.iter().any(|a| a == "--recovery");
+    let out_path = arg_after("--out").cloned().unwrap_or_else(|| {
+        if recovery {
+            "BENCH_rt_recovery.json".into()
+        } else {
+            "BENCH_rt_threads.json".into()
+        }
+    });
+
+    if recovery {
+        // Wall-clock parallel replay: crash one owner with many
+        // independently-dirtied pages, recover at 1..8 workers.
+        let pages: u32 = arg_after("--pages")
+            .map(|s| s.parse().expect("--pages N"))
+            .unwrap_or(if quick { 16 } else { 64 });
+        // Deep per-page chains: redo work per page must dwarf the
+        // per-wave thread-spawn cost for the parallelism to show.
+        let rounds = if quick { 4 } else { 512.max(txns) };
+        run_recovery_bench(pages, rounds, &wal_dir, &out_path);
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        return;
+    }
 
     let mut cells = Vec::new();
     let mut last_nodes: Vec<RtNodeStats> = Vec::new();

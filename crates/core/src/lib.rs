@@ -54,6 +54,9 @@ pub use cluster::Cluster;
 pub use config::{ClusterConfig, ClusterConfigBuilder, GroupCommitPolicy, NodeConfig};
 pub use group_commit::{ForceScheduler, PendingCommit};
 pub use node::{AnalysisResult, Node, NodePsnEntry};
-pub use recovery::{RecoveryOptions, RecoveryReport};
+pub use recovery::{
+    plan_replay, recover, PhaseTimings, RecoveryOptions, RecoveryReport, ReplayMode, ReplayPlan,
+    ReplayUnit, WaveTiming,
+};
 pub use runtime::{PlanOp, RunReport, Runtime, TxnPlan};
 pub use txn::{Savepoint, TxnState, TxnStatus};

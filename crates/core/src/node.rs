@@ -38,6 +38,10 @@ pub struct NodePsnEntry {
     pub psn: Psn,
     /// Log location of that record (replay resume point).
     pub lsn: Lsn,
+    /// Transaction that wrote the burst. Replay planning uses this to
+    /// order pages touched by one multi-page transaction (DESIGN §13);
+    /// the replay protocol itself never reads it.
+    pub txn: TxnId,
 }
 
 /// Summary of restart analysis (ARIES analysis pass over the local
@@ -873,7 +877,12 @@ impl Node {
             let (rec, next) = self.log.read_record(pos)?;
             if let (Some(pid), Some(psn)) = (rec.page(), rec.psn_before()) {
                 if wanted.contains(&pid) && last_txn.get(&pid) != Some(&rec.txn) {
-                    out.push(NodePsnEntry { pid, psn, lsn: pos });
+                    out.push(NodePsnEntry {
+                        pid,
+                        psn,
+                        lsn: pos,
+                        txn: rec.txn,
+                    });
                     last_txn.insert(pid, rec.txn);
                 }
             }
@@ -915,6 +924,67 @@ impl Node {
             pos = next;
         }
         Ok((end, applied, false))
+    }
+
+    /// Extracts this node's redo records for `page` starting at
+    /// `start_lsn` as `(psn_before, op)` pairs, in log order. This is
+    /// the serial "log dispatch" half of parallel replay: one pass per
+    /// page over the local log here, then workers apply the extracted
+    /// ops concurrently under the same PSN filter [`Node::replay_page`]
+    /// uses — without needing `&mut self` (the log) at apply time.
+    pub fn collect_replay_records(
+        &mut self,
+        pid: PageId,
+        start_lsn: Lsn,
+    ) -> Result<Vec<(Psn, PageOp)>> {
+        let mut pos = start_lsn;
+        let end = self.log.end_lsn();
+        let mut out = Vec::new();
+        while pos < end {
+            let (rec, next) = self.log.read_record(pos)?;
+            if rec.page() == Some(pid) {
+                let psn_before = rec.psn_before().expect("update/clr has psn");
+                let op = rec.op().expect("update/clr has op").clone();
+                out.push((psn_before, op));
+            }
+            pos = next;
+        }
+        Ok(out)
+    }
+
+    /// Batched [`Node::collect_replay_records`]: one scan of the local
+    /// log serving every target page at once. `targets` maps each page
+    /// to the LSN its redo starts at; records before a page's start
+    /// are skipped. The threaded runtime extracts all replay units of
+    /// a crashed node this way — O(log) instead of O(pages × log) —
+    /// before handing the per-page vectors to parallel workers.
+    pub fn collect_replay_records_batch(
+        &mut self,
+        targets: &BTreeMap<PageId, Lsn>,
+    ) -> Result<BTreeMap<PageId, Vec<(Psn, PageOp)>>> {
+        let mut out: BTreeMap<PageId, Vec<(Psn, PageOp)>> =
+            targets.keys().map(|&pid| (pid, Vec::new())).collect();
+        let Some(&from) = targets.values().min() else {
+            return Ok(out);
+        };
+        let mut pos = from;
+        let end = self.log.end_lsn();
+        while pos < end {
+            let (rec, next) = self.log.read_record(pos)?;
+            if let Some(pid) = rec.page() {
+                if let Some(&start) = targets.get(&pid) {
+                    if pos >= start {
+                        let psn_before = rec.psn_before().expect("update/clr has psn");
+                        let op = rec.op().expect("update/clr has op").clone();
+                        out.get_mut(&pid)
+                            .expect("target vec exists")
+                            .push((psn_before, op));
+                    }
+                }
+            }
+            pos = next;
+        }
+        Ok(out)
     }
 
     /// Convenience for tests and the sim: read a u64 slot from the

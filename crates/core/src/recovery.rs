@@ -26,14 +26,41 @@
 
 use crate::cluster::{Cluster, CTRL_BYTES};
 use crate::node::{NodePsnEntry, RollbackStep};
+use crate::runtime::Runtime;
 use cblog_common::{
-    Bucket, Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, Span, SpanCtx, SpanId,
-    SpanKind, TraceEvent, TransferWhy, TxnId,
+    metrics::keys, Bucket, Error, Lsn, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime, Span,
+    SpanCtx, SpanId, SpanKind, TraceEvent, TransferWhy, TxnId,
 };
 use cblog_locks::LockMode;
 use cblog_net::{MsgHeader, MsgKind};
 use cblog_wal::DptEntry;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// How the Redo pass executes the [`ReplayPlan`] (DESIGN §13).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// The paper's §2.3.4 protocol verbatim: pages replay one after
+    /// another, each shuttling serially among its involved nodes.
+    Serial,
+    /// Dependency-aware wave schedule: independent pages replay
+    /// concurrently on up to `workers` lanes — overlapped service
+    /// times in the simulator, real worker threads in `cblog-rt`.
+    /// `workers: 1` keeps the wave structure but serial timing.
+    Parallel {
+        /// Concurrent replay lanes (0 is treated as 1).
+        workers: usize,
+    },
+}
+
+impl ReplayMode {
+    /// The lane count this mode schedules for (Serial → 1).
+    pub fn workers(&self) -> usize {
+        match *self {
+            ReplayMode::Serial => 1,
+            ReplayMode::Parallel { workers } => workers.max(1),
+        }
+    }
+}
 
 /// How a recovery run should be performed — the one argument of
 /// [`recover`], replacing the old `recover_single` /
@@ -43,6 +70,7 @@ pub struct RecoveryOptions {
     nodes: Vec<NodeId>,
     standby: Option<NodeId>,
     crash_after: Option<RecoveryPhase>,
+    replay: ReplayMode,
 }
 
 impl RecoveryOptions {
@@ -52,6 +80,7 @@ impl RecoveryOptions {
             nodes: vec![node],
             standby: None,
             crash_after: None,
+            replay: ReplayMode::Serial,
         }
     }
 
@@ -62,7 +91,15 @@ impl RecoveryOptions {
             nodes: nodes.to_vec(),
             standby: None,
             crash_after: None,
+            replay: ReplayMode::Serial,
         }
+    }
+
+    /// Selects how the Redo pass executes the replay plan (default
+    /// [`ReplayMode::Serial`], the paper's protocol).
+    pub fn replay(mut self, mode: ReplayMode) -> Self {
+        self.replay = mode;
+        self
     }
 
     /// Let `standby` coordinate every phase of the protocol (paper
@@ -92,6 +129,16 @@ impl RecoveryOptions {
     pub fn standby(&self) -> Option<NodeId> {
         self.standby
     }
+
+    /// The configured replay mode.
+    pub fn replay_mode(&self) -> ReplayMode {
+        self.replay
+    }
+
+    /// The injected crash point, if any.
+    pub fn crash_after_phase(&self) -> Option<RecoveryPhase> {
+        self.crash_after
+    }
 }
 
 /// What a recovery run did — the measurable quantities of experiments
@@ -118,10 +165,123 @@ pub struct RecoveryReport {
     pub page_hops: u64,
     /// Torn log-tail bytes discarded by checksum repair at restart.
     pub torn_bytes_discarded: u64,
-    /// Simulated duration of each protocol phase, in order — the
-    /// "where does restart time go" breakdown of §2.3/§2.4. Phases
-    /// that exchanged no messages and did no I/O report 0.
-    pub phase_us: Vec<(RecoveryPhase, u64)>,
+    /// Per-phase duration breakdown — the "where does restart time
+    /// go" view of §2.3/§2.4, plus the per-wave replay split when the
+    /// run used [`ReplayMode::Parallel`].
+    pub timings: PhaseTimings,
+    /// Waves in the run's [`ReplayPlan`] (0 when nothing replayed).
+    pub replay_waves: usize,
+    /// PSN intervals on the plan's critical path — the serial floor no
+    /// amount of replay parallelism removes.
+    pub critical_path_psns: u64,
+}
+
+/// Timing of one replay wave under [`ReplayMode::Parallel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WaveTiming {
+    /// Replay units (pages) the wave contained.
+    pub units: usize,
+    /// Sum of the units' service times — what the wave would have
+    /// cost replayed serially.
+    pub serial_us: u64,
+    /// Simulated time the wave actually took: an LPT packing of the
+    /// unit durations onto the configured worker lanes.
+    pub makespan_us: u64,
+}
+
+/// Typed per-phase duration breakdown of a recovery run, replacing
+/// the old `phase_us: Vec<(RecoveryPhase, u64)>`. Durations are
+/// simulated µs in the sim engine and measured wall-clock µs in
+/// `cblog-rt`. Phases that exchanged no messages and did no I/O
+/// report 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    us: [u64; RecoveryPhase::ALL.len()],
+    replay_waves: Vec<WaveTiming>,
+}
+
+impl PhaseTimings {
+    fn idx(phase: RecoveryPhase) -> usize {
+        RecoveryPhase::ALL
+            .iter()
+            .position(|&p| p == phase)
+            .expect("every phase is listed in ALL")
+    }
+
+    /// Records `us` against `phase` (accumulating).
+    pub fn record(&mut self, phase: RecoveryPhase, us: u64) {
+        self.us[Self::idx(phase)] += us;
+    }
+
+    /// Attaches the per-wave replay breakdown.
+    pub fn set_replay_waves(&mut self, waves: Vec<WaveTiming>) {
+        self.replay_waves = waves;
+    }
+
+    /// Duration of `phase`.
+    pub fn us(&self, phase: RecoveryPhase) -> u64 {
+        self.us[Self::idx(phase)]
+    }
+
+    /// Total duration across all phases.
+    pub fn total_us(&self) -> u64 {
+        self.us.iter().sum()
+    }
+
+    /// `(phase, µs)` pairs in protocol order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecoveryPhase, u64)> + '_ {
+        RecoveryPhase::ALL.iter().map(move |&p| (p, self.us(p)))
+    }
+
+    /// Per-wave replay breakdown (empty under [`ReplayMode::Serial`]).
+    pub fn replay_waves(&self) -> &[WaveTiming] {
+        &self.replay_waves
+    }
+
+    /// ARIES analysis scan.
+    pub fn analysis_us(&self) -> u64 {
+        self.us(RecoveryPhase::Analysis)
+    }
+
+    /// Cache/DPT/lock information exchange.
+    pub fn info_exchange_us(&self) -> u64 {
+        self.us(RecoveryPhase::InfoExchange)
+    }
+
+    /// Lock-table reconstruction.
+    pub fn lock_rebuild_us(&self) -> u64 {
+        self.us(RecoveryPhase::LockRebuild)
+    }
+
+    /// Per-owner recovery-set determination.
+    pub fn recovery_sets_us(&self) -> u64 {
+        self.us(RecoveryPhase::RecoverySets)
+    }
+
+    /// Recovery-lock fencing.
+    pub fn recovery_locks_us(&self) -> u64 {
+        self.us(RecoveryPhase::RecoveryLocks)
+    }
+
+    /// NodePSNList construction and exchange.
+    pub fn psn_lists_us(&self) -> u64 {
+        self.us(RecoveryPhase::PsnLists)
+    }
+
+    /// Redo (coordinated page replay).
+    pub fn replay_us(&self) -> u64 {
+        self.us(RecoveryPhase::Replay)
+    }
+
+    /// Loser-transaction undo.
+    pub fn undo_us(&self) -> u64 {
+        self.us(RecoveryPhase::Undo)
+    }
+
+    /// Completion broadcast.
+    pub fn done_us(&self) -> u64 {
+        self.us(RecoveryPhase::Done)
+    }
 }
 
 /// Closes the current recovery phase: accounts the sim-time spent
@@ -132,7 +292,7 @@ fn end_phase(
     cluster: &mut Cluster,
     crashed: &[NodeId],
     t0: &mut SimTime,
-    out: &mut Vec<(RecoveryPhase, u64)>,
+    out: &mut PhaseTimings,
     phase: RecoveryPhase,
     crash_after: Option<RecoveryPhase>,
     root: SpanId,
@@ -140,7 +300,7 @@ fn end_phase(
     let now = cluster.network().clock().now();
     let us = now.saturating_sub(*t0);
     *t0 = now;
-    out.push((phase, us));
+    out.record(phase, us);
     for &c in crashed {
         cluster
             .node(c)
@@ -182,6 +342,167 @@ struct ContributedInfo {
     crashed_exclusive: Vec<PageId>,
 }
 
+/// One page's replay work: the §2.3.4 shuttle schedule, pre-merged
+/// from the involved nodes' NodePSNLists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayUnit {
+    /// The page.
+    pub pid: PageId,
+    /// Shuttle hops in ascending PSN order, adjacent same-node bursts
+    /// merged (keeping the minimum PSN): `(start_psn, node,
+    /// resume_lsn)`.
+    pub hops: Vec<(Psn, NodeId, Lsn)>,
+    /// PSN intervals (transaction bursts) recorded for the page across
+    /// all lists — the unit's weight in the dependency graph.
+    pub psn_intervals: u64,
+}
+
+/// The Redo pass as data: which pages replay, in which concurrency
+/// waves, and how long the unavoidable serial chain is. Built by
+/// [`plan_replay`] at the end of Analysis — a pure function of the
+/// merged NodePSNLists, shared verbatim by the simulator and the
+/// threaded engine (DESIGN §13).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplayPlan {
+    /// Replay units in ascending page order — the exact order the
+    /// serial protocol visits them.
+    pub units: Vec<ReplayUnit>,
+    /// Wave schedule: indices into `units`; every unit in a wave is
+    /// independent of the others and may replay concurrently, and no
+    /// unit appears before all its dependency-graph predecessors.
+    pub waves: Vec<Vec<usize>>,
+    /// PSN intervals along the longest dependency chain — the lower
+    /// bound on replay work no amount of parallelism removes.
+    pub critical_path_psns: u64,
+}
+
+/// Builds the PSN-interval dependency graph and its wave schedule.
+///
+/// Vertices are pages (one [`ReplayUnit`] each, carrying the merged
+/// per-page PSN chain). Cross-page edges exist only where a
+/// multi-page transaction orders two pages: if one node's log shows
+/// transaction T updating page P before page Q, P must not start
+/// *after* Q's wave — the wave schedule replays P no later than Q,
+/// mirroring the dependency-logging literature. Page transfers never
+/// add cross-page edges: a transfer moves one page, and that ordering
+/// is already the unit's own hop chain.
+///
+/// Correctness never hangs on the edges: each page's replay applies
+/// only records whose stored PSN matches the page's current PSN
+/// (§2.3.2's filter), so per-page PSN order — the invariant the span
+/// watchdog enforces — holds in any cross-page interleaving. The
+/// edges shape the *schedule*; should they ever form a cycle (two
+/// transactions observing the pages in opposite orders on different
+/// logs), the members simply share one final wave.
+pub fn plan_replay(
+    involved: &BTreeMap<PageId, Vec<NodeId>>,
+    psn_lists: &BTreeMap<NodeId, Vec<NodePsnEntry>>,
+) -> ReplayPlan {
+    let mut units: Vec<ReplayUnit> = Vec::with_capacity(involved.len());
+    let mut unit_of: BTreeMap<PageId, usize> = BTreeMap::new();
+    for (&pid, nodes) in involved {
+        let mut entries: Vec<(Psn, NodeId, Lsn)> = Vec::new();
+        for &n in nodes {
+            if let Some(list) = psn_lists.get(&n) {
+                for e in list.iter().filter(|e| e.pid == pid) {
+                    entries.push((e.psn, n, e.lsn));
+                }
+            }
+        }
+        let psn_intervals = entries.len() as u64;
+        entries.sort();
+        let mut hops: Vec<(Psn, NodeId, Lsn)> = Vec::new();
+        for e in entries {
+            match hops.last() {
+                // Adjacent same node: keep the first (minimum PSN).
+                Some(&(_, n, _)) if n == e.1 => {}
+                _ => hops.push(e),
+            }
+        }
+        unit_of.insert(pid, units.len());
+        units.push(ReplayUnit {
+            pid,
+            hops,
+            psn_intervals,
+        });
+    }
+    // Cross-page edges from multi-page transactions: within each log's
+    // list (LSN order), chain the pages each transaction touches.
+    let n = units.len();
+    let mut succs: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    let mut indeg: Vec<usize> = vec![0; n];
+    for list in psn_lists.values() {
+        let mut last_of_txn: HashMap<TxnId, usize> = HashMap::new();
+        for e in list {
+            let Some(&u) = unit_of.get(&e.pid) else {
+                continue;
+            };
+            if let Some(&prev) = last_of_txn.get(&e.txn) {
+                if prev != u && succs[prev].insert(u) {
+                    indeg[u] += 1;
+                }
+            }
+            last_of_txn.insert(e.txn, u);
+        }
+    }
+    // Kahn leveling: each wave is the currently dependency-free set,
+    // and `dist` accumulates the weighted longest path.
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    let mut dist: Vec<u64> = vec![0; n];
+    let mut done: Vec<bool> = vec![false; n];
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut critical = 0u64;
+    while !ready.is_empty() {
+        let mut next = Vec::new();
+        for &u in &ready {
+            done[u] = true;
+            dist[u] += units[u].psn_intervals;
+            critical = critical.max(dist[u]);
+            for &v in &succs[u] {
+                dist[v] = dist[v].max(dist[u]);
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    next.push(v);
+                }
+            }
+        }
+        waves.push(std::mem::take(&mut ready));
+        ready = next;
+    }
+    let leftover: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
+    if !leftover.is_empty() {
+        // Cyclic remainder: correctness-safe in one shared wave (see
+        // above); count every member's weight against the critical
+        // path — a cycle is serial however it is scheduled.
+        let base = critical;
+        let cycle_weight: u64 = leftover.iter().map(|&u| units[u].psn_intervals).sum();
+        critical = critical.max(base + cycle_weight);
+        waves.push(leftover);
+    }
+    ReplayPlan {
+        units,
+        waves,
+        critical_path_psns: critical,
+    }
+}
+
+/// Longest-processing-time packing of `durs` onto `workers` lanes;
+/// returns the makespan — the simulated duration of a wave whose
+/// units run concurrently on that many lanes.
+fn lpt_makespan(durs: &[SimTime], workers: usize) -> SimTime {
+    let mut sorted: Vec<SimTime> = durs.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut lanes = vec![0u64; workers.max(1)];
+    for d in sorted {
+        let min = lanes
+            .iter_mut()
+            .min_by_key(|l| **l)
+            .expect("at least one lane");
+        *min += d;
+    }
+    lanes.into_iter().max().unwrap_or(0)
+}
+
 /// Recovers crashed nodes per `opts` — the single public entry point
 /// of distributed crash recovery (§2.3 single crash, §2.4
 /// simultaneous crashes, optional hot-standby coordination, optional
@@ -198,15 +519,41 @@ struct ContributedInfo {
 /// again right after that phase and the call returns
 /// [`Error::RecoveryInterrupted`]; re-running `recover` from scratch
 /// then completes normally (the protocol is idempotent).
-pub fn recover(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+///
+/// This entry point is runtime-generic: it dispatches to
+/// [`Runtime::recover`], so the same call drives the deterministic
+/// simulator ([`Cluster`]) and the threaded engine
+/// (`cblog_rt::ThreadCluster`).
+pub fn recover<R: Runtime + ?Sized>(rt: &mut R, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+    rt.recover(opts)
+}
+
+/// The old `Cluster`-only entry point, kept for one release.
+#[deprecated(
+    since = "0.8.0",
+    note = "use the runtime-generic `recover(&mut impl Runtime, &RecoveryOptions)`"
+)]
+pub fn recover_cluster(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+    recover_sim(cluster, opts)
+}
+
+/// The simulator's recovery implementation, reached through
+/// [`Runtime::recover`] on [`Cluster`].
+pub(crate) fn recover_sim(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<RecoveryReport> {
     // Everything the run charges — log scans, page forces, the
     // cross-node replay shuttle — lands in the profiler's Replay
     // bucket, so resource-time breakdowns separate recovery work from
     // normal processing. The scope is restored even on the early
-    // returns (crash-after injection, owner-down).
+    // returns (crash-after injection, owner-down). The overlap
+    // accumulator is cleared unconditionally for the same reason: an
+    // error unwinding out of a parallel wave measurement would
+    // otherwise leave the transport swallowing every later clock
+    // advance — `pump_commits` would spin on a clock that never moves.
     cluster.network_mut().set_attribution(Some(Bucket::Replay));
     let r = recover_inner(cluster, opts);
-    cluster.network_mut().set_attribution(None);
+    let net = cluster.network_mut();
+    net.set_attribution(None);
+    net.clear_overlap();
     r
 }
 
@@ -252,7 +599,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         .filter(|n| !crashed_set.contains(n) && !cluster.network().is_crashed(*n))
         .collect();
     let mut phase_t0 = cluster.network().clock().now();
-    let mut phase_us: Vec<(RecoveryPhase, u64)> = Vec::new();
+    let mut timings = PhaseTimings::default();
 
     // ---- Phase 1: local analysis at every crashed node (§2.3.1/§2.4:
     // a DPT superset is reconstructed by scanning the local log from
@@ -267,7 +614,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::Analysis,
         opts.crash_after,
         root,
@@ -315,7 +662,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::InfoExchange,
         opts.crash_after,
         root,
@@ -364,7 +711,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::LockRebuild,
         opts.crash_after,
         root,
@@ -525,7 +872,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::RecoverySets,
         opts.crash_after,
         root,
@@ -576,7 +923,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::RecoveryLocks,
         opts.crash_after,
         root,
@@ -646,52 +993,86 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::PsnLists,
         opts.crash_after,
         root,
     )?;
 
-    // ---- Phase 7: coordinated replay, page by page, in ascending PSN
-    // order; the page shuttles among the involved nodes, each applying
-    // records from its own log under the PSN filter. ----
-    for (pid, plan) in &plans {
-        let owner = pid.owner;
-        // Base image: the owner's disk version.
-        let mut page = {
-            let n = cluster.node_mut(owner);
-            let db_page = n.authoritative_copy(*pid)?;
-            db_page.0
-        };
-        cluster.network_mut().disk_io(owner, page.size());
-        let replayed = coordinate_page_replay(
-            cluster,
-            coord_of(owner),
-            *pid,
-            &mut page,
-            &plan.involved.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
-            &psn_lists,
-            &mut report,
-            root,
-        )?;
-        report.records_replayed += replayed;
-        report.pages_recovered += 1;
-        // The recovered image is cached dirty at the owner; involved
-        // remote nodes become replacers so their surviving DPT entries
-        // are acknowledged when the page is eventually flushed.
-        for (n, _) in &plan.involved {
-            if *n != owner {
-                cluster
-                    .node_mut(owner)
-                    .replacers
-                    .entry(*pid)
-                    .or_default()
-                    .insert(*n);
+    // ---- Phase 7: Redo, driven by the dependency-graph wave schedule
+    // (DESIGN §13). Planning is a pure function of the merged
+    // NodePSNLists; Serial mode then executes the units in the paper's
+    // ascending page order, Parallel mode wave by wave with the units
+    // of a wave overlapping on up to `workers` lanes — each unit's
+    // serial service time is measured with the transport's overlap
+    // accumulator and the wall advances once per wave by the LPT
+    // makespan. ----
+    let involved_map: BTreeMap<PageId, Vec<NodeId>> = plans
+        .iter()
+        .map(|(pid, p)| (*pid, p.involved.iter().map(|(n, _)| *n).collect()))
+        .collect();
+    let rplan = plan_replay(&involved_map, &psn_lists);
+    report.replay_waves = rplan.waves.len();
+    report.critical_path_psns = rplan.critical_path_psns;
+    let mut wave_timings: Vec<WaveTiming> = Vec::new();
+    match opts.replay {
+        ReplayMode::Serial => {
+            for unit in &rplan.units {
+                let coord = coord_of(unit.pid.owner);
+                replay_unit(
+                    cluster,
+                    coord,
+                    unit,
+                    &involved_map[&unit.pid],
+                    &mut report,
+                    root,
+                )?;
             }
         }
-        let ev = cluster.node_mut(owner).cache_page(page, true)?;
-        if let Some(ev) = ev {
-            cluster.route_eviction(owner, ev)?;
+        ReplayMode::Parallel { workers } => {
+            let workers = workers.max(1);
+            for wave in &rplan.waves {
+                let mut durs: Vec<SimTime> = Vec::with_capacity(wave.len());
+                for &ui in wave {
+                    let unit = &rplan.units[ui];
+                    let coord = coord_of(unit.pid.owner);
+                    cluster.network_mut().begin_overlap();
+                    let r = replay_unit(
+                        cluster,
+                        coord,
+                        unit,
+                        &involved_map[&unit.pid],
+                        &mut report,
+                        root,
+                    );
+                    // End the measurement even on error — the outer
+                    // wrapper also clears it, belt and braces.
+                    let d = cluster.network_mut().end_overlap();
+                    r?;
+                    durs.push(d);
+                }
+                let serial_us: u64 = durs.iter().sum();
+                let makespan_us = lpt_makespan(&durs, workers);
+                cluster.network_mut().advance_time(makespan_us);
+                wave_timings.push(WaveTiming {
+                    units: wave.len(),
+                    serial_us,
+                    makespan_us,
+                });
+            }
+        }
+    }
+    timings.set_replay_waves(wave_timings);
+    // Surface the plan shape on every recovered node's registry.
+    for &c in crashed {
+        let reg = cluster.node(c).registry();
+        reg.gauge(keys::RECOVERY_REPLAY_WAVES)
+            .set(rplan.waves.len() as i64);
+        reg.gauge(keys::RECOVERY_CRITICAL_PATH_PSNS)
+            .set(rplan.critical_path_psns as i64);
+        let widths = reg.histogram(keys::RECOVERY_WAVE_WIDTH);
+        for w in &rplan.waves {
+            widths.record(w.len() as u64);
         }
     }
 
@@ -750,7 +1131,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::Replay,
         opts.crash_after,
         root,
@@ -781,7 +1162,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::Undo,
         opts.crash_after,
         root,
@@ -808,7 +1189,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         cluster,
         crashed,
         &mut phase_t0,
-        &mut phase_us,
+        &mut timings,
         RecoveryPhase::Done,
         opts.crash_after,
         root,
@@ -826,7 +1207,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
             },
         });
     }
-    report.phase_us = phase_us;
+    report.timings = timings;
     report.messages = cluster.network().stats().recovery_messages() - msgs0;
     Ok(report)
 }
@@ -869,42 +1250,69 @@ fn collect_contribution(
     out
 }
 
-/// Runs the §2.3.4 coordination loop for one page. Returns the number
-/// of records applied.
-#[allow(clippy::too_many_arguments)]
-fn coordinate_page_replay(
+/// Executes one [`ReplayUnit`]: reads the owner's disk version,
+/// shuttles it along the unit's pre-planned hops, and caches the
+/// recovered image dirty at the owner.
+fn replay_unit(
+    cluster: &mut Cluster,
+    coordinator: NodeId,
+    unit: &ReplayUnit,
+    involved: &[NodeId],
+    report: &mut RecoveryReport,
+    root: SpanId,
+) -> Result<()> {
+    let pid = unit.pid;
+    let owner = pid.owner;
+    // Base image: the owner's disk version.
+    let mut page = cluster.node_mut(owner).authoritative_copy(pid)?.0;
+    cluster.network_mut().disk_io(owner, page.size());
+    let replayed = shuttle_replay(
+        cluster,
+        coordinator,
+        pid,
+        &mut page,
+        &unit.hops,
+        report,
+        root,
+    )?;
+    report.records_replayed += replayed;
+    report.pages_recovered += 1;
+    // The recovered image is cached dirty at the owner; involved
+    // remote nodes become replacers so their surviving DPT entries
+    // are acknowledged when the page is eventually flushed.
+    for &n in involved {
+        if n != owner {
+            cluster
+                .node_mut(owner)
+                .replacers
+                .entry(pid)
+                .or_default()
+                .insert(n);
+        }
+    }
+    let ev = cluster.node_mut(owner).cache_page(page, true)?;
+    if let Some(ev) = ev {
+        cluster.route_eviction(owner, ev)?;
+    }
+    Ok(())
+}
+
+/// Runs the §2.3.4 coordination loop for one page along the planned
+/// hop schedule. Returns the number of records applied.
+fn shuttle_replay(
     cluster: &mut Cluster,
     coordinator: NodeId,
     pid: PageId,
     page: &mut cblog_storage::Page,
-    involved: &[NodeId],
-    psn_lists: &BTreeMap<NodeId, Vec<NodePsnEntry>>,
+    hops: &[(Psn, NodeId, Lsn)],
     report: &mut RecoveryReport,
     root: SpanId,
 ) -> Result<u64> {
-    // Merge the per-node lists for this page, ascending by PSN, then
-    // merge adjacent same-node entries (keeping the minimum PSN).
-    let mut entries: Vec<(Psn, NodeId, Lsn)> = Vec::new();
-    for &n in involved {
-        if let Some(list) = psn_lists.get(&n) {
-            for e in list.iter().filter(|e| e.pid == pid) {
-                entries.push((e.psn, n, e.lsn));
-            }
-        }
-    }
-    entries.sort();
-    let mut merged: Vec<(Psn, NodeId, Lsn)> = Vec::new();
-    for e in entries {
-        match merged.last() {
-            Some(&(_, n, _)) if n == e.1 => {} // adjacent same node: keep first (min PSN)
-            _ => merged.push(e),
-        }
-    }
     // Per-node resume positions (the "remembered location").
     let mut resume: HashMap<NodeId, Lsn> = HashMap::new();
     let mut applied_total = 0u64;
     let page_bytes = page.size() + 64;
-    let mut queue = std::collections::VecDeque::from(merged);
+    let mut queue = std::collections::VecDeque::from(hops.to_vec());
     let hdr = MsgHeader::of(SpanCtx::root(root));
     while let Some((_psn, n, lsn)) = queue.pop_front() {
         let bound = queue.front().map(|(p, _, _)| *p);
@@ -1465,5 +1873,289 @@ mod tests {
         let t2 = c.begin(NodeId(1)).unwrap();
         assert_eq!(c.read_u64(t2, p, 0).unwrap(), 123);
         c.commit(t2).unwrap();
+    }
+
+    // ------------------------------------------------------------------
+    // Replay planning (DESIGN §13)
+    // ------------------------------------------------------------------
+
+    fn entry(pid: PageId, psn: u64, lsn: u64, node: u32, seq: u64) -> NodePsnEntry {
+        NodePsnEntry {
+            pid,
+            psn: Psn(psn),
+            lsn: Lsn(lsn),
+            txn: TxnId {
+                node: NodeId(node),
+                seq,
+            },
+        }
+    }
+
+    /// Pages with no shared transactions are independent: one wave,
+    /// full width, critical path = deepest single chain.
+    #[test]
+    fn plan_independent_pages_form_one_wave() {
+        let p0 = pid(0, 0);
+        let p1 = pid(0, 1);
+        let p2 = pid(0, 2);
+        let mut involved = BTreeMap::new();
+        let mut lists = BTreeMap::new();
+        for p in [p0, p1, p2] {
+            involved.insert(p, vec![NodeId(1)]);
+        }
+        lists.insert(
+            NodeId(1),
+            vec![
+                entry(p0, 1, 10, 1, 1),
+                entry(p1, 1, 20, 1, 2),
+                entry(p1, 2, 30, 1, 3),
+                entry(p2, 1, 40, 1, 4),
+            ],
+        );
+        let plan = plan_replay(&involved, &lists);
+        assert_eq!(plan.units.len(), 3);
+        assert_eq!(plan.waves.len(), 1, "no cross-page edges → one wave");
+        assert_eq!(plan.waves[0].len(), 3);
+        assert_eq!(plan.critical_path_psns, 2, "deepest chain is p1's");
+    }
+
+    /// A multi-page transaction orders its pages: the page it touched
+    /// later must wait for the earlier one's wave.
+    #[test]
+    fn plan_multi_page_txn_orders_waves() {
+        let p0 = pid(0, 0);
+        let p1 = pid(0, 1);
+        let mut involved = BTreeMap::new();
+        involved.insert(p0, vec![NodeId(1)]);
+        involved.insert(p1, vec![NodeId(1)]);
+        // Txn 7 touches p0 at LSN 10 then p1 at LSN 20.
+        let mut lists = BTreeMap::new();
+        lists.insert(
+            NodeId(1),
+            vec![entry(p0, 1, 10, 1, 7), entry(p1, 1, 20, 1, 7)],
+        );
+        let plan = plan_replay(&involved, &lists);
+        assert_eq!(plan.waves.len(), 2, "p1 depends on p0");
+        let first = &plan.units[plan.waves[0][0]];
+        let second = &plan.units[plan.waves[1][0]];
+        assert_eq!(first.pid, p0);
+        assert_eq!(second.pid, p1);
+        assert_eq!(plan.critical_path_psns, 2, "both intervals on the path");
+    }
+
+    /// Opposing multi-page transactions in two logs create a cycle;
+    /// the planner collapses it into a final wave instead of hanging
+    /// (the PSN filter self-orders correctness, edges only schedule).
+    #[test]
+    fn plan_cycle_collapses_into_final_wave() {
+        let p0 = pid(0, 0);
+        let p1 = pid(0, 1);
+        let p2 = pid(0, 2);
+        let mut involved = BTreeMap::new();
+        for p in [p0, p1, p2] {
+            involved.insert(p, vec![NodeId(1), NodeId(2)]);
+        }
+        let mut lists = BTreeMap::new();
+        // Node 1's txn 1: p0 then p1. Node 2's txn 1: p1 then p0 —
+        // a 2-cycle. p2 stays independent.
+        lists.insert(
+            NodeId(1),
+            vec![
+                entry(p0, 1, 10, 1, 1),
+                entry(p1, 2, 20, 1, 1),
+                entry(p2, 1, 30, 1, 2),
+            ],
+        );
+        lists.insert(
+            NodeId(2),
+            vec![entry(p1, 1, 10, 2, 1), entry(p0, 2, 20, 2, 1)],
+        );
+        let plan = plan_replay(&involved, &lists);
+        let total: usize = plan.waves.iter().map(|w| w.len()).sum();
+        assert_eq!(total, 3, "every unit is scheduled despite the cycle");
+        let last = plan.waves.last().unwrap();
+        assert_eq!(last.len(), 2, "the cyclic pair lands in the final wave");
+        assert!(plan.critical_path_psns >= 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel replay execution
+    // ------------------------------------------------------------------
+
+    /// Builds the multi-client crash scene used by the mode-equivalence
+    /// tests: two clients interleave committed updates over `d` owner
+    /// pages, images are evicted to the owner's buffer, owner crashes.
+    fn crash_scene(d: u32) -> Cluster {
+        let mut c = cluster(vec![d.max(4), 0, 0]);
+        for i in 0..d {
+            let p = pid(0, i);
+            for round in 0..2u64 {
+                for client in 1..=2u32 {
+                    let t = c.begin(NodeId(client)).unwrap();
+                    c.write_u64(
+                        t,
+                        p,
+                        (round as usize + client as usize) % 8,
+                        round * 10 + i as u64,
+                    )
+                    .unwrap();
+                    c.commit(t).unwrap();
+                }
+            }
+            if let Some(ev) = c.node_mut(NodeId(2)).buffer.remove(p) {
+                c.route_eviction(NodeId(2), ev).unwrap();
+            }
+        }
+        c.crash(NodeId(0));
+        c
+    }
+
+    /// Serial and every parallel worker count recover byte-identical
+    /// page images and identical protocol tallies.
+    #[test]
+    fn replay_modes_recover_byte_identical_images() {
+        const D: u32 = 6;
+        let mut reference: Option<(Vec<Vec<u8>>, u64, usize)> = None;
+        for mode in [
+            ReplayMode::Serial,
+            ReplayMode::Parallel { workers: 2 },
+            ReplayMode::Parallel { workers: 4 },
+            ReplayMode::Parallel { workers: 8 },
+        ] {
+            let mut c = crash_scene(D);
+            let rep = recover(&mut c, &RecoveryOptions::single(NodeId(0)).replay(mode)).unwrap();
+            let images: Vec<Vec<u8>> = (0..D)
+                .map(|i| c.node_mut(NodeId(0)).page_image(pid(0, i)).unwrap())
+                .collect();
+            match &reference {
+                None => reference = Some((images, rep.records_replayed, rep.pages_recovered)),
+                Some((ref_images, ref_records, ref_pages)) => {
+                    assert_eq!(&images, ref_images, "images diverge under {mode:?}");
+                    assert_eq!(rep.records_replayed, *ref_records);
+                    assert_eq!(rep.pages_recovered, *ref_pages);
+                }
+            }
+            // Oracle read-back through the normal transaction path.
+            let t = c.begin(NodeId(1)).unwrap();
+            for i in 0..D {
+                assert_eq!(c.read_u64(t, pid(0, i), 2).unwrap(), 10 + i as u64);
+            }
+            c.commit(t).unwrap();
+        }
+    }
+
+    /// Parallel replay overlaps the waves' unit service times: with
+    /// many independent pages the Replay phase takes less sim-time
+    /// than the serial protocol, and the per-wave split is reported.
+    #[test]
+    fn parallel_replay_shortens_replay_phase() {
+        let mut serial_c = crash_scene(8);
+        let serial = recover(&mut serial_c, &RecoveryOptions::single(NodeId(0))).unwrap();
+        let mut par_c = crash_scene(8);
+        let par = recover(
+            &mut par_c,
+            &RecoveryOptions::single(NodeId(0)).replay(ReplayMode::Parallel { workers: 4 }),
+        )
+        .unwrap();
+        assert!(
+            par.timings.replay_us() < serial.timings.replay_us(),
+            "parallel {} !< serial {}",
+            par.timings.replay_us(),
+            serial.timings.replay_us()
+        );
+        assert_eq!(par.replay_waves, serial.replay_waves, "same plan");
+        assert_eq!(par.critical_path_psns, serial.critical_path_psns);
+        assert!(serial.timings.replay_waves().is_empty());
+        let waves = par.timings.replay_waves();
+        assert_eq!(waves.len(), par.replay_waves);
+        for w in waves {
+            assert!(w.makespan_us <= w.serial_us, "packing cannot exceed serial");
+        }
+        // The new metrics are published on the recovered node.
+        let reg = par_c.node(NodeId(0)).registry();
+        assert_eq!(
+            reg.gauge(cblog_common::metrics::keys::RECOVERY_REPLAY_WAVES)
+                .get(),
+            par.replay_waves as i64
+        );
+        assert_eq!(
+            reg.gauge(cblog_common::metrics::keys::RECOVERY_CRITICAL_PATH_PSNS)
+                .get(),
+            par.critical_path_psns as i64
+        );
+    }
+
+    /// Satellite regression: span sampling must never thin the
+    /// ReplayHop invariant points concurrent replay emits — the
+    /// watchdog's per-page PSN-order coverage stays complete.
+    #[test]
+    fn sampled_tracing_keeps_all_replay_hops_under_parallel_replay() {
+        let mut c = Cluster::new(
+            ClusterConfig::builder()
+                .owned_pages(vec![6, 0, 0])
+                .page_size(512)
+                .buffer_frames(16)
+                .default_owned_pages(0)
+                .cost(CostModel::unit())
+                .tracing(true)
+                .trace_sample_one_in(1_000)
+                .build(),
+        )
+        .unwrap();
+        for i in 0..6u32 {
+            let p = pid(0, i);
+            for client in 1..=2u32 {
+                let t = c.begin(NodeId(client)).unwrap();
+                c.write_u64(t, p, client as usize, i as u64 + 1).unwrap();
+                c.commit(t).unwrap();
+            }
+            if let Some(ev) = c.node_mut(NodeId(2)).buffer.remove(p) {
+                c.route_eviction(NodeId(2), ev).unwrap();
+            }
+        }
+        c.crash(NodeId(0));
+        let rep = recover(
+            &mut c,
+            &RecoveryOptions::single(NodeId(0)).replay(ReplayMode::Parallel { workers: 4 }),
+        )
+        .unwrap();
+        assert!(rep.pages_recovered >= 6);
+        let hops = c
+            .tracer()
+            .spans()
+            .iter()
+            .filter(|s| matches!(s.kind, SpanKind::ReplayHop { .. }))
+            .count() as u64;
+        assert!(
+            hops >= rep.pages_recovered as u64,
+            "every replayed page emits at least one ReplayHop point: {hops}"
+        );
+        c.trace_check().expect("no PSN-order violations");
+    }
+
+    /// Satellite bugfix regression: a recovery run that fails while
+    /// overlap mode is active must not leave the network clock stalled
+    /// — commits afterwards still advance simulated time.
+    #[test]
+    fn failed_parallel_recovery_does_not_leak_overlap_mode() {
+        let mut c = crash_scene(4);
+        let err = recover(
+            &mut c,
+            &RecoveryOptions::single(NodeId(0))
+                .replay(ReplayMode::Parallel { workers: 4 })
+                .crash_after(RecoveryPhase::Replay),
+        );
+        assert!(err.is_err(), "injected mid-recovery crash");
+        assert!(
+            !c.network().overlap_active(),
+            "error path must clear overlap mode"
+        );
+        // The clock still moves: a fresh recovery then a commit.
+        let before = c.network().clock().now();
+        recover(&mut c, &RecoveryOptions::single(NodeId(0))).unwrap();
+        let t = c.begin(NodeId(1)).unwrap();
+        c.write_u64(t, pid(0, 0), 0, 9).unwrap();
+        c.commit(t).unwrap();
+        assert!(c.network().clock().now() > before, "clock advances again");
     }
 }

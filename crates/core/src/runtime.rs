@@ -21,6 +21,7 @@
 //! independent of how the engine interleaves streams — any divergence
 //! is an engine bug, not scheduling noise.
 
+use crate::recovery::{RecoveryOptions, RecoveryReport};
 use crate::Cluster;
 use cblog_common::{Error, NodeId, PageId, Result, Snapshot, TxnId};
 
@@ -89,6 +90,13 @@ pub trait Runtime {
 
     /// Metrics snapshot after the run.
     fn metrics(&self) -> Snapshot;
+
+    /// Runs distributed crash recovery per `opts` (paper §2.3/§2.4).
+    /// Both engines plan Redo through the same pure [`crate::plan_replay`]
+    /// step and honor [`crate::ReplayMode`]: the simulator overlaps the
+    /// service times of a wave's units, the threaded engine replays
+    /// them on real worker threads.
+    fn recover(&mut self, opts: &RecoveryOptions) -> Result<RecoveryReport>;
 }
 
 /// Per-stream execution state of the sim-backed driver.
@@ -221,6 +229,10 @@ impl Runtime for Cluster {
 
     fn metrics(&self) -> Snapshot {
         self.metrics_snapshot()
+    }
+
+    fn recover(&mut self, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+        crate::recovery::recover_sim(self, opts)
     }
 }
 

@@ -377,6 +377,7 @@ pub struct Network {
     fault_stats: FaultStats,
     tracer: Tracer,
     attribution: Option<Bucket>,
+    overlap: Option<SimTime>,
 }
 
 impl Network {
@@ -401,6 +402,50 @@ impl Network {
             fault_stats: FaultStats::default(),
             tracer: Tracer::disabled(),
             attribution: None,
+            overlap: None,
+        }
+    }
+
+    /// Enters overlap mode: until [`Network::end_overlap`], every
+    /// global-clock advance (wire time, disk I/O, fault delays, retry
+    /// backoff) is *accumulated* instead of moving the shared clock, so
+    /// the caller can measure a unit of work's serial duration and then
+    /// advance the wall once for a whole batch of units that logically
+    /// run concurrently. Per-node busy charges are unaffected — they
+    /// never moved the global clock to begin with. Panics if overlap
+    /// mode is already active (no nesting).
+    pub fn begin_overlap(&mut self) {
+        assert!(self.overlap.is_none(), "overlap mode already active");
+        self.overlap = Some(0);
+    }
+
+    /// Leaves overlap mode and returns the simulated time the unit
+    /// would have consumed had it run serially. The caller decides how
+    /// much of it actually elapses on the wall (see
+    /// [`Network::advance_time`]).
+    pub fn end_overlap(&mut self) -> SimTime {
+        self.overlap.take().expect("overlap mode not active")
+    }
+
+    /// Is overlap mode active?
+    pub fn overlap_active(&self) -> bool {
+        self.overlap.is_some()
+    }
+
+    /// Unconditionally drops any active overlap accumulator. Error
+    /// paths unwinding out of a parallel replay must call this so a
+    /// leaked overlap mode cannot silently swallow later clock
+    /// advances (a stalled simulated clock).
+    pub fn clear_overlap(&mut self) {
+        self.overlap = None;
+    }
+
+    /// All global-clock advances funnel through here so overlap mode
+    /// sees every one of them.
+    fn advance_clock(&mut self, dt: SimTime) {
+        match &mut self.overlap {
+            Some(acc) => *acc += dt,
+            None => self.clock.advance(dt),
         }
     }
 
@@ -455,7 +500,7 @@ impl Network {
         }
         let wire = self.cost.message_cost(bytes);
         let bucket = self.bucket_for(Bucket::Net);
-        self.clock.advance(wire);
+        self.advance_clock(wire);
         self.clock
             .charge_overlapped_as(from, bucket, self.cost.handle_us);
         self.clock
@@ -481,11 +526,11 @@ impl Network {
             }
             if self.faults.delay > 0.0 && self.fault_rng.gen_bool(self.faults.delay) {
                 self.fault_stats.delayed += 1;
-                self.clock.advance(self.faults.delay_us);
+                self.advance_clock(self.faults.delay_us);
             }
             if self.faults.reorder > 0.0 && self.fault_rng.gen_bool(self.faults.reorder) {
                 self.fault_stats.reordered += 1;
-                self.clock.advance(self.faults.delay_us);
+                self.advance_clock(self.faults.delay_us);
             }
             if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
                 self.fault_stats.dropped += 1;
@@ -582,8 +627,7 @@ impl Network {
                 Err(Error::MsgLost { .. }) if attempt < self.faults.max_retries => {
                     attempt += 1;
                     self.fault_stats.retries += 1;
-                    self.clock
-                        .advance(self.faults.retry_backoff_us * attempt as u64);
+                    self.advance_clock(self.faults.retry_backoff_us * attempt as u64);
                 }
                 Err(Error::MsgLost { .. }) => {
                     self.fault_stats.exhausted += 1;
@@ -618,7 +662,7 @@ impl Network {
         }
         let t = self.cost.io_cost(bytes);
         let bucket = self.bucket_for(Bucket::Disk);
-        self.clock.advance(t);
+        self.advance_clock(t);
         self.clock.charge_overlapped_as(node, bucket, t);
     }
 
@@ -670,7 +714,7 @@ impl Network {
 
     /// Advances the simulated clock by non-protocol work.
     pub fn advance_time(&mut self, dt: SimTime) {
-        self.clock.advance(dt);
+        self.advance_clock(dt);
     }
 
     /// Charges pure CPU service time to a node.
@@ -1031,6 +1075,38 @@ mod tests {
             cost.io_cost(1024) + 7
         );
         assert_eq!(n.attribution(), None);
+    }
+
+    #[test]
+    fn overlap_mode_accumulates_instead_of_advancing() {
+        let mut n = net();
+        let cost = CostModel::unit();
+        let before = n.clock().now();
+        n.begin_overlap();
+        assert!(n.overlap_active());
+        n.send(NodeId(0), NodeId(1), MsgKind::PageShip, 100)
+            .unwrap();
+        n.disk_io(NodeId(0), 1024);
+        n.advance_time(11);
+        let serial = n.end_overlap();
+        assert_eq!(
+            serial,
+            cost.message_cost(100) + cost.io_cost(1024) + 11,
+            "accumulator captures every would-be advance"
+        );
+        assert_eq!(n.clock().now(), before, "global clock held still");
+        // Per-node busy charges land normally even in overlap mode.
+        assert_eq!(n.clock().bucket_us(NodeId(0), Bucket::Net), cost.handle_us);
+        // Out of overlap mode the clock moves again.
+        n.advance_time(7);
+        assert_eq!(n.clock().now(), before + 7);
+        // clear_overlap is the unconditional error-path escape hatch.
+        n.begin_overlap();
+        n.advance_time(1000);
+        n.clear_overlap();
+        assert!(!n.overlap_active());
+        n.advance_time(3);
+        assert_eq!(n.clock().now(), before + 10);
     }
 
     #[test]

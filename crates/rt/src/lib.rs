@@ -42,17 +42,21 @@
 //! final state is interleaving-independent, so any divergence is an
 //! engine bug, not scheduling noise.
 
+use cblog_common::metrics::keys;
 use cblog_common::{
-    Error, Histogram, Lsn, MetricValue, NodeId, PageId, Result, SimTime, Snapshot, TxnId,
+    Error, Histogram, Lsn, MetricValue, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime,
+    Snapshot, TxnId,
 };
 use cblog_core::{
-    ForceScheduler, GroupCommitPolicy, Node, NodeConfig, PlanOp, RunReport, Runtime, TxnPlan,
+    plan_replay, ForceScheduler, GroupCommitPolicy, Node, NodeConfig, NodePsnEntry, PhaseTimings,
+    PlanOp, RecoveryOptions, RecoveryReport, RunReport, Runtime, TxnPlan, WaveTiming,
 };
 use cblog_locks::{LockMode, ShardedLockTable};
 use cblog_net::transport::{ChannelEndpoint, ChannelMesh, Envelope, Transport};
 use cblog_net::MsgKind;
 use cblog_storage::Page;
 use cblog_wal::{FileLogStore, LogStore, MemLogStore, PageOp};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -225,6 +229,25 @@ impl ThreadCluster {
     pub fn latency(&self) -> &Histogram {
         &self.latency
     }
+
+    /// Crashes `node`: its volatile state (buffer, DPT, transaction
+    /// table, unforced log tail) is lost; the database file and the
+    /// durable WAL survive. Follow with [`Runtime::recover`].
+    pub fn crash(&mut self, node: NodeId) -> Result<()> {
+        let i = node.0 as usize;
+        if i >= self.nodes.len() {
+            return Err(Error::Invalid(format!("crash of unknown node {node}")));
+        }
+        self.nodes[i].crash();
+        Ok(())
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
+        let i = id.0 as usize;
+        self.nodes
+            .get_mut(i)
+            .ok_or_else(|| Error::Invalid(format!("unknown node {id}")))
+    }
 }
 
 impl Runtime for ThreadCluster {
@@ -340,6 +363,269 @@ impl Runtime for ThreadCluster {
         );
         out
     }
+
+    /// Crash recovery under real concurrency. The threaded runtime
+    /// only writes owned pages, so every update record for a page
+    /// lives in its owner's WAL — the [`plan_replay`] dependency graph
+    /// degenerates to independent per-page chains and Redo is
+    /// embarrassingly parallel: each wave's units are latched and
+    /// replayed by [`ReplayMode::Parallel`](cblog_core::ReplayMode)
+    /// worker threads. The per-page PSN-order invariant the simulator's
+    /// span watchdog enforces is checked here post-join from the
+    /// workers' hop observations (the tracer is single-threaded and
+    /// sim-only).
+    fn recover(&mut self, opts: &RecoveryOptions) -> Result<RecoveryReport> {
+        let crashed = opts.recovered_nodes().to_vec();
+        for &c in &crashed {
+            if c.0 as usize >= self.nodes.len() {
+                return Err(Error::Invalid(format!("recovery of unknown node {c}")));
+            }
+        }
+        let workers = opts.replay_mode().workers();
+        let mut report = RecoveryReport {
+            recovered_nodes: crashed.clone(),
+            ..RecoveryReport::default()
+        };
+        let mut timings = PhaseTimings::default();
+        let mut mark = Instant::now();
+        fn lap(mark: &mut Instant) -> u64 {
+            let us = mark.elapsed().as_micros() as u64;
+            *mark = Instant::now();
+            us
+        }
+
+        // ---- Analysis: tail repair + ARIES analysis per crashed
+        // node. The message phases of the distributed protocol
+        // (InfoExchange … RecoveryLocks) have no threaded counterpart:
+        // updates are owner-local, so no operational node holds state
+        // the restarting owner needs; their timings stay zero. ----
+        let mut losers: Vec<(NodeId, Vec<TxnId>)> = Vec::new();
+        for &c in &crashed {
+            let node = self.node_mut(c)?;
+            report.torn_bytes_discarded += node.mark_restarting()?;
+            let a = node.restart_analysis()?;
+            report.log_bytes_scanned += a.bytes_scanned;
+            losers.push((c, a.losers));
+        }
+        timings.record(RecoveryPhase::Analysis, lap(&mut mark));
+
+        // ---- PSN lists: each crashed owner's NodePSNList over its
+        // own dirty pages (the only log involved, see above). ----
+        let mut involved: BTreeMap<PageId, Vec<NodeId>> = BTreeMap::new();
+        let mut psn_lists: BTreeMap<NodeId, Vec<NodePsnEntry>> = BTreeMap::new();
+        for &c in &crashed {
+            let node = self.node_mut(c)?;
+            let pages: Vec<PageId> = node.dpt().entries().iter().map(|e| e.pid).collect();
+            for &pid in &pages {
+                involved.entry(pid).or_default().push(c);
+            }
+            psn_lists.insert(c, node.build_psn_list(&pages)?);
+        }
+        timings.record(RecoveryPhase::PsnLists, lap(&mut mark));
+
+        let plan = plan_replay(&involved, &psn_lists);
+        report.replay_waves = plan.waves.len();
+        report.critical_path_psns = plan.critical_path_psns;
+
+        // ---- Replay: wave by wave. Log extraction is serial (it
+        // needs the owner's log) but batched — one scan per crashed
+        // node serves every unit; the PSN-filtered redo itself runs on
+        // `workers` scoped threads against owned page images. ----
+        let mut extracted: BTreeMap<PageId, Vec<(Psn, PageOp)>> = BTreeMap::new();
+        let mut targets: BTreeMap<NodeId, BTreeMap<PageId, Lsn>> = BTreeMap::new();
+        for unit in &plan.units {
+            let start = unit.hops.iter().map(|h| h.2).min().unwrap_or(Lsn::ZERO);
+            targets
+                .entry(unit.pid.owner)
+                .or_default()
+                .insert(unit.pid, start);
+        }
+        for (owner, pages) in targets {
+            extracted.append(&mut self.node_mut(owner)?.collect_replay_records_batch(&pages)?);
+        }
+        let mut wave_timings = Vec::with_capacity(plan.waves.len());
+        for wave in &plan.waves {
+            let mut work = Vec::with_capacity(wave.len());
+            for &ui in wave {
+                let unit = &plan.units[ui];
+                let node = self.node_mut(unit.pid.owner)?;
+                let (page, _) = node.authoritative_copy(unit.pid)?;
+                let records = extracted.remove(&unit.pid).unwrap_or_default();
+                work.push(ReplayWork {
+                    pid: unit.pid,
+                    page,
+                    records,
+                });
+            }
+            let wave_started = Instant::now();
+            let mut lanes: Vec<Vec<ReplayWork>> = (0..workers).map(|_| Vec::new()).collect();
+            for (i, w) in work.into_iter().enumerate() {
+                lanes[i % workers].push(w);
+            }
+            let outcomes: Vec<Result<Vec<ReplayedUnit>>> = std::thread::scope(|s| {
+                let handles: Vec<_> = lanes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(lane, items)| {
+                        let locks = Arc::clone(&self.locks);
+                        s.spawn(move || replay_lane(&locks, lane, items))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(r) => r,
+                        Err(_) => Err(Error::Protocol("replay worker panicked".into())),
+                    })
+                    .collect()
+            });
+            let makespan_us = wave_started.elapsed().as_micros() as u64;
+            let mut timing = WaveTiming {
+                makespan_us,
+                ..WaveTiming::default()
+            };
+            for outcome in outcomes {
+                for done in outcome? {
+                    check_psn_order(done.page.id(), &done.from_psns)?;
+                    report.records_replayed += done.applied;
+                    report.pages_recovered += 1;
+                    timing.units += 1;
+                    timing.serial_us += done.wall_us;
+                    // Durable write re-anchors the page and clears its
+                    // DPT entry, like the simulator's post-replay ship.
+                    self.node_mut(done.page.id().owner)?
+                        .write_owned_page(&done.page)?;
+                }
+            }
+            wave_timings.push(timing);
+        }
+        timings.record(RecoveryPhase::Replay, lap(&mut mark));
+        timings.set_replay_waves(wave_timings);
+
+        // ---- Undo losers locally (CLRs), then checkpoint. ----
+        for (c, txns) in losers {
+            for txn in txns {
+                let node = self.node_mut(c)?;
+                node.start_abort(txn)?;
+                loop {
+                    match node.rollback_step(txn, Lsn::ZERO)? {
+                        cblog_core::node::RollbackStep::Done => break,
+                        cblog_core::node::RollbackStep::Undone(_) => {}
+                        cblog_core::node::RollbackStep::NeedPage(pid) => {
+                            ensure_cached(node, pid)?;
+                        }
+                    }
+                }
+                node.finish_abort(txn)?;
+                report.losers_undone += 1;
+            }
+        }
+        for &c in &crashed {
+            let node = self.node_mut(c)?;
+            node.force_log()?;
+            node.checkpoint()?;
+        }
+        timings.record(RecoveryPhase::Undo, lap(&mut mark));
+        timings.record(RecoveryPhase::Done, lap(&mut mark));
+
+        for &c in &crashed {
+            let reg = self.nodes[c.0 as usize].registry();
+            reg.gauge(keys::RECOVERY_REPLAY_WAVES)
+                .set(plan.waves.len() as i64);
+            reg.gauge(keys::RECOVERY_CRITICAL_PATH_PSNS)
+                .set(plan.critical_path_psns as i64);
+            let widths = reg.histogram(keys::RECOVERY_WAVE_WIDTH);
+            for w in &plan.waves {
+                widths.record(w.len() as u64);
+            }
+        }
+        report.timings = timings;
+        Ok(report)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Parallel replay workers
+// ----------------------------------------------------------------------
+
+/// Lock-table token namespace for replay workers: `node << 48` tokens
+/// from live transactions never reach node 0xffff.
+const REPLAY_TOKEN_BASE: u64 = 0xffff_0000_0000_0000;
+
+/// One page's redo, pre-extracted so the worker needs no `&mut Node`.
+struct ReplayWork {
+    pid: PageId,
+    page: Page,
+    records: Vec<(Psn, PageOp)>,
+}
+
+/// What one worker did to one page.
+struct ReplayedUnit {
+    page: Page,
+    applied: u64,
+    wall_us: u64,
+    /// PSNs of the applied records, in application order — the rt
+    /// analog of the sim watchdog's ReplayHop stream.
+    from_psns: Vec<Psn>,
+}
+
+/// Replays one lane's units in order, latching each page exclusively
+/// for the duration of its redo.
+fn replay_lane(
+    locks: &ShardedLockTable,
+    lane: usize,
+    items: Vec<ReplayWork>,
+) -> Result<Vec<ReplayedUnit>> {
+    let token = REPLAY_TOKEN_BASE | lane as u64;
+    let mut out = Vec::with_capacity(items.len());
+    for mut w in items {
+        let t = Instant::now();
+        if !locks.acquire_spin(w.pid, token, LockMode::Exclusive, ACQUIRE_SPINS) {
+            return Err(Error::Protocol(format!(
+                "replay worker could not latch {}",
+                w.pid
+            )));
+        }
+        let applied = apply_unit(&mut w);
+        locks.release(w.pid, token);
+        let from_psns = applied?;
+        out.push(ReplayedUnit {
+            applied: from_psns.len() as u64,
+            wall_us: t.elapsed().as_micros() as u64,
+            page: w.page,
+            from_psns,
+        });
+    }
+    Ok(out)
+}
+
+/// PSN-filtered redo of one page (the filter of [`Node::replay_page`],
+/// against pre-extracted records). Returns the applied PSNs in order.
+fn apply_unit(w: &mut ReplayWork) -> Result<Vec<Psn>> {
+    let mut from_psns = Vec::new();
+    for (psn_before, op) in &w.records {
+        if *psn_before == w.page.psn() {
+            op.apply_redo(&mut w.page)?;
+            w.page.set_psn(psn_before.next());
+            from_psns.push(*psn_before);
+        }
+    }
+    Ok(from_psns)
+}
+
+/// Post-join PSN-order invariant: applied PSNs of one page must be
+/// strictly increasing — the same per-page monotonicity the sim span
+/// watchdog enforces on ReplayHop spans.
+fn check_psn_order(pid: PageId, from_psns: &[Psn]) -> Result<()> {
+    for pair in from_psns.windows(2) {
+        if pair[1] <= pair[0] {
+            return Err(Error::Protocol(format!(
+                "replay PSN order violation on {pid}: {} applied after {}",
+                pair[1], pair[0]
+            )));
+        }
+    }
+    Ok(())
 }
 
 // ----------------------------------------------------------------------

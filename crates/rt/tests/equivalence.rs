@@ -10,7 +10,10 @@
 //! statistical expectations.
 
 use cblog_common::{NodeId, PageId};
-use cblog_core::{Cluster, ClusterConfig, GroupCommitPolicy, PlanOp, RunReport, Runtime, TxnPlan};
+use cblog_core::{
+    recover, Cluster, ClusterConfig, GroupCommitPolicy, PlanOp, RecoveryOptions, RecoveryReport,
+    ReplayMode, RunReport, Runtime, TxnPlan,
+};
 use cblog_rt::{ThreadCluster, ThreadClusterConfig, WalBacking};
 use cblog_sim::workload::{self, Op, TxnSpec, WorkloadConfig};
 
@@ -218,4 +221,119 @@ fn workload_d_remote_reads_of_quiescent_pages() {
     let (_, rt_report) = cross_check(&owned, GroupCommitPolicy::Immediate, &plans);
     assert_eq!(rt_report.committed, 20);
     assert_eq!(rt_report.user_aborts, 4);
+}
+
+// ---- recovery equivalence -------------------------------------------------
+
+const REC_NODES: u32 = 2;
+const REC_PAGES: u32 = 6;
+
+/// Owner-local write plans with deep per-page redo chains: every node
+/// writes each of its pages six times, so the wave scheduler has real
+/// PSN intervals to order and the PSN filter real work to skip.
+fn recovery_plans() -> Vec<TxnPlan> {
+    let mut plans = Vec::new();
+    for node in 0..REC_NODES {
+        for round in 0..6u64 {
+            for page in 0..REC_PAGES {
+                plans.push(TxnPlan {
+                    client: NodeId(node),
+                    stream: 0,
+                    ops: vec![PlanOp::Write {
+                        pid: PageId::new(NodeId(node), page),
+                        slot: (round % 8) as usize,
+                        value: 10_000 * node as u64 + 100 * round + page as u64,
+                    }],
+                    abort: false,
+                });
+            }
+        }
+    }
+    plans
+}
+
+fn all_rec_pages() -> Vec<PageId> {
+    (0..REC_NODES)
+        .flat_map(|o| (0..REC_PAGES).map(move |i| PageId::new(NodeId(o), i)))
+        .collect()
+}
+
+/// Runs the recovery workload on one engine, crashes every node, and
+/// recovers under `mode`; returns the report plus the final image of
+/// every page.
+fn sim_recovered(mode: ReplayMode) -> (RecoveryReport, Vec<Vec<u8>>) {
+    let mut sim = Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(vec![REC_PAGES; REC_NODES as usize])
+            .build(),
+    )
+    .unwrap();
+    Runtime::run(&mut sim, &recovery_plans()).unwrap();
+    for n in 0..REC_NODES {
+        sim.crash(NodeId(n));
+    }
+    let opts = RecoveryOptions::nodes(&[NodeId(0), NodeId(1)]).replay(mode);
+    let report = recover(&mut sim, &opts).unwrap();
+    let images = all_rec_pages()
+        .iter()
+        .map(|&pid| Runtime::page_image(&mut sim, pid).unwrap())
+        .collect();
+    (report, images)
+}
+
+fn rt_recovered(mode: ReplayMode, tag: &str) -> (RecoveryReport, Vec<Vec<u8>>) {
+    let dir = std::env::temp_dir().join(format!("cblog-equiv-rec-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rt = ThreadCluster::new(ThreadClusterConfig {
+        owned_pages: vec![REC_PAGES; REC_NODES as usize],
+        wal: WalBacking::Dir(dir.clone()),
+        ..ThreadClusterConfig::default()
+    })
+    .unwrap();
+    Runtime::run(&mut rt, &recovery_plans()).unwrap();
+    for n in 0..REC_NODES {
+        rt.crash(NodeId(n)).unwrap();
+    }
+    let opts = RecoveryOptions::nodes(&[NodeId(0), NodeId(1)]).replay(mode);
+    let report = recover(&mut rt, &opts).unwrap();
+    let images = all_rec_pages()
+        .iter()
+        .map(|&pid| Runtime::page_image(&mut rt, pid).unwrap())
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (report, images)
+}
+
+#[test]
+fn recovery_images_match_across_engines_and_replay_modes() {
+    // Serial on the simulator is the oracle; every other (engine,
+    // mode) combination must land on byte-identical page images.
+    let (serial_report, oracle) = sim_recovered(ReplayMode::Serial);
+    let total = (REC_NODES * REC_PAGES) as usize;
+    assert_eq!(
+        serial_report.pages_recovered + serial_report.pages_skipped_cached,
+        total
+    );
+    assert!(serial_report.records_replayed > 0, "redo must have work");
+
+    for workers in [2usize, 4, 8] {
+        let (report, images) = sim_recovered(ReplayMode::Parallel { workers });
+        assert_eq!(images, oracle, "sim parallel({workers}) image diverged");
+        assert_eq!(report.replay_waves, serial_report.replay_waves);
+        assert_eq!(report.records_replayed, serial_report.records_replayed);
+    }
+
+    let (rt_serial, rt_oracle) = rt_recovered(ReplayMode::Serial, "serial");
+    assert_eq!(rt_oracle, oracle, "threads serial image diverged from sim");
+    assert_eq!(
+        rt_serial.pages_recovered + rt_serial.pages_skipped_cached,
+        total
+    );
+    for workers in [2usize, 4, 8] {
+        let (report, images) =
+            rt_recovered(ReplayMode::Parallel { workers }, &format!("par{workers}"));
+        assert_eq!(images, oracle, "threads parallel({workers}) image diverged");
+        assert_eq!(report.replay_waves, rt_serial.replay_waves);
+        assert_eq!(report.records_replayed, rt_serial.records_replayed);
+    }
 }

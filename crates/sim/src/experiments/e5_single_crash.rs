@@ -12,10 +12,10 @@ use super::{cbl_cluster, pages0};
 use crate::report::{f, Table};
 use cblog_baselines::log_merge_cost;
 use cblog_common::metrics::keys;
-use cblog_common::{HistogramSnapshot, NodeId, PageId, RecoveryPhase};
+use cblog_common::{HistogramSnapshot, NodeId, PageId};
 use cblog_core::recovery::recover;
 use cblog_core::Cluster;
-use cblog_core::RecoveryOptions;
+use cblog_core::{PhaseTimings, RecoveryOptions};
 
 const CLIENTS: usize = 2;
 /// Unrelated committed transactions by a third, uninvolved client.
@@ -54,7 +54,7 @@ pub fn run() -> Table {
 }
 
 /// Companion table: where the restart time goes (per-phase sim-time
-/// from `RecoveryReport::phase_us`) plus the clients' commit-force
+/// from `RecoveryReport::timings`) plus the clients' commit-force
 /// latency distribution (`wal/commit_force_us`) for the same runs.
 pub fn run_timings() -> Table {
     let mut t = Table::new(
@@ -77,25 +77,18 @@ pub fn run_timings() -> Table {
     );
     for d in [1u32, 4, 16] {
         let row = run_one(d);
-        let us = |phase: RecoveryPhase| -> u64 {
-            row.phase_us
-                .iter()
-                .find(|(p, _)| *p == phase)
-                .map(|(_, v)| *v)
-                .unwrap_or(0)
-        };
-        let total: u64 = row.phase_us.iter().map(|(_, v)| *v).sum();
+        let tm = &row.timings;
         t.row(vec![
             d.to_string(),
-            us(RecoveryPhase::Analysis).to_string(),
-            us(RecoveryPhase::InfoExchange).to_string(),
-            us(RecoveryPhase::LockRebuild).to_string(),
-            us(RecoveryPhase::RecoverySets).to_string(),
-            us(RecoveryPhase::RecoveryLocks).to_string(),
-            us(RecoveryPhase::PsnLists).to_string(),
-            us(RecoveryPhase::Replay).to_string(),
-            us(RecoveryPhase::Undo).to_string(),
-            total.to_string(),
+            tm.analysis_us().to_string(),
+            tm.info_exchange_us().to_string(),
+            tm.lock_rebuild_us().to_string(),
+            tm.recovery_sets_us().to_string(),
+            tm.recovery_locks_us().to_string(),
+            tm.psn_lists_us().to_string(),
+            tm.replay_us().to_string(),
+            tm.undo_us().to_string(),
+            tm.total_us().to_string(),
             row.commit_force_us.p50().to_string(),
             row.commit_force_us.p95().to_string(),
             row.commit_force_us.p99().to_string(),
@@ -119,7 +112,7 @@ pub struct CrashRow {
     /// Messages a merge-based scheme would send.
     pub merge_msgs: u64,
     /// Per-phase sim-time of the recovery run.
-    pub phase_us: Vec<(RecoveryPhase, u64)>,
+    pub timings: PhaseTimings,
     /// Commit-force latency distribution of client 1's registry over
     /// the pre-crash workload.
     pub commit_force_us: HistogramSnapshot,
@@ -153,6 +146,33 @@ const NOISE_PAGES: u32 = 4;
 /// Drives the E5 scenario on a caller-provided cluster of the matching
 /// [`shape`]: noise workload, dirty pages, owner crash, recovery.
 pub fn run_on(c: &mut Cluster, d: u32) -> CrashRow {
+    workload(c, d);
+    let merge = log_merge_cost(c, &[NodeId(0)]);
+    let commit_force_us = c
+        .node(NodeId(1))
+        .registry()
+        .histogram(keys::WAL_COMMIT_FORCE_US)
+        .snapshot();
+    c.crash(NodeId(0));
+    let rep = recover(c, &RecoveryOptions::single(NodeId(0))).expect("recovery");
+    c.sample_telemetry();
+    CrashRow {
+        pages: rep.pages_recovered,
+        records: rep.records_replayed,
+        messages: rep.messages,
+        bytes_scanned: rep.log_bytes_scanned,
+        merge_bytes: merge.bytes_read,
+        merge_msgs: merge.messages,
+        timings: rep.timings,
+        commit_force_us,
+    }
+}
+
+/// The pre-crash E5 workload (noise + `d` dirty pages) without the
+/// crash or the recovery — shared by [`run_on`] and E9b, which crashes
+/// the same scene and recovers it under different
+/// [`cblog_core::ReplayMode`]s.
+pub fn workload(c: &mut Cluster, d: u32) {
     let noise_pages = NOISE_PAGES;
     let pages = pages0(d);
     // Noise first: committed, then forced to the owner's disk and
@@ -174,25 +194,6 @@ pub fn run_on(c: &mut Cluster, d: u32) -> CrashRow {
         "noise client fully flushed"
     );
     dirty_pages(c, &pages);
-    let merge = log_merge_cost(c, &[NodeId(0)]);
-    let commit_force_us = c
-        .node(NodeId(1))
-        .registry()
-        .histogram(keys::WAL_COMMIT_FORCE_US)
-        .snapshot();
-    c.crash(NodeId(0));
-    let rep = recover(c, &RecoveryOptions::single(NodeId(0))).expect("recovery");
-    c.sample_telemetry();
-    CrashRow {
-        pages: rep.pages_recovered,
-        records: rep.records_replayed,
-        messages: rep.messages,
-        bytes_scanned: rep.log_bytes_scanned,
-        merge_bytes: merge.bytes_read,
-        merge_msgs: merge.messages,
-        phase_us: rep.phase_us,
-        commit_force_us,
-    }
 }
 
 fn dirty_pages(c: &mut Cluster, pages: &[PageId]) {
@@ -235,14 +236,11 @@ mod tests {
     #[test]
     fn phase_timings_and_force_histogram_are_populated() {
         let row = run_one(4);
-        assert_eq!(row.phase_us.len(), 9, "all nine phases timed");
-        let replay = row
-            .phase_us
-            .iter()
-            .find(|(p, _)| *p == RecoveryPhase::Replay)
-            .map(|(_, v)| *v)
-            .unwrap();
-        assert!(replay > 0, "replay moves pages, so it costs sim-time");
+        assert_eq!(row.timings.iter().count(), 9, "all nine phases timed");
+        assert!(
+            row.timings.replay_us() > 0,
+            "replay moves pages, so it costs sim-time"
+        );
         assert!(row.commit_force_us.count > 0, "commits recorded forces");
         assert!(row.commit_force_us.p50() > 0);
         let t = run_timings();

@@ -67,6 +67,14 @@ pub fn run_one(which: &[NodeId]) -> cblog_core::RecoveryReport {
 /// Drives the E6 scenario on a caller-provided cluster of the
 /// [`builder`] topology.
 pub fn run_on(c: &mut Cluster, which: &[NodeId]) -> cblog_core::RecoveryReport {
+    workload_and_crash(c, which);
+    recover(c, &RecoveryOptions::nodes(which)).expect("multi recovery")
+}
+
+/// The pre-recovery half of [`run_on`]: mixed workload, evictions,
+/// then crash `which` — E9b recovers the same scene under different
+/// [`cblog_core::ReplayMode`]s.
+pub fn workload_and_crash(c: &mut Cluster, which: &[NodeId]) {
     // Committed cross-owner traffic from every client.
     for round in 0..3u64 {
         for client in 2..=4u32 {
@@ -102,7 +110,6 @@ pub fn run_on(c: &mut Cluster, which: &[NodeId]) -> cblog_core::RecoveryReport {
     for &n in which {
         c.crash(n);
     }
-    recover(c, &RecoveryOptions::nodes(which)).expect("multi recovery")
 }
 
 #[cfg(test)]

@@ -111,7 +111,7 @@ pub fn run_one(p: f64, seed: u64) -> FaultRow {
         torn_bytes: rep.torn_bytes_discarded,
         rec_messages: rep.messages,
         rec_retries: after.retries.saturating_sub(retries),
-        rec_time_us: rep.phase_us.iter().map(|(_, us)| *us).sum(),
+        rec_time_us: rep.timings.total_us(),
         verified,
     }
 }
