@@ -82,6 +82,27 @@ cargo run --release --offline -p cblog-bench --bin obsreport -- \
 grep 'Benchmark cells' /tmp/ci_rt_report.html > /dev/null
 rm -rf /tmp/ci_rtbench_wal /tmp/ci_rt_report.html
 
+echo "==> rtbench trace-overhead smoke: tracing off vs on (BENCH_rt_trace_overhead.json)"
+# The run itself asserts bit-identical tallies and page images between
+# the untraced and traced passes; overhead_pct is wall-clock and
+# machine-dependent, so (like every rt cell) it is EXCLUDED from the
+# BASELINES.json gate — the smoke checks structure, not the number.
+cargo run --release --offline -p cblog-bench --bin rtbench -- \
+    --trace-overhead --quick --txns 4 --wal-dir /tmp/ci_rtovh_wal \
+    --out BENCH_rt_trace_overhead.json
+grep '"overhead_pct"' BENCH_rt_trace_overhead.json > /dev/null
+grep '"spans"' BENCH_rt_trace_overhead.json > /dev/null
+cargo run --release --offline -p cblog-bench --bin obsreport -- \
+    --input BENCH_rt_trace_overhead.json --out /tmp/ci_rtovh_report.html
+grep 'overhead %' /tmp/ci_rtovh_report.html > /dev/null
+rm -rf /tmp/ci_rtovh_wal /tmp/ci_rtovh_report.html
+
+echo "==> obsreport compare smoke: sim vs rt, one seeded workload"
+cargo run --release --offline -p cblog-bench --bin obsreport -- \
+    --compare --out /tmp/ci_obs_compare.html
+grep 'Bucket shares' /tmp/ci_obs_compare.html > /dev/null
+rm -f /tmp/ci_obs_compare.html
+
 echo "==> rtbench recovery smoke: parallel replay sweep (BENCH_rt_recovery.json)"
 # Same caveat as above: wall-clock cells are machine-dependent (and
 # this container may expose a single CPU, where parallel replay cannot

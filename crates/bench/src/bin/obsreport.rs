@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p cblog-bench --bin obsreport -- \
-//!     [--scenario e1|e2|e5 | --input FILE.json] \
+//!     [--scenario e1|e2|e5 | --input FILE.json | --compare] \
 //!     [--json | --folded] [--out FILE]
 //! ```
 //!
@@ -14,13 +14,133 @@
 //! the flamegraph.pl-compatible folded stack (pipe into
 //! `flamegraph.pl` for an SVG flame graph of simulated time). The
 //! default output is the HTML report, to stdout or `--out`.
+//!
+//! `--compare` runs the *same seeded plan list* through both engines —
+//! the deterministic simulator and the threaded runtime — and renders
+//! their per-node resource profiles side by side: simulated-µs bucket
+//! shares next to measured wall-clock bucket shares, same taxonomy,
+//! one page. The commit tallies of the two runs are cross-checked
+//! before rendering, so the page always describes equivalent
+//! executions.
 
-use cblog_common::jsonv;
-use cblog_sim::telemetry::{render_html, run_scenario, SCENARIOS};
+use cblog_common::{jsonv, NodeId, PageId};
+use cblog_core::{Cluster, ClusterConfig, GroupCommitPolicy, PlanOp, Runtime, TxnPlan};
+use cblog_rt::{profile_fragment, ThreadCluster, ThreadClusterConfig};
+use cblog_sim::telemetry::{render_compare_html, render_html, run_scenario, SCENARIOS};
+use cblog_sim::workload::{self, Op, WorkloadConfig};
 
 fn fail(msg: &str) -> ! {
     eprintln!("obsreport: {msg}");
     std::process::exit(1);
+}
+
+/// Runs one seeded workload on both engines and returns their JSON
+/// exports `(sim, rt)`. Two nodes write their private partitions
+/// (the paper's commit path), then read a few of each other's pages
+/// so the Net bucket is populated on both sides.
+fn run_compare() -> (String, String) {
+    const OWNED: [u32; 2] = [8, 8];
+    let policy = GroupCommitPolicy::Window {
+        window_us: 300,
+        max_batch: 8,
+    };
+    let cfg = WorkloadConfig {
+        seed: 42,
+        txns_per_client: 40,
+        ops_per_txn: 6,
+        write_ratio: 0.8,
+        abort_prob: 0.0,
+        slots_per_page: 8,
+        ..WorkloadConfig::default()
+    };
+    let clients = [NodeId(0), NodeId(1)];
+    let all: Vec<PageId> = (0..2)
+        .flat_map(|o| workload::owned_pages(NodeId(o), OWNED[o as usize]))
+        .collect();
+    let specs = workload::generate(
+        &cfg,
+        &clients,
+        &all,
+        Some(&|c: NodeId| workload::owned_pages(c, 8)),
+    );
+    let mut plans: Vec<TxnPlan> = specs
+        .iter()
+        .map(|s| TxnPlan {
+            client: s.client,
+            stream: 0,
+            ops: s
+                .ops
+                .iter()
+                .map(|op| match *op {
+                    Op::Read { pid, slot } => PlanOp::Read { pid, slot },
+                    Op::Write { pid, slot, value } => PlanOp::Write { pid, slot, value },
+                })
+                .collect(),
+            abort: s.user_abort,
+        })
+        .collect();
+    // Cross-node read-only tails: page ships on both engines. One
+    // page per transaction — a single S lock cannot deadlock against
+    // the owner's writer stream.
+    for n in 0..2u32 {
+        for i in 0..4 {
+            plans.push(TxnPlan {
+                client: NodeId(n),
+                stream: 0,
+                ops: vec![PlanOp::Read {
+                    pid: PageId::new(NodeId(1 - n), i),
+                    slot: 0,
+                }],
+                abort: false,
+            });
+        }
+    }
+
+    let mut sim = match Cluster::new(
+        ClusterConfig::builder()
+            .owned_pages(OWNED.to_vec())
+            .group_commit(policy)
+            .build(),
+    ) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("sim cluster: {e}")),
+    };
+    let sim_report = match Runtime::run(&mut sim, &plans) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("sim run: {e}")),
+    };
+    let sim_json = cblog_sim::telemetry::export_json("compare_sim", &sim);
+
+    // File-backed WAL so the rt disk bucket is a real fdatasync, like
+    // the simulated force the sim profile charges.
+    let dir = std::env::temp_dir().join(format!("cblog-obscompare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rt = match ThreadCluster::new(ThreadClusterConfig {
+        owned_pages: OWNED.to_vec(),
+        group_commit: policy,
+        wal: cblog_rt::WalBacking::Dir(dir.clone()),
+        ..ThreadClusterConfig::default()
+    }) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("rt cluster: {e}")),
+    };
+    let rt_report = match Runtime::run(&mut rt, &plans) {
+        Ok(r) => r,
+        Err(e) => fail(&format!("rt run: {e}")),
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    if sim_report.committed != rt_report.committed {
+        fail(&format!(
+            "engines diverged: sim committed {}, rt committed {}",
+            sim_report.committed, rt_report.committed
+        ));
+    }
+    let wall = rt.last_stats().map_or(0, |s| s.wall_us);
+    let rt_json = format!(
+        "{{\"experiment\":\"compare_rt\",\"now_us\":{wall},{},\"telemetry\":null}}",
+        profile_fragment("compare_rt", rt.last_node_stats())
+    );
+    (sim_json, rt_json)
 }
 
 fn main() {
@@ -32,6 +152,32 @@ fn main() {
     };
     let json_mode = args.iter().any(|a| a == "--json");
     let folded_mode = args.iter().any(|a| a == "--folded");
+    let write_out = |out: &str| match arg_after("--out") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, out) {
+                fail(&format!("cannot write {path:?}: {e}"));
+            }
+        }
+        None => print!("{out}"),
+    };
+
+    if args.iter().any(|a| a == "--compare") {
+        let (sim_json, rt_json) = run_compare();
+        if json_mode {
+            write_out(&format!("{{\"sim\":{sim_json},\"rt\":{rt_json}}}"));
+            return;
+        }
+        let sim_doc = jsonv::parse(&sim_json)
+            .unwrap_or_else(|e| fail(&format!("sim export does not parse: {e}")));
+        let rt_doc = jsonv::parse(&rt_json)
+            .unwrap_or_else(|e| fail(&format!("rt export does not parse: {e}")));
+        match render_compare_html(&sim_doc, &rt_doc) {
+            Ok(h) => write_out(&h),
+            Err(e) => fail(&e),
+        }
+        return;
+    }
+
     let json = match (arg_after("--input"), arg_after("--scenario")) {
         (Some(path), _) => match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -73,12 +219,5 @@ fn main() {
             }
         }
     };
-    match arg_after("--out") {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &out) {
-                fail(&format!("cannot write {path:?}: {e}"));
-            }
-        }
-        None => print!("{out}"),
-    }
+    write_out(&out);
 }

@@ -36,10 +36,11 @@ pub use error::{Error, Result};
 pub use ids::{Lsn, NodeId, PageId, Psn, Rid, TxnId};
 pub use jsonv::JsonValue;
 pub use obs::{
-    Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Sampler, SeriesRing, Snapshot,
+    Gauge, Histogram, HistogramSnapshot, MetricValue, Registry, Reservoir, Sampler, SeriesRing,
+    Snapshot,
 };
 pub use rng::Rng;
 pub use simclock::{Bucket, CostModel, SimClock, SimTime, BUCKETS};
-pub use span::{Span, SpanCtx, SpanId, SpanKind, Tracer, TransferWhy, TreeOp, Violation};
+pub use span::{Span, SpanBuf, SpanCtx, SpanId, SpanKind, Tracer, TransferWhy, TreeOp, Violation};
 pub use stats::Counter;
 pub use trace::{FlightRecorder, RecoveryPhase, TraceEvent, TraceRecord};

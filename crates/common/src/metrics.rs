@@ -35,6 +35,11 @@ pub mod keys {
     /// Gauge: commits queued in the force scheduler awaiting their
     /// group force — the commit-pipeline queue depth.
     pub const WAL_PENDING_COMMITS: &str = "wal/pending_commits";
+    /// Histogram: wall-clock duration of one `fdatasync` in the
+    /// file-backed log store, µs. Only file-backed WALs register it
+    /// (the in-memory store has no sync to time), so sim exports stay
+    /// byte-deterministic.
+    pub const WAL_FSYNC_US: &str = "wal/fsync_us";
 
     // ---- simulated-time profiler (DESIGN §11) ----
     /// Gauge: cumulative sim-time attributed to disk I/O, µs.
@@ -143,6 +148,7 @@ mod tests {
             keys::WAL_WINDOW_US,
             keys::WAL_REPAIR_SCAN_BYTES,
             keys::WAL_PENDING_COMMITS,
+            keys::WAL_FSYNC_US,
             keys::PROF_DISK_US,
             keys::PROF_CPU_US,
             keys::PROF_NET_US,

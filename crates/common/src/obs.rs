@@ -252,6 +252,90 @@ impl HistogramSnapshot {
     }
 }
 
+#[derive(Debug)]
+struct ReservoirInner {
+    samples: Vec<u64>,
+    seen: u64,
+    rng: crate::rng::Rng,
+}
+
+/// Fixed-capacity uniform sample of a value stream (Vitter's
+/// algorithm R), for *exact* percentiles where the log-2
+/// [`Histogram`] only gives bucket upper bounds.
+///
+/// While `seen ≤ capacity` every recorded value is held and
+/// [`percentile`](Reservoir::percentile) is exact
+/// ([`is_exact`](Reservoir::is_exact) reports which regime applies);
+/// past capacity each value replaces a uniformly random held sample,
+/// so percentiles degrade to an unbiased estimate instead of a bucket
+/// bound. Replacement draws from the in-repo deterministic [`Rng`]
+/// seeded at construction: identical value streams always produce
+/// identical samples. Thread-safe the same way `Histogram` is (one
+/// mutexed cell behind an `Arc`).
+///
+/// [`Rng`]: crate::rng::Rng
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    inner: Arc<Mutex<ReservoirInner>>,
+    cap: usize,
+}
+
+impl Reservoir {
+    /// New empty reservoir holding up to `capacity` samples (clamped
+    /// to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Reservoir {
+            inner: Arc::new(Mutex::new(ReservoirInner {
+                samples: Vec::new(),
+                seen: 0,
+                rng: crate::rng::Rng::seed_from_u64(0x05EE_D0B5_u64 ^ capacity as u64),
+            })),
+            cap: capacity.max(1),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        let mut r = lock(&self.inner);
+        r.seen += 1;
+        if r.samples.len() < self.cap {
+            r.samples.push(v);
+        } else {
+            let seen = r.seen;
+            let j = r.rng.gen_range(0..seen) as usize;
+            if j < self.cap {
+                r.samples[j] = v;
+            }
+        }
+    }
+
+    /// Total values recorded (held + replaced).
+    pub fn count(&self) -> u64 {
+        lock(&self.inner).seen
+    }
+
+    /// True while every recorded value is still held, i.e. while
+    /// percentiles are exact rather than sampled estimates.
+    pub fn is_exact(&self) -> bool {
+        let r = lock(&self.inner);
+        r.seen <= self.cap as u64
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the rank-`ceil(q·n)` held
+    /// sample (0 when empty). Exact whenever
+    /// [`is_exact`](Reservoir::is_exact) holds.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let r = lock(&self.inner);
+        if r.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = r.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
 /// One exported metric value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum MetricValue {
@@ -326,6 +410,16 @@ impl Registry {
             .entry(name.to_string())
             .or_default()
             .clone()
+    }
+
+    /// Registers an existing histogram handle under `name` (replacing
+    /// any previous registration) — the same sharing discipline as
+    /// [`register_counter`](Registry::register_counter), used e.g. to
+    /// surface the WAL store's fsync timings.
+    pub fn register_histogram(&self, name: &str, h: &Histogram) {
+        lock(&self.inner)
+            .histograms
+            .insert(name.to_string(), h.clone());
     }
 
     /// Point-in-time copy of every metric.
@@ -995,5 +1089,77 @@ mod tests {
         assert!(j.contains("\"n0/wal/forces\":2"));
         assert!(j.contains("\"p99\":500"));
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn registered_histogram_shares_the_cell() {
+        let r = Registry::new();
+        let h = Histogram::new();
+        r.register_histogram("wal/fsync_us", &h);
+        h.record(123);
+        let s = r.snapshot();
+        assert_eq!(s.histogram("wal/fsync_us").unwrap().count, 1);
+        assert_eq!(s.histogram("wal/fsync_us").unwrap().max, 123);
+    }
+
+    #[test]
+    fn reservoir_percentiles_are_exact_under_capacity() {
+        let r = Reservoir::new(1000);
+        // 1..=100 shuffled by stride; exact ranks regardless of order.
+        for i in 0..100u64 {
+            r.record((i * 37) % 100 + 1);
+        }
+        assert!(r.is_exact());
+        assert_eq!(r.count(), 100);
+        assert_eq!(r.percentile(0.50), 50);
+        assert_eq!(r.percentile(0.99), 99);
+        assert_eq!(r.percentile(1.0), 100);
+        assert_eq!(r.percentile(0.0), 1, "rank clamps to the first sample");
+        // Compare against the log-2 histogram's bucket-bound answer to
+        // pin *why* the reservoir exists: 50 lands in bucket [32,63],
+        // whose upper bound is 63, not 50.
+        let h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(i);
+        }
+        assert_eq!(h.snapshot().p50(), 63);
+    }
+
+    #[test]
+    fn reservoir_past_capacity_estimates_deterministically() {
+        let mk = || {
+            let r = Reservoir::new(64);
+            for i in 1..=10_000u64 {
+                r.record(i);
+            }
+            r
+        };
+        let a = mk();
+        assert!(!a.is_exact());
+        assert_eq!(a.count(), 10_000);
+        let p50 = a.percentile(0.50);
+        assert!((1..=10_000).contains(&p50));
+        // Same stream → same samples → same estimate.
+        assert_eq!(p50, mk().percentile(0.50));
+        // Empty reservoir is defined.
+        assert_eq!(Reservoir::new(8).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn reservoir_is_thread_safe() {
+        let r = Reservoir::new(4096);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..256u64 {
+                        r.record(t * 256 + i + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.count(), 1024);
+        assert!(r.is_exact());
+        assert_eq!(r.percentile(1.0), 1024);
     }
 }

@@ -34,18 +34,27 @@
 //! [`Tracer`] is a `None` behind the handle — emission is a single
 //! branch, which is what keeps the tracing-off overhead unmeasurable.
 //!
-//! # Sim-only (deliberately not `Send`)
+//! # Two tiers: online `Tracer` (sim) and buffered [`SpanBuf`] (threads)
 //!
-//! Unlike the metrics in [`obs`](crate::obs) and the flight recorder —
-//! which are thread-safe so both execution runtimes share them — the
-//! `Tracer` keeps `Rc<RefCell<_>>` internals and stays single-threaded
-//! on purpose: its value is the *deterministic* causal order of spans,
-//! which only the simulator's serialized schedule provides. Span ids
-//! come from one shared monotone counter and the watchdog asserts
-//! global orderings as spans arrive; interleaving emissions from real
-//! threads would make the lineage (and thus watchdog verdicts)
-//! run-dependent. The threaded runtime cross-checks its results against
-//! sim-oracle runs, where full tracing remains available.
+//! The `Tracer` keeps `Rc<RefCell<_>>` internals and stays
+//! single-threaded on purpose: its value is the *deterministic* causal
+//! order of spans, which only the simulator's serialized schedule
+//! provides — span ids come from one shared monotone counter and the
+//! watchdog asserts global orderings online, as spans arrive.
+//!
+//! The threaded runtime gets the same span vocabulary through
+//! [`SpanBuf`]: a plain-data, `Send` per-thread buffer whose ids are
+//! namespaced by worker index (`(worker+1) << 48 | seq`), so threads
+//! allocate without coordination and causal parents still cross thread
+//! boundaries via the usual [`SpanCtx`] wire format. At join the
+//! buffers are merged deterministically ([`SpanBuf::merge`]: ascending
+//! worker order, local emission order preserved, ids rewritten to a
+//! single monotone sequence) and the merged trace is replayed through a
+//! fresh `Tracer` — watchdog included — on one thread. The merge order
+//! is sound for every invariant the watchdog checks because each of
+//! them is per-page, and a page is only ever updated/replayed by its
+//! owner's thread: per-page span order inside one buffer *is* the true
+//! order, and concatenation preserves it.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -57,9 +66,11 @@ use crate::obs::json_escape;
 use crate::simclock::SimTime;
 use crate::trace::RecoveryPhase;
 
-/// Cluster-unique span identifier. Ids are allocated from one shared
-/// monotone counter (never per-node), so two spans from different nodes
-/// never collide and allocation order is deterministic.
+/// Cluster-unique span identifier. The simulator allocates ids from
+/// one shared monotone counter, so allocation order is deterministic;
+/// threaded workers allocate from disjoint per-worker namespaces
+/// ([`SpanBuf`]) that are rewritten into one monotone sequence when the
+/// buffers are merged. Either way two live spans never share an id.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct SpanId(pub u64);
 
@@ -900,6 +911,161 @@ impl Tracer {
     }
 }
 
+/// Send-safe per-thread span buffer for the threaded runtime.
+///
+/// Worker threads cannot share the [`Tracer`] (it is `Rc`-based and
+/// its watchdog asserts a serialized global order), so each worker
+/// records into its own `SpanBuf` and the buffers are merged on the
+/// main thread at join. Ids are allocated coordination-free from the
+/// worker's own namespace: `((worker + 1) << 48) | seq`. Raw buffer
+/// ids therefore always have bits ≥ 48 set, which is how
+/// [`SpanBuf::merge`] tells an in-batch parent reference (rewritten)
+/// from a reference to an already-merged span id (kept verbatim).
+///
+/// Like the tracer's store, the buffer is bounded: the first
+/// `capacity` spans are kept, later ones are counted in
+/// [`SpanBuf::dropped`]. Unlike the tracer there is no online
+/// watchdog — dropped spans are invisible to the post-merge check, so
+/// a nonzero drop count means reduced invariant coverage, not just a
+/// shorter export.
+#[derive(Debug, Default)]
+pub struct SpanBuf {
+    worker: u32,
+    seq: u64,
+    spans: Vec<Span>,
+    cap: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl SpanBuf {
+    /// A disabled buffer: allocation returns [`SpanId::NONE`],
+    /// emission is a no-op. This is the tracing-off fast path.
+    pub fn disabled() -> SpanBuf {
+        SpanBuf::default()
+    }
+
+    /// An enabled buffer for `worker` (its id namespace) retaining up
+    /// to `capacity` spans (clamped to at least 1).
+    pub fn new(worker: u32, capacity: usize) -> SpanBuf {
+        SpanBuf {
+            worker,
+            seq: 0,
+            spans: Vec::new(),
+            cap: capacity.max(1),
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Is this buffer recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Allocates the next id in this worker's namespace
+    /// ([`SpanId::NONE`] when disabled).
+    pub fn alloc(&mut self) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        self.seq += 1;
+        SpanId(((self.worker as u64 + 1) << 48) | self.seq)
+    }
+
+    /// Records a completed span (bounded: head kept, overflow counted).
+    pub fn emit(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        if self.spans.len() < self.cap {
+            self.spans.push(span);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Allocates an id and records a zero-duration span in one call;
+    /// returns the id (NONE when disabled).
+    pub fn point(&mut self, at: SimTime, node: NodeId, parent: SpanId, kind: SpanKind) -> SpanId {
+        let id = self.alloc();
+        if !id.is_none() {
+            self.emit(Span {
+                id,
+                parent,
+                node,
+                start: at,
+                dur: 0,
+                kind,
+            });
+        }
+        id
+    }
+
+    /// Number of spans retained.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans emitted past the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Merges per-thread buffers into one deterministic span sequence.
+    ///
+    /// Buffers are ordered by ascending worker index and concatenated
+    /// with local emission order preserved; ids are rewritten to a
+    /// monotone sequence continuing from `*next_id` (which is advanced
+    /// past the ids consumed). Parent references are rewritten through
+    /// the same map — including references into *other* buffers of the
+    /// batch, which is how cross-thread causal edges carried in message
+    /// headers survive the merge. A parent below the `1 << 48` worker
+    /// namespace is an id from an earlier merge batch and is kept
+    /// verbatim; an in-namespace parent that is not in the batch (its
+    /// span was dropped at capacity) degrades to [`SpanId::NONE`].
+    ///
+    /// Concatenation is order-correct for the watchdog because every
+    /// invariant it checks is per-page and each page is mutated by
+    /// exactly one worker: that page's spans all sit in one buffer, in
+    /// true order.
+    ///
+    /// Returns the merged spans and the total dropped count.
+    pub fn merge(mut bufs: Vec<SpanBuf>, next_id: &mut u64) -> (Vec<Span>, u64) {
+        bufs.sort_by_key(|b| b.worker);
+        let mut map: BTreeMap<SpanId, SpanId> = BTreeMap::new();
+        let mut dropped = 0;
+        for b in &bufs {
+            dropped += b.dropped;
+            for s in &b.spans {
+                *next_id += 1;
+                map.insert(s.id, SpanId(*next_id));
+            }
+        }
+        let remap = |id: SpanId| -> SpanId {
+            match map.get(&id) {
+                Some(&new) => new,
+                None if id.0 < (1 << 48) => id,
+                None => SpanId::NONE,
+            }
+        };
+        let mut out = Vec::with_capacity(map.len());
+        for b in bufs {
+            for mut s in b.spans {
+                s.id = remap(s.id);
+                s.parent = remap(s.parent);
+                out.push(s);
+            }
+        }
+        (out, dropped)
+    }
+}
+
 /// Stable lane (Chrome `tid`) per span category.
 fn lane_of(cat: &str) -> usize {
     match cat {
@@ -1180,5 +1346,138 @@ mod tests {
         assert_eq!(SpanCtx::NONE.span, SpanId::NONE);
         assert_eq!(format!("{}", SpanId::NONE), "-");
         assert_eq!(format!("{}", SpanId(7)), "S7");
+    }
+
+    fn buf_crash(b: &mut SpanBuf, at: SimTime, node: u32) -> SpanId {
+        b.point(
+            at,
+            NodeId(node),
+            SpanId::NONE,
+            SpanKind::Crash { node: NodeId(node) },
+        )
+    }
+
+    #[test]
+    fn spanbuf_disabled_is_inert_and_ids_are_namespaced() {
+        let mut off = SpanBuf::disabled();
+        assert!(!off.is_enabled());
+        assert_eq!(off.alloc(), SpanId::NONE);
+        buf_crash(&mut off, 5, 0);
+        assert!(off.is_empty());
+
+        let mut a = SpanBuf::new(0, 16);
+        let mut b = SpanBuf::new(1, 16);
+        let ia = a.alloc();
+        let ib = b.alloc();
+        assert_eq!(ia, SpanId(1 << 48 | 1));
+        assert_eq!(ib, SpanId(2 << 48 | 1));
+        assert_ne!(ia, ib, "worker namespaces must not collide");
+    }
+
+    #[test]
+    fn spanbuf_merge_is_deterministic_and_rewrites_parents() {
+        // Build twice in opposite buffer order; merged output must be
+        // identical, with ids rewritten to one monotone sequence and a
+        // cross-buffer parent edge surviving the rewrite.
+        let build = |swap: bool| {
+            let mut a = SpanBuf::new(0, 16);
+            let mut b = SpanBuf::new(1, 16);
+            let cause = buf_crash(&mut a, 1, 0);
+            // b's span is caused by a's (cross-thread edge), plus one
+            // parent that refers to an already-merged trace id (< 2^48)
+            // and must be kept verbatim.
+            b.point(2, NodeId(1), cause, SpanKind::Crash { node: NodeId(1) });
+            b.point(3, NodeId(1), SpanId(7), SpanKind::Crash { node: NodeId(1) });
+            let bufs = if swap { vec![b, a] } else { vec![a, b] };
+            let mut next = 10;
+            SpanBuf::merge(bufs, &mut next)
+        };
+        let (m1, d1) = build(false);
+        let (m2, _) = build(true);
+        assert_eq!(m1, m2, "merge must not depend on buffer arrival order");
+        assert_eq!(d1, 0);
+        assert_eq!(
+            m1.iter().map(|s| s.id.0).collect::<Vec<_>>(),
+            vec![11, 12, 13],
+            "ids continue the trace's monotone sequence"
+        );
+        assert_eq!(m1[1].parent, m1[0].id, "cross-buffer parent rewritten");
+        assert_eq!(m1[2].parent, SpanId(7), "pre-merged parent kept");
+    }
+
+    #[test]
+    fn spanbuf_bounds_the_store_and_drops_count_through_merge() {
+        let mut b = SpanBuf::new(3, 2);
+        for at in 0..5 {
+            buf_crash(&mut b, at, 0);
+        }
+        assert_eq!(b.len(), 2, "head kept");
+        assert_eq!(b.dropped(), 3);
+        let mut next = 0;
+        let (spans, dropped) = SpanBuf::merge(vec![b], &mut next);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(dropped, 3);
+        assert_eq!(next, 2);
+    }
+
+    #[test]
+    fn merged_spanbuf_trace_replays_through_the_watchdog() {
+        // Two workers each update their own page; the merged trace is
+        // clean. A regressing PSN inside one worker's buffer must
+        // surface after the replay through a fresh Tracer.
+        let mut a = SpanBuf::new(0, 64);
+        let mut b = SpanBuf::new(1, 64);
+        for (w, buf) in [(0u32, &mut a), (1u32, &mut b)] {
+            for psn in 1..4u64 {
+                let id = buf.alloc();
+                buf.emit(Span {
+                    id,
+                    parent: SpanId::NONE,
+                    node: NodeId(w),
+                    start: psn,
+                    dur: 0,
+                    kind: SpanKind::Update {
+                        pid: PageId::new(NodeId(w), 0),
+                        txn: txn(w, 1),
+                        psn: Psn(psn),
+                        lsn: Lsn(psn),
+                        clr: false,
+                    },
+                });
+            }
+        }
+        let mut next = 0;
+        let (clean, _) = SpanBuf::merge(vec![a, b], &mut next);
+        let t = Tracer::new(clean.len() + 1);
+        for s in &clean {
+            t.emit(s.clone());
+        }
+        assert!(t.check().is_ok(), "{:?}", t.check());
+
+        let mut bad = SpanBuf::new(0, 64);
+        for psn in [1u64, 2, 2] {
+            let id = bad.alloc();
+            bad.emit(Span {
+                id,
+                parent: SpanId::NONE,
+                node: NodeId(0),
+                start: psn,
+                dur: 0,
+                kind: SpanKind::Update {
+                    pid: pid(0),
+                    txn: txn(0, 1),
+                    psn: Psn(psn),
+                    lsn: Lsn(psn),
+                    clr: false,
+                },
+            });
+        }
+        let mut next = 0;
+        let (spans, _) = SpanBuf::merge(vec![bad], &mut next);
+        let t = Tracer::new(spans.len() + 1);
+        for s in &spans {
+            t.emit(s.clone());
+        }
+        assert!(t.check().is_err(), "PSN regression must be caught");
     }
 }

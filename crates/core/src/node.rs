@@ -150,6 +150,9 @@ impl Node {
         registry.register_counter(keys::WAL_BYTES, log.bytes_appended_counter());
         registry.register_counter(keys::WAL_STORE_SYNCS, log.store_syncs_counter());
         registry.register_counter(keys::WAL_REPAIR_SCAN_BYTES, log.repair_scanned_counter());
+        if let Some(h) = log.fsync_histogram() {
+            registry.register_histogram(keys::WAL_FSYNC_US, h);
+        }
         registry.register_counter(keys::BUF_HITS, buffer.hits());
         registry.register_counter(keys::BUF_MISSES, buffer.misses());
         registry.register_counter(keys::BUF_EVICTIONS, buffer.evictions());

@@ -114,9 +114,28 @@ impl ShardedLockTable {
     /// latch is expected free — the spin only matters if a concurrent
     /// reader briefly shares the page.
     pub fn acquire_spin(&self, pid: PageId, holder: u64, mode: LockMode, spins: usize) -> bool {
+        self.acquire_spin_timed(pid, holder, mode, spins).is_some()
+    }
+
+    /// As [`acquire_spin`](Self::acquire_spin), but returns the
+    /// wall-clock µs spent waiting on success (`None` when the spin
+    /// budget is exhausted), so callers can attribute contended-latch
+    /// time to a lock-wait profiler bucket. An uncontended first-try
+    /// acquisition reports 0 without reading the clock.
+    pub fn acquire_spin_timed(
+        &self,
+        pid: PageId,
+        holder: u64,
+        mode: LockMode,
+        spins: usize,
+    ) -> Option<u64> {
+        if self.try_acquire(pid, holder, mode) {
+            return Some(0);
+        }
+        let started = std::time::Instant::now();
         for i in 0..spins.max(1) {
             if self.try_acquire(pid, holder, mode) {
-                return true;
+                return Some(started.elapsed().as_micros() as u64);
             }
             if i % 64 == 63 {
                 std::thread::yield_now();
@@ -124,7 +143,7 @@ impl ShardedLockTable {
                 std::hint::spin_loop();
             }
         }
-        false
+        None
     }
 
     /// Releases `holder`'s lock on `pid` (no-op if not held).
@@ -277,5 +296,31 @@ mod tests {
         // A zero budget is clamped to one attempt, not zero.
         assert!(t.acquire_spin(p, 3, LockMode::Shared, 0));
         t.release(p, 3);
+    }
+
+    #[test]
+    fn timed_spin_reports_the_wait() {
+        let t = ShardedLockTable::new(4);
+        let p = pid(0, 5);
+        // Uncontended first try: held, and no wait is reported.
+        assert_eq!(t.acquire_spin_timed(p, 1, LockMode::Exclusive, 64), Some(0));
+        // Contended and exhausted: no wait figure, not held.
+        assert_eq!(t.acquire_spin_timed(p, 2, LockMode::Exclusive, 64), None);
+        t.release(p, 1);
+
+        // Contended but eventually granted: a release from another
+        // thread mid-spin yields Some(elapsed ≥ 0) and the lock.
+        assert!(t.try_acquire(p, 3, LockMode::Exclusive));
+        std::thread::scope(|s| {
+            let table = &t;
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                table.release(p, 3);
+            });
+            let waited = t.acquire_spin_timed(p, 4, LockMode::Exclusive, 50_000_000);
+            assert!(waited.is_some(), "lock granted after release");
+        });
+        assert!(!t.try_acquire(p, 5, LockMode::Exclusive), "4 holds it");
+        t.release(p, 4);
     }
 }

@@ -21,7 +21,7 @@
 //!   across the mesh and tests can assert nothing vanished.
 
 use crate::MsgKind;
-use cblog_common::{Error, NodeId, Result};
+use cblog_common::{Error, NodeId, Result, SpanCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
@@ -38,6 +38,11 @@ pub struct Envelope {
     pub kind: MsgKind,
     /// Opaque payload, encoded by the protocol layer.
     pub payload: Vec<u8>,
+    /// Causal span context of the send — the channel-mesh analogue of
+    /// the simulator's `MsgHeader`, so the receiving side can parent
+    /// its spans on the message that caused them. [`SpanCtx::NONE`]
+    /// when the sender is not tracing.
+    pub ctx: SpanCtx,
 }
 
 /// Node-local handle on an inter-thread message fabric.
@@ -53,7 +58,13 @@ pub trait Transport: Send {
 
     /// Sends `payload` to `to`. Fails with [`Error::NodeDown`] if the
     /// destination endpoint has shut down.
-    fn send(&self, to: NodeId, kind: MsgKind, payload: Vec<u8>) -> Result<()>;
+    fn send(&self, to: NodeId, kind: MsgKind, payload: Vec<u8>) -> Result<()> {
+        self.send_ctx(to, kind, payload, SpanCtx::NONE)
+    }
+
+    /// As [`Transport::send`], carrying the sender's causal span
+    /// context in the message header.
+    fn send_ctx(&self, to: NodeId, kind: MsgKind, payload: Vec<u8>, ctx: SpanCtx) -> Result<()>;
 
     /// Non-blocking receive; `None` when the queue is empty.
     fn try_recv(&self) -> Option<Envelope>;
@@ -141,7 +152,7 @@ impl Transport for ChannelEndpoint {
         self.peers.len()
     }
 
-    fn send(&self, to: NodeId, kind: MsgKind, payload: Vec<u8>) -> Result<()> {
+    fn send_ctx(&self, to: NodeId, kind: MsgKind, payload: Vec<u8>, ctx: SpanCtx) -> Result<()> {
         let tx = self
             .peers
             .get(to.0 as usize)
@@ -151,6 +162,7 @@ impl Transport for ChannelEndpoint {
             to,
             kind,
             payload,
+            ctx,
         };
         match tx.send(env) {
             Ok(()) => {
@@ -280,7 +292,20 @@ mod tests {
         assert_eq!(env.from, NodeId(0));
         assert_eq!(env.kind, MsgKind::FlushAck);
         assert_eq!(env.payload, vec![7]);
+        assert_eq!(env.ctx, SpanCtx::NONE, "plain send carries no context");
         assert!(a.try_recv().is_none());
         assert!(a.send(NodeId(9), MsgKind::FlushAck, vec![]).is_err());
+    }
+
+    #[test]
+    fn span_context_rides_the_header() {
+        use cblog_common::SpanId;
+        let mut eps = ChannelMesh::endpoints(1);
+        let a = eps.remove(0);
+        let ctx = SpanCtx::child(SpanId(9), SpanId(3));
+        a.send_ctx(NodeId(0), MsgKind::LockRequest, vec![1], ctx)
+            .unwrap();
+        let env = a.try_recv().unwrap();
+        assert_eq!(env.ctx, ctx, "causal context survives the channel");
     }
 }

@@ -41,11 +41,34 @@
 //! the commit tallies equal. With per-stream-private write sets the
 //! final state is interleaving-independent, so any divergence is an
 //! engine bug, not scheduling noise.
+//!
+//! # Observability (DESIGN §14)
+//!
+//! Real threaded runs carry the same observability stack as the
+//! simulator:
+//!
+//! * **Send-safe tracing** — each worker fills a private [`SpanBuf`]
+//!   with the sim tracer's span vocabulary; the buffers are merged
+//!   deterministically at join and the merged trace is replayed
+//!   through a fresh [`Tracer`], so the protocol watchdog checks
+//!   PSN-order, the WAL rule, and no-log-on-the-wire on real
+//!   executions too (including parallel replay). `run` and `recover`
+//!   fail with [`Error::Protocol`] on any violation.
+//! * **Per-thread profiler** — each worker attributes its wall time
+//!   to the shared [`Bucket`] taxonomy with the simulator's exact
+//!   partition invariant (`disk + cpu + net + replay == busy`); the
+//!   split is exported per node as `prof/*_us` gauges and as
+//!   [`RtNodeStats`].
+//! * **Exact latency percentiles** — commit latencies feed a
+//!   [`Reservoir`] of recorded values beside the log-2 histogram, so
+//!   [`RtRunStats::p50_us`]/[`RtRunStats::p99_us`] are exact samples
+//!   rather than bucket upper bounds.
 
-use cblog_common::metrics::keys;
+use cblog_common::metrics::{keys, prof_key};
 use cblog_common::{
-    Error, Histogram, Lsn, MetricValue, NodeId, PageId, Psn, RecoveryPhase, Result, SimTime,
-    Snapshot, TxnId,
+    Bucket, Error, Histogram, Lsn, MetricValue, NodeId, PageId, Psn, RecoveryPhase, Reservoir,
+    Result, SimTime, Snapshot, Span, SpanBuf, SpanCtx, SpanId, SpanKind, Tracer, TransferWhy,
+    TxnId,
 };
 use cblog_core::{
     plan_replay, ForceScheduler, GroupCommitPolicy, Node, NodeConfig, NodePsnEntry, PhaseTimings,
@@ -115,6 +138,14 @@ pub struct ThreadClusterConfig {
     pub lock_shards: usize,
     /// WAL backing for every node.
     pub wal: WalBacking,
+    /// Per-worker span tracing. When on, every run and recovery is
+    /// merged into the cluster trace and checked by the protocol
+    /// watchdog at join. Off buys back the (small) tracing overhead;
+    /// `rtbench --trace-overhead` measures it.
+    pub tracing: bool,
+    /// Capacity of each worker's span buffer (spans beyond it are
+    /// dropped and counted, never reallocated mid-run).
+    pub trace_capacity: usize,
 }
 
 impl Default for ThreadClusterConfig {
@@ -126,6 +157,8 @@ impl Default for ThreadClusterConfig {
             group_commit: GroupCommitPolicy::Immediate,
             lock_shards: 16,
             wal: WalBacking::Mem,
+            tracing: true,
+            trace_capacity: cblog_common::span::DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -142,30 +175,50 @@ pub struct RtRunStats {
     /// Messages on the commit path — zero by construction; reported
     /// so benchmarks can assert the paper's headline property.
     pub commit_msgs: u64,
-    /// Median commit latency (submit → durable ack), µs.
+    /// Median commit latency (submit → durable ack), µs — an exact
+    /// recorded value from the latency [`Reservoir`], not a histogram
+    /// bucket bound.
     pub p50_us: u64,
-    /// Tail commit latency, µs.
+    /// Tail commit latency, µs (exact recorded value, see `p50_us`).
     pub p99_us: u64,
+    /// Spans this run added to the cluster trace (0 with tracing off).
+    pub spans: u64,
 }
 
-/// Coarse wall-time split of one worker thread, for observability
-/// exports. Buckets are approximate (nested service work counts
-/// toward the enclosing activity): `disk` wraps log forces, `net`
-/// top-level message service, `cpu` transaction execution; the rest of
-/// the wall time is idle waiting.
+/// Wall-time split of one worker thread across the profiler [`Bucket`]
+/// taxonomy the simulator uses (DESIGN §14).
+///
+/// The partition invariant is the simulator's, held *exactly* in
+/// integer µs: `disk + cpu + net + replay == busy`, with `lock_wait`
+/// accounted beside busy and `busy + lock_wait <= wall`. The
+/// remainder of the wall time is idle parking in `recv_timeout`
+/// (group-commit windows, shutdown straggler service), which is
+/// deliberately not attributed to any bucket.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RtNodeStats {
     /// Node id.
     pub node: u32,
     /// Worker wall time, µs.
     pub wall_us: u64,
+    /// Non-idle worker time: everything the thread did outside
+    /// lock-wait spinning and idle parks, µs.
+    pub busy_us: u64,
     /// Time inside log forces (fsync), µs.
     pub disk_us: u64,
-    /// Time serving page fetches at top level, µs.
+    /// Time in channel sends/receives and page-fetch service, µs.
     pub net_us: u64,
-    /// Time executing transactions, µs.
+    /// Busy remainder: transaction execution and loop bookkeeping, µs.
     pub cpu_us: u64,
+    /// Time spinning on contended page locks, net of the inbox
+    /// service performed between spins, µs.
+    pub lock_wait_us: u64,
+    /// Time replaying recovery waves, µs (0 for normal runs; filled
+    /// into the `prof/replay_us` gauge by `recover`).
+    pub replay_us: u64,
 }
+
+/// Capacity of the exact commit-latency sample reservoir.
+const LATENCY_RESERVOIR_CAP: usize = 4096;
 
 /// A set of OS-thread nodes executing [`TxnPlan`]s.
 pub struct ThreadCluster {
@@ -173,8 +226,16 @@ pub struct ThreadCluster {
     nodes: Vec<Node>,
     locks: Arc<ShardedLockTable>,
     latency: Histogram,
+    latency_samples: Reservoir,
     last: Option<RtRunStats>,
     last_nodes: Vec<RtNodeStats>,
+    /// Cluster-lifetime clock: every worker stamps spans off the same
+    /// epoch, so timestamps are monotone across runs and recoveries.
+    epoch: WallClock,
+    /// Merged span trace, in watchdog-checkable order.
+    trace: Vec<Span>,
+    trace_next_id: u64,
+    trace_dropped: u64,
 }
 
 impl ThreadCluster {
@@ -204,8 +265,13 @@ impl ThreadCluster {
             nodes,
             locks,
             latency: Histogram::new(),
+            latency_samples: Reservoir::new(LATENCY_RESERVOIR_CAP),
             last: None,
             last_nodes: Vec::new(),
+            epoch: WallClock::new(),
+            trace: Vec::new(),
+            trace_next_id: 0,
+            trace_dropped: 0,
         })
     }
 
@@ -230,6 +296,80 @@ impl ThreadCluster {
         &self.latency
     }
 
+    /// Exact commit-latency samples feeding [`RtRunStats::p50_us`] /
+    /// [`RtRunStats::p99_us`] (the histogram stays for bucketed
+    /// exports; the reservoir keeps recorded values).
+    pub fn latency_samples(&self) -> &Reservoir {
+        &self.latency_samples
+    }
+
+    /// The merged span trace accumulated across runs, crashes and
+    /// recoveries (empty when [`ThreadClusterConfig::tracing`] is
+    /// off). Spans are in watchdog order: per-worker emission order,
+    /// workers concatenated ascending, batches appended run by run.
+    pub fn trace(&self) -> &[Span] {
+        &self.trace
+    }
+
+    /// Spans lost to per-worker buffer overflow, cumulative.
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace_dropped
+    }
+
+    /// Appends a span to the merged trace with a fresh id, regardless
+    /// of the tracing switch — a hook for tests to inject observations
+    /// the workers did not make (e.g. a forged out-of-order replay
+    /// hop) and watch [`ThreadCluster::trace_check`] catch them.
+    pub fn inject_span(&mut self, node: NodeId, parent: SpanId, kind: SpanKind) -> SpanId {
+        let at = self.epoch.now_us();
+        self.trace_next_id += 1;
+        let id = SpanId(self.trace_next_id);
+        self.trace.push(Span {
+            id,
+            parent,
+            node,
+            start: at,
+            dur: 0,
+            kind,
+        });
+        id
+    }
+
+    /// Replays the merged trace through a fresh single-threaded
+    /// [`Tracer`], so the simulator's protocol watchdog checks the
+    /// same invariants on real threaded executions it checks on
+    /// simulated ones: per-page PSN order (updates and replay hops),
+    /// the WAL rule on page ships and owned writes, and
+    /// no-log-on-the-wire. `run` and `recover` call this at join when
+    /// tracing is on; tests may call it after [`Self::inject_span`].
+    pub fn trace_check(&self) -> Result<()> {
+        if self.trace.is_empty() {
+            return Ok(());
+        }
+        let tracer = Tracer::new(self.trace.len() + 1);
+        for s in &self.trace {
+            tracer.emit(s.clone());
+        }
+        tracer.check().map_err(Error::Protocol)
+    }
+
+    /// Emits a point span from the coordinating thread (ids continue
+    /// the merged sequence directly). No-op returning
+    /// [`SpanId::NONE`] when tracing is off.
+    fn trace_point(&mut self, node: NodeId, parent: SpanId, kind: SpanKind) -> SpanId {
+        if !self.cfg.tracing {
+            return SpanId::NONE;
+        }
+        self.inject_span(node, parent, kind)
+    }
+
+    /// Merges per-worker buffers into the cluster trace.
+    fn absorb(&mut self, bufs: Vec<SpanBuf>) {
+        let (spans, dropped) = SpanBuf::merge(bufs, &mut self.trace_next_id);
+        self.trace.extend(spans);
+        self.trace_dropped += dropped;
+    }
+
     /// Crashes `node`: its volatile state (buffer, DPT, transaction
     /// table, unforced log tail) is lost; the database file and the
     /// durable WAL survive. Follow with [`Runtime::recover`].
@@ -239,6 +379,9 @@ impl ThreadCluster {
             return Err(Error::Invalid(format!("crash of unknown node {node}")));
         }
         self.nodes[i].crash();
+        // The watchdog resets its per-page frontiers at a Crash span,
+        // exactly as in the simulator.
+        self.trace_point(node, SpanId::NONE, SpanKind::Crash { node });
         Ok(())
     }
 
@@ -273,7 +416,9 @@ impl Runtime for ThreadCluster {
         let nodes = std::mem::take(&mut self.nodes);
         let forces_before: u64 = nodes.iter().map(|nd| nd.log().forces()).sum();
         let remaining = Arc::new(AtomicUsize::new(n));
-        let clock = WallClock::new();
+        let clock = self.epoch;
+        let tracing = self.cfg.tracing;
+        let trace_cap = self.cfg.trace_capacity;
         let started = Instant::now();
 
         let outcomes: Vec<Result<WorkerOutcome>> = std::thread::scope(|s| {
@@ -285,9 +430,17 @@ impl Runtime for ThreadCluster {
                     let locks = Arc::clone(&self.locks);
                     let remaining = Arc::clone(&remaining);
                     let latency = self.latency.clone();
+                    let samples = self.latency_samples.clone();
                     let policy = self.cfg.group_commit;
+                    let buf = if tracing {
+                        SpanBuf::new(node.id().0, trace_cap)
+                    } else {
+                        SpanBuf::disabled()
+                    };
                     s.spawn(move || {
-                        run_worker(node, ep, locks, plans, policy, clock, remaining, latency)
+                        run_worker(
+                            node, ep, locks, plans, policy, clock, remaining, latency, samples, buf,
+                        )
                     })
                 })
                 .collect();
@@ -305,6 +458,7 @@ impl Runtime for ThreadCluster {
         let mut msgs = 0;
         let mut restored = Vec::with_capacity(n);
         let mut node_stats = Vec::with_capacity(n);
+        let mut bufs = Vec::with_capacity(n);
         let mut first_err = None;
         for outcome in outcomes {
             match outcome {
@@ -319,6 +473,7 @@ impl Runtime for ThreadCluster {
                         ..o.stats
                     });
                     restored.push(o.node);
+                    bufs.push(o.buf);
                 }
                 Err(e) => first_err = first_err.or(Some(e)),
             }
@@ -329,18 +484,36 @@ impl Runtime for ThreadCluster {
         restored.sort_by_key(|nd| nd.id().0);
         node_stats.sort_by_key(|s| s.node);
         self.nodes = restored;
+
+        // Merge the per-worker traces and mirror each worker's bucket
+        // split onto its node's registry (cumulative, like the sim
+        // profiler's gauges).
+        let spans_before = self.trace.len();
+        self.absorb(bufs);
+        for s in &node_stats {
+            let reg = self.nodes[s.node as usize].registry();
+            reg.gauge(prof_key(Bucket::Disk)).add(s.disk_us as i64);
+            reg.gauge(prof_key(Bucket::Cpu)).add(s.cpu_us as i64);
+            reg.gauge(prof_key(Bucket::Net)).add(s.net_us as i64);
+            reg.gauge(prof_key(Bucket::LockWait))
+                .add(s.lock_wait_us as i64);
+            reg.gauge(prof_key(Bucket::Replay)).add(s.replay_us as i64);
+        }
         self.last_nodes = node_stats;
 
         let forces_after: u64 = self.nodes.iter().map(|nd| nd.log().forces()).sum();
-        let snap = self.latency.snapshot();
         self.last = Some(RtRunStats {
             wall_us,
             forces: forces_after - forces_before,
             msgs,
             commit_msgs: 0,
-            p50_us: snap.percentile(50.0),
-            p99_us: snap.percentile(99.0),
+            p50_us: self.latency_samples.percentile(0.50),
+            p99_us: self.latency_samples.percentile(0.99),
+            spans: (self.trace.len() - spans_before) as u64,
         });
+        if self.cfg.tracing {
+            self.trace_check()?;
+        }
         Ok(report)
     }
 
@@ -370,10 +543,12 @@ impl Runtime for ThreadCluster {
     /// degenerates to independent per-page chains and Redo is
     /// embarrassingly parallel: each wave's units are latched and
     /// replayed by [`ReplayMode::Parallel`](cblog_core::ReplayMode)
-    /// worker threads. The per-page PSN-order invariant the simulator's
-    /// span watchdog enforces is checked here post-join from the
-    /// workers' hop observations (the tracer is single-threaded and
-    /// sim-only).
+    /// worker threads. Each replay lane records its hops into a
+    /// [`SpanBuf`]; the merged trace is replayed through the protocol
+    /// watchdog at the end ([`ThreadCluster::trace_check`]), which
+    /// enforces the same per-page PSN-order invariant on real parallel
+    /// replay that the simulator's tracer enforces on simulated
+    /// recovery.
     fn recover(&mut self, opts: &RecoveryOptions) -> Result<RecoveryReport> {
         let crashed = opts.recovered_nodes().to_vec();
         for &c in &crashed {
@@ -382,6 +557,16 @@ impl Runtime for ThreadCluster {
             }
         }
         let workers = opts.replay_mode().workers();
+        let rec_root = match crashed.first() {
+            Some(&c) => self.trace_point(
+                c,
+                SpanId::NONE,
+                SpanKind::Recovery {
+                    nodes: crashed.len() as u32,
+                },
+            ),
+            None => SpanId::NONE,
+        };
         let mut report = RecoveryReport {
             recovered_nodes: crashed.clone(),
             ..RecoveryReport::default()
@@ -444,6 +629,11 @@ impl Runtime for ThreadCluster {
             extracted.append(&mut self.node_mut(owner)?.collect_replay_records_batch(&pages)?);
         }
         let mut wave_timings = Vec::with_capacity(plan.waves.len());
+        let tracing = self.cfg.tracing;
+        let trace_cap = self.cfg.trace_capacity;
+        let clock = self.epoch;
+        let mut replay_by_node: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut replay_lock_wait: BTreeMap<NodeId, u64> = BTreeMap::new();
         for wave in &plan.waves {
             let mut work = Vec::with_capacity(wave.len());
             for &ui in wave {
@@ -462,13 +652,18 @@ impl Runtime for ThreadCluster {
             for (i, w) in work.into_iter().enumerate() {
                 lanes[i % workers].push(w);
             }
-            let outcomes: Vec<Result<Vec<ReplayedUnit>>> = std::thread::scope(|s| {
+            let outcomes: Vec<Result<(Vec<ReplayedUnit>, SpanBuf)>> = std::thread::scope(|s| {
                 let handles: Vec<_> = lanes
                     .into_iter()
                     .enumerate()
                     .map(|(lane, items)| {
                         let locks = Arc::clone(&self.locks);
-                        s.spawn(move || replay_lane(&locks, lane, items))
+                        let buf = if tracing {
+                            SpanBuf::new(lane as u32, trace_cap)
+                        } else {
+                            SpanBuf::disabled()
+                        };
+                        s.spawn(move || replay_lane(&locks, lane, items, buf, clock, rec_root))
                     })
                     .collect();
                 handles
@@ -484,18 +679,44 @@ impl Runtime for ThreadCluster {
                 makespan_us,
                 ..WaveTiming::default()
             };
+            // Absorb every lane's hop spans before the page writes so
+            // the merged trace shows each wave's replay before the
+            // durable writes it produced (per-wave merging also keeps
+            // lane buffer ids from colliding across waves).
+            let mut wave_units = Vec::new();
+            let mut lane_bufs = Vec::new();
             for outcome in outcomes {
-                for done in outcome? {
-                    check_psn_order(done.page.id(), &done.from_psns)?;
-                    report.records_replayed += done.applied;
-                    report.pages_recovered += 1;
-                    timing.units += 1;
-                    timing.serial_us += done.wall_us;
-                    // Durable write re-anchors the page and clears its
-                    // DPT entry, like the simulator's post-replay ship.
-                    self.node_mut(done.page.id().owner)?
-                        .write_owned_page(&done.page)?;
-                }
+                let (units, buf) = outcome?;
+                lane_bufs.push(buf);
+                wave_units.extend(units);
+            }
+            self.absorb(lane_bufs);
+            for done in wave_units {
+                report.records_replayed += done.applied;
+                report.pages_recovered += 1;
+                timing.units += 1;
+                timing.serial_us += done.wall_us;
+                let owner = done.page.id().owner;
+                *replay_by_node.entry(owner).or_insert(0) +=
+                    done.wall_us.saturating_sub(done.lock_wait_us);
+                *replay_lock_wait.entry(owner).or_insert(0) += done.lock_wait_us;
+                // Durable write re-anchors the page and clears its
+                // DPT entry, like the simulator's post-replay ship.
+                let (psn, wal_ok) = {
+                    let node = self.node_mut(owner)?;
+                    node.write_owned_page(&done.page)?;
+                    (done.page.psn(), node.log().fully_forced())
+                };
+                self.trace_point(
+                    owner,
+                    rec_root,
+                    SpanKind::PageWrite {
+                        pid: done.page.id(),
+                        node: owner,
+                        psn,
+                        wal_ok,
+                    },
+                );
             }
             wave_timings.push(timing);
         }
@@ -539,7 +760,25 @@ impl Runtime for ThreadCluster {
                 widths.record(w.len() as u64);
             }
         }
+        // Replay wall time lands in the owner's `prof/replay_us`
+        // gauge (lane lock waits go to `prof/lock_wait_us`), summed
+        // serially across lanes like `WaveTiming::serial_us`.
+        for (owner, us) in &replay_by_node {
+            self.nodes[owner.0 as usize]
+                .registry()
+                .gauge(prof_key(Bucket::Replay))
+                .add(*us as i64);
+        }
+        for (owner, us) in &replay_lock_wait {
+            self.nodes[owner.0 as usize]
+                .registry()
+                .gauge(prof_key(Bucket::LockWait))
+                .add(*us as i64);
+        }
         report.timings = timings;
+        if self.cfg.tracing {
+            self.trace_check()?;
+        }
         Ok(report)
     }
 }
@@ -564,39 +803,63 @@ struct ReplayedUnit {
     page: Page,
     applied: u64,
     wall_us: u64,
-    /// PSNs of the applied records, in application order — the rt
-    /// analog of the sim watchdog's ReplayHop stream.
-    from_psns: Vec<Psn>,
+    /// Time spent spinning for the page latch (part of `wall_us`).
+    lock_wait_us: u64,
 }
 
 /// Replays one lane's units in order, latching each page exclusively
-/// for the duration of its redo.
+/// for the duration of its redo. Every applied record lands in the
+/// lane's [`SpanBuf`] as [`SpanKind::ReplayHop`] spans — one per
+/// maximal run of consecutively applied PSNs, which preserves the
+/// watchdog's per-record ordering power (any non-monotone application
+/// splits a run, and the out-of-order run then starts below the
+/// watchdog's replay frontier).
 fn replay_lane(
     locks: &ShardedLockTable,
     lane: usize,
     items: Vec<ReplayWork>,
-) -> Result<Vec<ReplayedUnit>> {
+    mut buf: SpanBuf,
+    clock: WallClock,
+    root: SpanId,
+) -> Result<(Vec<ReplayedUnit>, SpanBuf)> {
     let token = REPLAY_TOKEN_BASE | lane as u64;
     let mut out = Vec::with_capacity(items.len());
     for mut w in items {
         let t = Instant::now();
-        if !locks.acquire_spin(w.pid, token, LockMode::Exclusive, ACQUIRE_SPINS) {
+        let waited = locks.acquire_spin_timed(w.pid, token, LockMode::Exclusive, ACQUIRE_SPINS);
+        let Some(lock_wait_us) = waited else {
             return Err(Error::Protocol(format!(
                 "replay worker could not latch {}",
                 w.pid
             )));
-        }
+        };
         let applied = apply_unit(&mut w);
         locks.release(w.pid, token);
         let from_psns = applied?;
+        let owner = w.pid.owner;
+        let at = clock.now_us();
+        for (first, last, applied) in psn_runs(&from_psns) {
+            buf.point(
+                at,
+                owner,
+                root,
+                SpanKind::ReplayHop {
+                    pid: w.pid,
+                    node: owner,
+                    from_psn: first,
+                    to_psn: last.next(),
+                    applied,
+                },
+            );
+        }
         out.push(ReplayedUnit {
             applied: from_psns.len() as u64,
             wall_us: t.elapsed().as_micros() as u64,
+            lock_wait_us,
             page: w.page,
-            from_psns,
         });
     }
-    Ok(out)
+    Ok((out, buf))
 }
 
 /// PSN-filtered redo of one page (the filter of [`Node::replay_page`],
@@ -613,19 +876,23 @@ fn apply_unit(w: &mut ReplayWork) -> Result<Vec<Psn>> {
     Ok(from_psns)
 }
 
-/// Post-join PSN-order invariant: applied PSNs of one page must be
-/// strictly increasing — the same per-page monotonicity the sim span
-/// watchdog enforces on ReplayHop spans.
-fn check_psn_order(pid: PageId, from_psns: &[Psn]) -> Result<()> {
-    for pair in from_psns.windows(2) {
-        if pair[1] <= pair[0] {
-            return Err(Error::Protocol(format!(
-                "replay PSN order violation on {pid}: {} applied after {}",
-                pair[1], pair[0]
-            )));
+/// Maximal runs of consecutively applied PSNs, as
+/// `(first, last, count)`. Correct application applies each record at
+/// exactly the page's PSN, so the whole unit is one run; anything
+/// else fractures into runs whose ReplayHop spans the watchdog
+/// rejects.
+fn psn_runs(from_psns: &[Psn]) -> Vec<(Psn, Psn, u64)> {
+    let mut runs: Vec<(Psn, Psn, u64)> = Vec::new();
+    for &p in from_psns {
+        match runs.last_mut() {
+            Some((_, last, n)) if p == last.next() => {
+                *last = p;
+                *n += 1;
+            }
+            _ => runs.push((p, p, 1)),
         }
     }
-    Ok(())
+    runs
 }
 
 // ----------------------------------------------------------------------
@@ -645,6 +912,38 @@ struct WorkerOutcome {
     report: RunReport,
     sent: u64,
     stats: RtNodeStats,
+    buf: SpanBuf,
+}
+
+/// Wall-time profiler of one worker thread (DESIGN §14).
+///
+/// `outer_us` sums the top-level timed scopes of the worker loop
+/// (inbox service, flushes, transaction execution, shutdown serving);
+/// the leaf buckets are measured *inside* those scopes and are
+/// disjoint sub-intervals of them. The derived buckets therefore keep
+/// the simulator's partition invariant exactly in integer µs:
+/// `busy = outer − lock_wait` and `cpu = busy − disk − net`, so
+/// `disk + cpu + net == busy` by construction. Time parked in
+/// `recv_timeout` between scopes (group-commit windows, shutdown
+/// stragglers) is idle and deliberately unattributed.
+#[derive(Clone, Copy, Debug, Default)]
+struct Prof {
+    outer_us: u64,
+    disk_us: u64,
+    net_us: u64,
+    lock_wait_us: u64,
+}
+
+impl Prof {
+    fn busy_us(&self) -> u64 {
+        self.outer_us.saturating_sub(self.lock_wait_us)
+    }
+
+    fn cpu_us(&self) -> u64 {
+        self.busy_us()
+            .saturating_sub(self.disk_us)
+            .saturating_sub(self.net_us)
+    }
 }
 
 /// One MPL lane: its plans run sequentially; the worker interleaves
@@ -682,18 +981,19 @@ fn run_worker(
     clock: WallClock,
     remaining: Arc<AtomicUsize>,
     latency: Histogram,
+    samples: Reservoir,
+    mut buf: SpanBuf,
 ) -> Result<WorkerOutcome> {
     let mut sched = ForceScheduler::new(policy);
     let mut report = RunReport::default();
     let started = Instant::now();
-    let mut disk_us = 0u64;
-    let mut net_us = 0u64;
-    let mut cpu_us = 0u64;
-    macro_rules! timed {
-        ($bucket:ident, $e:expr) => {{
+    let mut prof = Prof::default();
+    let mut forced_bytes = node.log().bytes_written();
+    macro_rules! outer {
+        ($e:expr) => {{
             let t = Instant::now();
             let r = $e;
-            $bucket += t.elapsed().as_micros() as u64;
+            prof.outer_us += t.elapsed().as_micros() as u64;
             r
         }};
     }
@@ -723,20 +1023,21 @@ fn run_worker(
         remaining.fetch_sub(1, Ordering::AcqRel);
     }
     loop {
-        timed!(net_us, serve_inbox(&mut node, &ep)?);
+        outer!(serve_inbox(&mut node, &ep, &clock, &mut prof, &mut buf)?);
         if sched.is_due(clock.now_us()) {
-            timed!(
-                disk_us,
-                flush(
-                    &mut node,
-                    &mut sched,
-                    &mut lanes,
-                    &locks,
-                    &clock,
-                    &latency,
-                    &mut report
-                )?
-            );
+            outer!(flush(
+                &mut node,
+                &mut sched,
+                &mut lanes,
+                &locks,
+                &clock,
+                &latency,
+                &samples,
+                &mut report,
+                &mut prof,
+                &mut buf,
+                &mut forced_bytes,
+            )?);
         }
 
         let mut progressed = false;
@@ -751,18 +1052,17 @@ fn run_worker(
             }
             live = true;
             let plan = lanes[li].plans[lanes[li].next].clone();
-            let outcome = timed!(
-                cpu_us,
-                run_txn(
-                    &mut node,
-                    &ep,
-                    &locks,
-                    &clock,
-                    &plan,
-                    &mut sched,
-                    &mut report
-                )?
-            );
+            let outcome = outer!(run_txn(
+                &mut node,
+                &ep,
+                &locks,
+                &clock,
+                &plan,
+                &mut sched,
+                &mut report,
+                &mut prof,
+                &mut buf,
+            )?);
             match outcome {
                 TxnOutcome::Committing(txn, at) => {
                     lanes[li].waiting = Some((txn, at, token_of(txn)));
@@ -791,18 +1091,19 @@ fn run_worker(
             // All lanes done. Force out any stragglers, then keep
             // serving page fetches until every node is done too.
             while sched.pending_len() > 0 {
-                timed!(
-                    disk_us,
-                    flush(
-                        &mut node,
-                        &mut sched,
-                        &mut lanes,
-                        &locks,
-                        &clock,
-                        &latency,
-                        &mut report
-                    )?
-                );
+                outer!(flush(
+                    &mut node,
+                    &mut sched,
+                    &mut lanes,
+                    &locks,
+                    &clock,
+                    &latency,
+                    &samples,
+                    &mut report,
+                    &mut prof,
+                    &mut buf,
+                    &mut forced_bytes,
+                )?);
             }
             if !finished {
                 finished = true;
@@ -812,7 +1113,7 @@ fn run_worker(
                 break;
             }
             if let Some(env) = ep.recv_timeout(Duration::from_micros(500)) {
-                timed!(net_us, serve(&mut node, &ep, env)?);
+                outer!(serve(&mut node, &ep, env, &clock, &mut prof, &mut buf)?);
             }
             continue;
         }
@@ -821,22 +1122,23 @@ fn run_worker(
             // Every live lane is parked on a group-commit window.
             let now = clock.now_us();
             if sched.is_due(now) {
-                timed!(
-                    disk_us,
-                    flush(
-                        &mut node,
-                        &mut sched,
-                        &mut lanes,
-                        &locks,
-                        &clock,
-                        &latency,
-                        &mut report
-                    )?
-                );
+                outer!(flush(
+                    &mut node,
+                    &mut sched,
+                    &mut lanes,
+                    &locks,
+                    &clock,
+                    &latency,
+                    &samples,
+                    &mut report,
+                    &mut prof,
+                    &mut buf,
+                    &mut forced_bytes,
+                )?);
             } else if let Some(d) = sched.deadline() {
                 let wait = d.saturating_sub(now).clamp(1, 5_000);
                 if let Some(env) = ep.recv_timeout(Duration::from_micros(wait)) {
-                    timed!(net_us, serve(&mut node, &ep, env)?);
+                    outer!(serve(&mut node, &ep, env, &clock, &mut prof, &mut buf)?);
                 }
             }
         }
@@ -847,13 +1149,17 @@ fn run_worker(
         stats: RtNodeStats {
             node: node.id().0,
             wall_us: started.elapsed().as_micros() as u64,
-            disk_us,
-            net_us,
-            cpu_us,
+            busy_us: prof.busy_us(),
+            disk_us: prof.disk_us,
+            net_us: prof.net_us,
+            cpu_us: prof.cpu_us(),
+            lock_wait_us: prof.lock_wait_us,
+            replay_us: 0,
         },
         node,
         report,
         sent: ep.sent(),
+        buf,
     })
 }
 
@@ -866,6 +1172,33 @@ enum TxnOutcome {
     Retry,
 }
 
+/// Closes a transaction's span with its outcome and duration.
+/// `committed: true` is recorded at `commit_begin` — the commit record
+/// exists and the group force is scheduled; the worker loop never
+/// exits with an unforced commit, so the label is safe within a run.
+fn end_txn_span(
+    buf: &mut SpanBuf,
+    id: SpanId,
+    node: NodeId,
+    start: SimTime,
+    now: SimTime,
+    txn: TxnId,
+    committed: bool,
+) {
+    if id.is_none() {
+        return;
+    }
+    buf.emit(Span {
+        id,
+        parent: SpanId::NONE,
+        node,
+        start,
+        dur: now.saturating_sub(start),
+        kind: SpanKind::Txn { txn, committed },
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_txn(
     node: &mut Node,
     ep: &ChannelEndpoint,
@@ -874,10 +1207,14 @@ fn run_txn(
     plan: &TxnPlan,
     sched: &mut ForceScheduler,
     report: &mut RunReport,
+    prof: &mut Prof,
+    buf: &mut SpanBuf,
 ) -> Result<TxnOutcome> {
     let me = node.id();
     let txn = node.begin()?;
     let token = token_of(txn);
+    let t_start = clock.now_us();
+    let span = buf.alloc();
     for op in &plan.ops {
         let (pid, mode) = match *op {
             PlanOp::Read { pid, .. } => (pid, LockMode::Shared),
@@ -889,9 +1226,10 @@ fn run_txn(
                 "{me} plan writes remote page {pid}: the threaded runtime only writes owned pages"
             )));
         }
-        if !acquire(node, ep, locks, pid, token, mode)? {
+        if !acquire(node, ep, locks, pid, token, mode, clock, prof, buf)? {
             abort_txn(node, ep, locks, txn, token)?;
             report.forced_aborts += 1;
+            end_txn_span(buf, span, me, t_start, clock.now_us(), txn, false);
             return Ok(TxnOutcome::Retry);
         }
         match *op {
@@ -900,12 +1238,19 @@ fn run_txn(
                     ensure_cached(node, pid)?;
                     node.peek_slot(pid, slot).ok_or(Error::NoSuchPage(pid))?;
                 } else {
-                    remote_read(node, ep, pid, slot)?;
+                    remote_read(node, ep, pid, slot, span, clock, prof, buf)?;
                 }
             }
             PlanOp::Write { pid, slot, value } => {
                 ensure_cached(node, pid)?;
                 let before = node.peek_slot(pid, slot).ok_or(Error::NoSuchPage(pid))?;
+                // The watchdog checks the pre-update PSN edge, so read
+                // it before `log_update` bumps it.
+                let psn_before = node
+                    .buffer()
+                    .peek(pid)
+                    .map(|p| p.psn())
+                    .unwrap_or(Psn::ZERO);
                 node.log_update(
                     txn,
                     pid,
@@ -915,6 +1260,19 @@ fn run_txn(
                         after: value.to_le_bytes().to_vec(),
                     },
                 )?;
+                let lsn = node.txn(txn).map(|t| t.last_lsn).unwrap_or(Lsn::ZERO);
+                buf.point(
+                    clock.now_us(),
+                    me,
+                    span,
+                    SpanKind::Update {
+                        pid,
+                        txn,
+                        psn: psn_before,
+                        lsn,
+                        clr: false,
+                    },
+                );
             }
         }
         report.ops_executed += 1;
@@ -922,6 +1280,7 @@ fn run_txn(
     if plan.abort {
         abort_txn(node, ep, locks, txn, token)?;
         report.user_aborts += 1;
+        end_txn_span(buf, span, me, t_start, clock.now_us(), txn, false);
         return Ok(TxnOutcome::Done);
     }
     let lsn = node.commit_begin(txn)?;
@@ -932,10 +1291,16 @@ fn run_txn(
     locks.release_all(token);
     let now = clock.now_us();
     sched.submit(txn, lsn, now);
+    end_txn_span(buf, span, me, t_start, now, txn, true);
     Ok(TxnOutcome::Committing(txn, now))
 }
 
 /// Forces the log and acknowledges every commit the force covered.
+/// The force itself is attributed to `disk` (on a file-backed WAL it
+/// is a real `fdatasync`); ack bookkeeping stays in the enclosing
+/// scope's `cpu` remainder. An acknowledging force emits a
+/// [`SpanKind::GroupForce`] span covering the batch.
+#[allow(clippy::too_many_arguments)]
 fn flush(
     node: &mut Node,
     sched: &mut ForceScheduler,
@@ -943,18 +1308,30 @@ fn flush(
     locks: &ShardedLockTable,
     clock: &WallClock,
     latency: &Histogram,
+    samples: &Reservoir,
     report: &mut RunReport,
+    prof: &mut Prof,
+    buf: &mut SpanBuf,
+    forced_bytes: &mut u64,
 ) -> Result<()> {
+    let pending = node.log().bytes_written().saturating_sub(*forced_bytes);
+    let ft = Instant::now();
     node.force_log()?;
+    prof.disk_us += ft.elapsed().as_micros() as u64;
+    *forced_bytes = node.log().bytes_written();
     let flushed = node.log().flushed_lsn();
+    let mut acked = 0u64;
     for txn in sched.drain_acked(flushed) {
         node.finish_commit(txn)?;
         report.committed += 1;
+        acked += 1;
         let now = clock.now_us();
         for lane in lanes.iter_mut() {
             if let Some((w, at, token)) = lane.waiting {
                 if w == txn {
-                    latency.record(now.saturating_sub(at));
+                    let d = now.saturating_sub(at);
+                    latency.record(d);
+                    samples.record(d);
                     // Locks were released at commit_begin; the token is
                     // kept only for debugging, clear defensively.
                     locks.release_all(token);
@@ -965,11 +1342,26 @@ fn flush(
             }
         }
     }
+    if acked > 0 {
+        buf.point(
+            clock.now_us(),
+            node.id(),
+            SpanId::NONE,
+            SpanKind::GroupForce {
+                node: node.id(),
+                txns: acked,
+                bytes: pending,
+            },
+        );
+    }
     Ok(())
 }
 
 /// Takes `pid` for `token`, serving incoming page fetches while it
 /// spins so two nodes waiting on each other's service cannot deadlock.
+/// The spin time — minus the nested service work, which lands in its
+/// own buckets — is attributed to `lock_wait`.
+#[allow(clippy::too_many_arguments)]
 fn acquire(
     node: &mut Node,
     ep: &ChannelEndpoint,
@@ -977,19 +1369,31 @@ fn acquire(
     pid: PageId,
     token: u64,
     mode: LockMode,
+    clock: &WallClock,
+    prof: &mut Prof,
+    buf: &mut SpanBuf,
 ) -> Result<bool> {
+    if locks.try_acquire(pid, token, mode) {
+        return Ok(true);
+    }
+    let t = Instant::now();
+    let leaf0 = prof.disk_us + prof.net_us;
+    let mut won = false;
     for i in 0..ACQUIRE_SPINS {
         if locks.try_acquire(pid, token, mode) {
-            return Ok(true);
+            won = true;
+            break;
         }
-        serve_inbox(node, ep)?;
+        serve_inbox(node, ep, clock, prof, buf)?;
         if i % 64 == 63 {
             std::thread::yield_now();
         } else {
             std::hint::spin_loop();
         }
     }
-    Ok(false)
+    let nested = (prof.disk_us + prof.net_us).saturating_sub(leaf0);
+    prof.lock_wait_us += (t.elapsed().as_micros() as u64).saturating_sub(nested);
+    Ok(won)
 }
 
 fn abort_txn(
@@ -1037,32 +1441,84 @@ fn ensure_cached(node: &mut Node, pid: PageId) -> Result<()> {
 /// Fetches a remote page image from its owner and reads one slot. The
 /// image is used once and dropped — without callback locking there is
 /// no safe way to keep it cached past the transaction's S lock.
-fn remote_read(node: &mut Node, ep: &ChannelEndpoint, pid: PageId, slot: usize) -> Result<u64> {
-    ep.send(pid.owner, MsgKind::LockRequest, encode_pid(pid))?;
+///
+/// The fetch is traced as a [`SpanKind::Msg`] whose id rides the
+/// envelope header, so the owner's Transfer/ship spans parent on it
+/// and the causal chain crosses the mesh exactly as in the simulator.
+/// The blocking wait for the reply is attributed to `net`; nested
+/// service of other nodes' fetches lands in its own buckets.
+#[allow(clippy::too_many_arguments)]
+fn remote_read(
+    node: &mut Node,
+    ep: &ChannelEndpoint,
+    pid: PageId,
+    slot: usize,
+    parent: SpanId,
+    clock: &WallClock,
+    prof: &mut Prof,
+    buf: &mut SpanBuf,
+) -> Result<u64> {
+    let t = Instant::now();
+    let leaf0 = prof.disk_us + prof.net_us;
+    let me = node.id();
+    let payload = encode_pid(pid);
+    let nbytes = payload.len() as u64;
+    let msg = buf.alloc();
+    ep.send_ctx(
+        pid.owner,
+        MsgKind::LockRequest,
+        payload,
+        SpanCtx::child(msg, parent),
+    )?;
+    if !msg.is_none() {
+        buf.emit(Span {
+            id: msg,
+            parent,
+            node: me,
+            start: clock.now_us(),
+            dur: 0,
+            kind: SpanKind::Msg {
+                kind: MsgKind::LockRequest.label(),
+                from: me,
+                to: pid.owner,
+                bytes: nbytes,
+                carries_log: false,
+            },
+        });
+    }
     let deadline = Instant::now() + FETCH_TIMEOUT;
-    loop {
+    let value = loop {
         match ep.recv_timeout(Duration::from_millis(1)) {
             Some(env) if env.kind == MsgKind::PageShip => {
                 let page = Page::from_bytes(env.payload)?;
                 if page.id() == pid {
-                    return page.read_slot(slot);
+                    break page.read_slot(slot);
                 }
                 // A ship we did not ask for; workers have one fetch in
                 // flight at a time, so this cannot happen — drop it.
             }
-            Some(env) => serve(node, ep, env)?,
+            Some(env) => serve(node, ep, env, clock, prof, buf)?,
             None => {
                 if Instant::now() >= deadline {
                     return Err(Error::Protocol(format!("page fetch of {pid} timed out")));
                 }
             }
         }
-    }
+    };
+    let nested = (prof.disk_us + prof.net_us).saturating_sub(leaf0);
+    prof.net_us += (t.elapsed().as_micros() as u64).saturating_sub(nested);
+    value
 }
 
-fn serve_inbox(node: &mut Node, ep: &ChannelEndpoint) -> Result<()> {
+fn serve_inbox(
+    node: &mut Node,
+    ep: &ChannelEndpoint,
+    clock: &WallClock,
+    prof: &mut Prof,
+    buf: &mut SpanBuf,
+) -> Result<()> {
     while let Some(env) = ep.try_recv() {
-        serve(node, ep, env)?;
+        serve(node, ep, env, clock, prof, buf)?;
     }
     Ok(())
 }
@@ -1070,16 +1526,72 @@ fn serve_inbox(node: &mut Node, ep: &ChannelEndpoint) -> Result<()> {
 /// Owner-side service: ship the authoritative image of an owned page.
 /// If the buffer copy is dirty, the WAL rule applies — our log records
 /// may cover its updates, so force the log before the image escapes
-/// the node.
-fn serve(node: &mut Node, ep: &ChannelEndpoint, env: Envelope) -> Result<()> {
+/// the node. The force is attributed to `disk` and the rest of the
+/// service to `net`; the ship is traced as Transfer + Msg spans
+/// parented on the requester's message span.
+fn serve(
+    node: &mut Node,
+    ep: &ChannelEndpoint,
+    env: Envelope,
+    clock: &WallClock,
+    prof: &mut Prof,
+    buf: &mut SpanBuf,
+) -> Result<()> {
+    let t = Instant::now();
+    let mut force_us = 0u64;
     match env.kind {
         MsgKind::LockRequest => {
             let pid = decode_pid(&env.payload)?;
-            if node.buffer().is_dirty(pid) == Some(true) {
+            let dirty = node.buffer().is_dirty(pid) == Some(true);
+            if dirty {
+                let ft = Instant::now();
                 node.force_log()?;
+                force_us = ft.elapsed().as_micros() as u64;
             }
             let (page, _) = node.authoritative_copy(pid)?;
-            ep.send(env.from, MsgKind::PageShip, page.to_bytes())?;
+            let me = node.id();
+            let at = clock.now_us();
+            // WAL rule at the sender: a dirty image leaves only after
+            // the force above; a clean image is trivially covered.
+            let wal_ok = !dirty || node.log().fully_forced();
+            buf.point(
+                at,
+                me,
+                env.ctx.span,
+                SpanKind::Transfer {
+                    pid,
+                    from: me,
+                    to: env.from,
+                    psn: page.psn(),
+                    why: TransferWhy::Ship,
+                    wal_ok,
+                },
+            );
+            let bytes = page.to_bytes();
+            let nbytes = bytes.len() as u64;
+            let msg = buf.alloc();
+            ep.send_ctx(
+                env.from,
+                MsgKind::PageShip,
+                bytes,
+                SpanCtx::child(msg, env.ctx.span),
+            )?;
+            if !msg.is_none() {
+                buf.emit(Span {
+                    id: msg,
+                    parent: env.ctx.span,
+                    node: me,
+                    start: at,
+                    dur: 0,
+                    kind: SpanKind::Msg {
+                        kind: MsgKind::PageShip.label(),
+                        from: me,
+                        to: env.from,
+                        bytes: nbytes,
+                        carries_log: false,
+                    },
+                });
+            }
         }
         other => {
             return Err(Error::Protocol(format!(
@@ -1087,7 +1599,61 @@ fn serve(node: &mut Node, ep: &ChannelEndpoint, env: Envelope) -> Result<()> {
             )));
         }
     }
+    prof.disk_us += force_us;
+    prof.net_us += (t.elapsed().as_micros() as u64).saturating_sub(force_us);
     Ok(())
+}
+
+/// Serializes the per-node profile as the `"nodes":[…],"folded":[…]`
+/// JSON fragment shared by every threaded-runtime telemetry export
+/// (`rtbench`, `obsreport --compare`) — the same skeleton the
+/// simulator's `export_json` emits, so one renderer draws both.
+///
+/// The folded lines are `flamegraph.pl` input: `label;n<id>;<bucket>`
+/// frames weighted by measured µs. Zero buckets are elided, matching
+/// the simulator's export.
+pub fn profile_fragment(label: &str, nodes: &[RtNodeStats]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("\"nodes\":[");
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let util = (n.busy_us * 100).checked_div(n.wall_us).unwrap_or(0);
+        let _ = write!(
+            out,
+            "{{\"node\":{},\"busy_us\":{},\"total_us\":{},\"utilization_pct\":{util},\"buckets\":{{\"disk\":{},\"cpu\":{},\"net\":{},\"lock_wait\":{},\"replay\":{}}}}}",
+            n.node, n.busy_us, n.wall_us, n.disk_us, n.cpu_us, n.net_us, n.lock_wait_us, n.replay_us
+        );
+    }
+    out.push_str("],\"folded\":[");
+    let mut first = true;
+    for n in nodes {
+        for (bucket, us) in [
+            (Bucket::Disk, n.disk_us),
+            (Bucket::Cpu, n.cpu_us),
+            (Bucket::Net, n.net_us),
+            (Bucket::LockWait, n.lock_wait_us),
+            (Bucket::Replay, n.replay_us),
+        ] {
+            if us == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\"{};n{};{} {us}\"",
+                cblog_common::obs::json_escape(label),
+                n.node,
+                bucket.label()
+            );
+        }
+    }
+    out.push(']');
+    out
 }
 
 #[cfg(test)]

@@ -262,9 +262,149 @@ pub fn render_html(doc: &JsonValue) -> std::result::Result<String, String> {
     Ok(out)
 }
 
+/// Renders two telemetry exports of the *same seeded workload* — one
+/// from the deterministic simulator, one from the threaded runtime —
+/// side by side: each engine's per-node profile bars, then a combined
+/// table giving every node × bucket in both engines' µs *and* shares.
+/// Simulated µs and wall-clock µs tick different clocks, so the
+/// shares (bucket / node total) are the comparable columns; matching
+/// shapes with diverging absolutes is the expected signature of a
+/// faithful model.
+///
+/// Works from the parsed JSON alone, like [`render_html`], so any two
+/// saved exports (e.g. an `e1` scenario and a `BENCH_rt_threads.json`)
+/// can be compared after the fact.
+pub fn render_compare_html(sim: &JsonValue, rt: &JsonValue) -> std::result::Result<String, String> {
+    let label_of = |doc: &JsonValue| -> String {
+        doc.get("experiment")
+            .and_then(|v| v.as_str())
+            .unwrap_or("?")
+            .to_string()
+    };
+    let (sim_label, rt_label) = (label_of(sim), label_of(rt));
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>obsreport: {s} vs {r}</title>\
+         <style>body{{font-family:monospace;max-width:980px;margin:2em auto}}\
+         h2{{border-bottom:1px solid #ccc}}\
+         .legend span{{display:inline-block;margin-right:1em}}\
+         .chip{{display:inline-block;width:0.8em;height:0.8em;margin-right:0.3em}}\
+         table{{border-collapse:collapse}}td,th{{padding:2px 10px;text-align:right}}</style>\
+         </head><body>\n<h1>obsreport — sim vs rt</h1>\n",
+        s = html_escape(&sim_label),
+        r = html_escape(&rt_label),
+    );
+    out.push_str("<p class=\"legend\">");
+    for (b, c) in BUCKET_COLORS {
+        let _ = write!(
+            out,
+            "<span><span class=\"chip\" style=\"background:{c}\"></span>{b}</span>"
+        );
+    }
+    out.push_str("</p>\n");
+
+    for (title, doc) in [
+        ("Simulated time", sim),
+        ("Threaded runtime (wall clock)", rt),
+    ] {
+        let label = label_of(doc);
+        let now = doc.get("now_us").and_then(|v| v.as_i64()).unwrap_or(0);
+        let _ = writeln!(out, "<h2>{title} — {} ({now} µs)</h2>", html_escape(&label));
+        let nodes = doc
+            .get("nodes")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("{label}: export has no \"nodes\" array"))?;
+        render_profile_bars(&mut out, nodes)?;
+    }
+
+    render_compare_table(&mut out, sim, rt)?;
+    render_cells(&mut out, rt);
+    out.push_str("</body></html>\n");
+    Ok(out)
+}
+
+/// Per node × bucket: `(µs, share-of-node-total)` from both exports in
+/// one table, nodes matched by id.
+fn render_compare_table(
+    out: &mut String,
+    sim: &JsonValue,
+    rt: &JsonValue,
+) -> std::result::Result<(), String> {
+    // node id → (total_us, bucket → µs), per engine.
+    type Profile = std::collections::BTreeMap<i64, (i64, std::collections::BTreeMap<String, i64>)>;
+    let profile_of = |doc: &JsonValue| -> std::result::Result<Profile, String> {
+        let nodes = doc
+            .get("nodes")
+            .and_then(|v| v.as_arr())
+            .ok_or("export has no \"nodes\" array")?;
+        let mut map = Profile::new();
+        for (i, n) in nodes.iter().enumerate() {
+            let id = n.get("node").and_then(|v| v.as_i64()).unwrap_or(i as i64);
+            let total = n.get("total_us").and_then(|v| v.as_i64()).unwrap_or(0);
+            let buckets = n
+                .get("buckets")
+                .and_then(|v| v.as_obj())
+                .ok_or("node entry has no \"buckets\" object")?;
+            let bs = buckets
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_i64().unwrap_or(0)))
+                .collect();
+            map.insert(id, (total, bs));
+        }
+        Ok(map)
+    };
+    let sim_p = profile_of(sim)?;
+    let rt_p = profile_of(rt)?;
+
+    out.push_str(
+        "<h2>Bucket shares, sim vs rt</h2>\n\
+         <p>Different clocks — compare the share columns, not the µs.</p>\n\
+         <table><tr><th>node</th><th>bucket</th>\
+         <th>sim µs</th><th>sim share</th><th>rt µs</th><th>rt share</th></tr>\n",
+    );
+    let ids: std::collections::BTreeSet<i64> = sim_p.keys().chain(rt_p.keys()).copied().collect();
+    let share = |us: i64, total: i64| -> String {
+        if total > 0 {
+            format!("{:.1}%", us as f64 * 100.0 / total as f64)
+        } else {
+            "—".to_string()
+        }
+    };
+    for id in ids {
+        for (bucket, _) in BUCKET_COLORS {
+            let (sim_us, sim_total) = sim_p
+                .get(&id)
+                .map(|(t, bs)| (bs.get(*bucket).copied().unwrap_or(0), *t))
+                .unwrap_or((0, 0));
+            let (rt_us, rt_total) = rt_p
+                .get(&id)
+                .map(|(t, bs)| (bs.get(*bucket).copied().unwrap_or(0), *t))
+                .unwrap_or((0, 0));
+            if sim_us == 0 && rt_us == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "<tr><td>n{id}</td>\
+                 <td><span class=\"chip\" style=\"background:{c}\"></span>{bucket}</td>\
+                 <td>{sim_us}</td><td>{}</td><td>{rt_us}</td><td>{}</td></tr>",
+                share(sim_us, sim_total),
+                share(rt_us, rt_total),
+                c = color_of(bucket),
+            );
+        }
+    }
+    out.push_str("</table>\n");
+    Ok(())
+}
+
 /// Benchmark-cell table (threaded-runtime exports): one row per
-/// (MPL, group-commit policy) combination with wall-clock throughput
-/// and latency. Absent from simulator exports — skipped silently.
+/// benchmark combination. The column set is the subset of known cell
+/// keys actually present in the export, so the one renderer covers
+/// every rtbench mode (throughput sweep, recovery, trace overhead).
+/// Absent from simulator exports — skipped silently.
 fn render_cells(out: &mut String, doc: &JsonValue) {
     let Some(cells) = doc.get("cells").and_then(|v| v.as_arr()) else {
         return;
@@ -276,22 +416,37 @@ fn render_cells(out: &mut String, doc: &JsonValue) {
     const COLS: &[(&str, &str)] = &[
         ("mpl", "MPL"),
         ("policy", "policy"),
+        ("workers", "workers"),
+        ("pages", "pages"),
+        ("waves", "waves"),
         ("commits", "commits"),
         ("commits_per_sec", "commits/s"),
+        ("p50_exact_us", "p50 µs (exact)"),
+        ("p99_exact_us", "p99 µs (exact)"),
+        ("p50_hist_us", "p50 µs (hist)"),
+        ("p99_hist_us", "p99 µs (hist)"),
         ("p50_us", "p50 µs"),
         ("p99_us", "p99 µs"),
         ("forces", "forces"),
         ("forces_per_commit", "forces/commit"),
         ("commit_msgs", "commit msgs"),
+        ("wall_off_us", "wall µs (untraced)"),
+        ("wall_on_us", "wall µs (traced)"),
+        ("overhead_pct", "overhead %"),
         ("wall_us", "wall µs"),
+        ("spans", "spans"),
     ];
-    for (_, title) in COLS {
+    let cols: Vec<&(&str, &str)> = COLS
+        .iter()
+        .filter(|(key, _)| cells.iter().any(|c| c.get(key).is_some()))
+        .collect();
+    for (_, title) in &cols {
         let _ = write!(out, "<th>{title}</th>");
     }
     out.push_str("</tr>\n");
     for cell in cells {
         out.push_str("<tr>");
-        for (key, _) in COLS {
+        for (key, _) in &cols {
             match cell.get(key) {
                 Some(v) => {
                     if let Some(s) = v.as_str() {
@@ -552,6 +707,53 @@ mod tests {
         let sim = run_scenario("e1").unwrap();
         let sim_doc = jsonv::parse(&sim).unwrap();
         assert!(!render_html(&sim_doc).unwrap().contains("Benchmark cells"));
+    }
+
+    #[test]
+    fn compare_html_renders_both_profiles_side_by_side() {
+        let sim = run_scenario("e1").unwrap();
+        let sim_doc = jsonv::parse(&sim).unwrap();
+        let rt = r#"{"experiment":"rt_threads","now_us":5000,
+            "nodes":[{"node":0,"busy_us":80,"total_us":100,"utilization_pct":80,
+                      "buckets":{"disk":50,"cpu":20,"net":10,"lock_wait":20,"replay":0}}],
+            "folded":["rt_threads;n0;disk 50"],"telemetry":null,
+            "cells":[{"mpl":1,"policy":"immediate","commits":16,
+                      "p50_exact_us":321,"p99_exact_us":6661,
+                      "p50_hist_us":511,"p99_hist_us":6661,"spans":96}]}"#;
+        let rt_doc = jsonv::parse(rt).unwrap();
+        let html = render_compare_html(&sim_doc, &rt_doc).unwrap();
+        assert!(html.contains("Simulated time"), "sim profile section");
+        assert!(html.contains("Threaded runtime"), "rt profile section");
+        assert!(html.contains("Bucket shares"), "comparison table");
+        assert!(html.contains("50.0%"), "rt disk share of 100 µs total");
+        assert!(
+            html.contains("p50 µs (exact)") && html.contains("p50 µs (hist)"),
+            "exact and histogram percentiles rendered as separate columns"
+        );
+        assert!(
+            !html.contains("p50 µs</th>"),
+            "legacy percentile column absent when the keys are absent"
+        );
+        assert!(
+            !html.contains("src=") && !html.contains("href="),
+            "self-contained: no external references"
+        );
+
+        // The single renderer also handles the overhead export's cells.
+        let ovh = r#"{"experiment":"rt_trace_overhead","now_us":9,
+            "nodes":[{"node":0,"busy_us":8,"total_us":9,"utilization_pct":88,
+                      "buckets":{"disk":4,"cpu":4,"net":0,"lock_wait":0,"replay":0}}],
+            "folded":[],"telemetry":null,
+            "cells":[{"mpl":1,"policy":"window","commits":16,
+                      "wall_off_us":2189,"wall_on_us":2930,
+                      "overhead_pct":33.85,"spans":96}]}"#;
+        let html = render_html(&jsonv::parse(ovh).unwrap()).unwrap();
+        assert!(html.contains("overhead %"), "overhead column present");
+        assert!(html.contains("33.85"), "overhead value rendered");
+        assert!(
+            !html.contains("forces/commit"),
+            "columns absent from the cells are not rendered"
+        );
     }
 
     #[test]

@@ -218,6 +218,13 @@ impl LogManager {
         &self.repair_scanned
     }
 
+    /// Shared handle to the store's per-fsync wall-clock histogram
+    /// (`None` for stores with no real sync to time — see
+    /// [`LogStore::fsync_hist`]).
+    pub fn fsync_histogram(&self) -> Option<&cblog_common::Histogram> {
+        self.store.fsync_hist()
+    }
+
     /// Last complete checkpoint anchor.
     pub fn last_checkpoint(&self) -> Lsn {
         self.master.last_checkpoint

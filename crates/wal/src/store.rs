@@ -90,6 +90,16 @@ pub trait LogStore: Send {
 
     /// Counter of bytes appended.
     fn bytes_appended(&self) -> &Counter;
+
+    /// Wall-clock histogram of individual [`LogStore::sync`] calls,
+    /// µs — one sample per force hitting the device, so group-commit
+    /// batching gains show up per force and not only as forces/commit.
+    /// `None` for stores with no real sync to time (the in-memory
+    /// store: recording wall time there would leak nondeterminism into
+    /// byte-identical sim exports).
+    fn fsync_hist(&self) -> Option<&cblog_common::Histogram> {
+        None
+    }
 }
 
 /// In-memory log store.
@@ -193,6 +203,7 @@ pub struct FileLogStore {
     synced_len: Option<u64>,
     syncs: Counter,
     bytes: Counter,
+    fsync_us: cblog_common::Histogram,
 }
 
 impl FileLogStore {
@@ -215,6 +226,7 @@ impl FileLogStore {
             synced_len: None,
             syncs: Counter::new(),
             bytes: Counter::new(),
+            fsync_us: cblog_common::Histogram::new(),
         })
     }
 }
@@ -278,7 +290,9 @@ impl LogStore for FileLogStore {
     }
 
     fn sync(&mut self) -> Result<()> {
+        let t = std::time::Instant::now();
         self.file.sync_data()?;
+        self.fsync_us.record(t.elapsed().as_micros() as u64);
         self.durable_len = self.len;
         self.synced_len = Some(self.len);
         self.syncs.bump();
@@ -343,6 +357,10 @@ impl LogStore for FileLogStore {
 
     fn bytes_appended(&self) -> &Counter {
         &self.bytes
+    }
+
+    fn fsync_hist(&self) -> Option<&cblog_common::Histogram> {
+        Some(&self.fsync_us)
     }
 }
 
@@ -527,6 +545,39 @@ mod tests {
             let mut buf = [0u8; 7];
             s.read_at(0, &mut buf).unwrap();
             assert_eq!(&buf, b"abcdefg");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&master);
+    }
+
+    #[test]
+    fn fsync_histogram_counts_file_syncs_only() {
+        // The in-memory store must expose no wall-clock histogram —
+        // that is what keeps sim exports byte-deterministic.
+        assert!(MemLogStore::new().fsync_hist().is_none());
+
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cblog-log-fsync-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let master = {
+            let mut m = path.as_os_str().to_owned();
+            m.push(".master");
+            PathBuf::from(m)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&master);
+        {
+            let mut s = FileLogStore::open(&path).unwrap();
+            s.append(b"payload").unwrap();
+            s.sync().unwrap();
+            s.append(b"more").unwrap();
+            s.sync().unwrap();
+            let h = s.fsync_hist().expect("file store times its syncs");
+            assert_eq!(h.count(), 2, "one sample per sync");
+            assert_eq!(h.count(), s.syncs().get());
         }
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&master);
