@@ -194,6 +194,44 @@ impl<'a> Decoder<'a> {
     }
 }
 
+/// Incremental FNV-1a (64-bit) hasher.
+///
+/// Used by the model checker to fingerprint durable state so
+/// convergent crash branches can be pruned; not a cryptographic hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Fnv1a {
+    /// The offset-basis state.
+    pub fn new() -> Self {
+        Fnv1a::default()
+    }
+
+    /// Folds `data` into the state.
+    pub fn write(&mut self, data: &[u8]) {
+        for &b in data {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Folds a u64 (little-endian) into the state.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
 ///
 /// Used to detect torn page writes and truncated log records.

@@ -16,8 +16,8 @@ use crate::node::{Node, RollbackStep};
 use crate::txn::{Savepoint, TxnStatus};
 use cblog_common::metrics::{keys, prof_key};
 use cblog_common::{
-    Bucket, Error, Lsn, MetricValue, NodeId, PageId, Psn, Result, Rid, Sampler, SimTime, Snapshot,
-    Span, SpanCtx, SpanId, SpanKind, TraceEvent, Tracer, TransferWhy, TxnId,
+    Bucket, Error, Fnv1a, Lsn, MetricValue, NodeId, PageId, Psn, Result, Rid, Sampler, SimTime,
+    Snapshot, Span, SpanCtx, SpanId, SpanKind, TraceEvent, Tracer, TransferWhy, TxnId,
 };
 use cblog_locks::{
     CallbackAction, GlobalRequestOutcome, LocalRequestOutcome, LockMode, WaitsForGraph,
@@ -202,6 +202,50 @@ impl Cluster {
     pub fn pending_log_bytes(&self, node: NodeId) -> u64 {
         let lm = &self.nodes[ix(node)].log;
         lm.end_lsn().0 - lm.flushed_lsn().0
+    }
+
+    /// The distinct torn-write landing points of `node`'s unforced log
+    /// tail (see [`cblog_wal::LogManager::torn_landing_points`]): every
+    /// record boundary plus every byte of the final record. The model
+    /// checker enumerates [`Cluster::crash_torn`] over exactly these.
+    pub fn torn_landing_points(&self, node: NodeId) -> Vec<u64> {
+        self.nodes[ix(node)].log.torn_landing_points()
+    }
+
+    /// Record-boundary landing points only (see
+    /// [`cblog_wal::LogManager::torn_record_boundaries`]) — the
+    /// coarser tear grid multi-victim crash products enumerate.
+    pub fn torn_record_boundaries(&self, node: NodeId) -> Vec<u64> {
+        self.nodes[ix(node)].log.torn_record_boundaries()
+    }
+
+    /// Repairs the torn log tails of crashed `nodes` — exactly what
+    /// recovery does first — *without* starting recovery (the nodes
+    /// stay crashed), so the model checker can fingerprint the
+    /// post-repair durable state ([`Cluster::durable_state_hash`]) and
+    /// prune a branch before paying for its recovery. Safe to follow
+    /// with [`recovery::recover`](crate::recovery::recover): the
+    /// repair is idempotent.
+    pub fn repair_tails(&mut self, nodes: &[NodeId]) -> Result<u64> {
+        let mut torn = 0;
+        for &n in nodes {
+            torn += self.nodes[ix(n)].repair_tail()?;
+        }
+        Ok(torn)
+    }
+
+    /// FNV-1a fingerprint of the cluster's entire durable state: every
+    /// node's on-device database pages, durable log bytes, and master
+    /// record. Volatile state (buffers, lock tables, DPTs, clocks,
+    /// metrics) is excluded, so two histories that would survive a
+    /// power cut identically hash identically — the pruning key of the
+    /// model checker's crash-branch exploration.
+    pub fn durable_state_hash(&mut self) -> Result<u64> {
+        let mut h = Fnv1a::new();
+        for n in &mut self.nodes {
+            n.durable_state_hash(&mut h)?;
+        }
+        Ok(h.finish())
     }
 
     // ------------------------------------------------------------------

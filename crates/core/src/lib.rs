@@ -49,7 +49,7 @@ pub mod runtime;
 pub mod txn;
 
 pub use cblog_common::RecoveryPhase;
-pub use cblog_net::{FaultPlan, FaultStats};
+pub use cblog_net::{FaultAction, FaultPlan, FaultScript, FaultStats};
 pub use cluster::Cluster;
 pub use config::{ClusterConfig, ClusterConfigBuilder, GroupCommitPolicy, NodeConfig};
 pub use group_commit::{ForceScheduler, PendingCommit};

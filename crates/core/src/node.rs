@@ -11,7 +11,7 @@ use crate::config::NodeConfig;
 use crate::txn::{Savepoint, TxnState, TxnStatus};
 use cblog_common::metrics::keys;
 use cblog_common::{
-    Counter, Error, FlightRecorder, Lsn, NodeId, PageId, Psn, Registry, Result, TxnId,
+    Counter, Error, FlightRecorder, Fnv1a, Lsn, NodeId, PageId, Psn, Registry, Result, TxnId,
 };
 use cblog_locks::{CachedLockTable, GlobalLockTable, LocalLockTable};
 use cblog_storage::{BufferPool, Database, EvictedPage, MemStorage, Page, PageKind};
@@ -722,6 +722,14 @@ impl Node {
     /// Returns the number of torn bytes discarded (0 for a clean log).
     pub fn mark_restarting(&mut self) -> Result<u64> {
         self.crashed = false;
+        self.repair_tail()
+    }
+
+    /// The tail repair of [`Node::mark_restarting`] alone: the crashed
+    /// flag stays set, so recovery still accepts the node afterwards.
+    /// Idempotent — the model checker repairs early to fingerprint the
+    /// post-repair durable state before committing to a recovery run.
+    pub fn repair_tail(&mut self) -> Result<u64> {
         let torn = self.log.repair_tail()?;
         if torn > 0 {
             self.registry.counter(keys::WAL_TORN_BYTES).add(torn);
@@ -852,6 +860,62 @@ impl Node {
             records_scanned: records,
             bytes_scanned,
         })
+    }
+
+    /// Folds this node's durable state into `h`: the on-device
+    /// database pages (in index order), then the durable log bytes and
+    /// master record. Volatile state — buffer pool, lock tables, DPT,
+    /// transaction table — is excluded, so the digest is exactly what
+    /// a crash at this instant preserves.
+    pub fn durable_state_hash(&mut self, h: &mut Fnv1a) -> Result<()> {
+        h.write_u64(self.id.0 as u64);
+        if let Some(db) = &mut self.db {
+            for i in 0..db.capacity() {
+                match db.read_page(i) {
+                    Ok(p) => h.write(&p.to_bytes()),
+                    Err(_) => h.write_u64(u64::MAX),
+                }
+            }
+        }
+        self.log.durable_hash(h)
+    }
+
+    /// Pages owned by `owner` that this node's loser transactions
+    /// updated, re-derived from the local log by walking each loser's
+    /// undo chain (§2.4). Under strict 2PL every such page was held
+    /// exclusively at crash time, so the list reconstructs the fences
+    /// a *crashed* owner lost with its lock table — the operational
+    /// counterpart is `drop_shared_retain_exclusive`. Call after
+    /// [`Node::restart_analysis`] has rebuilt the loser table.
+    pub fn loser_page_locks(&mut self, owner: NodeId) -> Result<Vec<PageId>> {
+        let losers: Vec<Lsn> = self
+            .txns
+            .values()
+            .filter(|t| t.status == TxnStatus::Aborting)
+            .map(|t| t.undo_next)
+            .collect();
+        let mut pages: BTreeSet<PageId> = BTreeSet::new();
+        for mut cursor in losers {
+            while !cursor.is_zero() {
+                let (rec, _) = self.log.read_record(cursor)?;
+                match rec.payload {
+                    LogPayload::Update { pid, .. } => {
+                        if pid.owner == owner {
+                            pages.insert(pid);
+                        }
+                        cursor = rec.prev_lsn;
+                    }
+                    LogPayload::Clr { pid, undo_next, .. } => {
+                        if pid.owner == owner {
+                            pages.insert(pid);
+                        }
+                        cursor = undo_next;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        Ok(pages.into_iter().collect())
     }
 
     // ------------------------------------------------------------------

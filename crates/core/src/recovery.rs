@@ -70,7 +70,9 @@ pub struct RecoveryOptions {
     nodes: Vec<NodeId>,
     standby: Option<NodeId>,
     crash_after: Option<RecoveryPhase>,
+    crash_tear: Option<(u64, bool)>,
     replay: ReplayMode,
+    sabotage_skip_undo: bool,
 }
 
 impl RecoveryOptions {
@@ -80,7 +82,9 @@ impl RecoveryOptions {
             nodes: vec![node],
             standby: None,
             crash_after: None,
+            crash_tear: None,
             replay: ReplayMode::Serial,
+            sabotage_skip_undo: false,
         }
     }
 
@@ -91,7 +95,9 @@ impl RecoveryOptions {
             nodes: nodes.to_vec(),
             standby: None,
             crash_after: None,
+            crash_tear: None,
             replay: ReplayMode::Serial,
+            sabotage_skip_undo: false,
         }
     }
 
@@ -117,6 +123,26 @@ impl RecoveryOptions {
     /// — the protocol is idempotent.
     pub fn crash_after(mut self, phase: RecoveryPhase) -> Self {
         self.crash_after = Some(phase);
+        self
+    }
+
+    /// Composes with [`RecoveryOptions::crash_after`]: the interrupting
+    /// crash also tears the victims' WAL tails, landing `landed` bytes
+    /// of the unforced tail on the device and (if `corrupt`) flipping
+    /// the last landed byte. No effect unless `crash_after` is set.
+    pub fn crash_after_tear(mut self, landed: u64, corrupt: bool) -> Self {
+        self.crash_tear = Some((landed, corrupt));
+        self
+    }
+
+    /// Deliberately skips the Undo phase, leaving loser transactions'
+    /// updates in place. This exists ONLY so the model checker's
+    /// must-fail self-test can prove the checker catches a broken
+    /// recovery; it is hidden from docs and must never be set outside
+    /// that test.
+    #[doc(hidden)]
+    pub fn sabotage_skip_undo(mut self) -> Self {
+        self.sabotage_skip_undo = true;
         self
     }
 
@@ -294,9 +320,10 @@ fn end_phase(
     t0: &mut SimTime,
     out: &mut PhaseTimings,
     phase: RecoveryPhase,
-    crash_after: Option<RecoveryPhase>,
+    opts: &RecoveryOptions,
     root: SpanId,
 ) -> Result<()> {
+    let crash_after = opts.crash_after;
     let now = cluster.network().clock().now();
     let us = now.saturating_sub(*t0);
     *t0 = now;
@@ -320,7 +347,17 @@ fn end_phase(
     }
     if crash_after == Some(phase) {
         for &c in crashed {
-            cluster.crash(c);
+            match opts.crash_tear {
+                // Composed fault: the interrupting crash also tears
+                // the victim's WAL tail at a chosen byte. At phase
+                // boundaries the recovering node's tail is normally
+                // empty (Undo ends with a force + checkpoint), so
+                // `landed` clamps to whatever is actually pending —
+                // the hook exists so the model checker can prove the
+                // composition stays idempotent rather than assume it.
+                Some((landed, corrupt)) => cluster.crash_torn(c, landed, corrupt),
+                None => cluster.crash(c),
+            }
         }
         return Err(Error::RecoveryInterrupted(phase));
     }
@@ -616,7 +653,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::Analysis,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -640,7 +677,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
                     hdr,
                 )?;
             }
-            let contrib = collect_contribution(cluster, r, c, crashed_set.contains(&r));
+            let contrib = collect_contribution(cluster, r, c, crashed_set.contains(&r))?;
             let reply_bytes = CTRL_BYTES
                 + contrib.cached.len() * 16
                 + contrib.dpt.len() * 44
@@ -664,7 +701,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::InfoExchange,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -690,6 +727,13 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
                 }
                 for (pid, mode) in locks {
                     cluster.node_mut(c).global_locks.insert_grant(pid, r, mode);
+                    // A crashed contributor's grants are log-derived
+                    // loser fences; re-establish its cached side too
+                    // (the crashed_exclusive path below only covers
+                    // owners that stayed up).
+                    if crashed_set.contains(&r) {
+                        cluster.node_mut(r).cached_locks.grant(pid, mode);
+                    }
                 }
             }
         }
@@ -713,7 +757,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::LockRebuild,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -874,7 +918,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::RecoverySets,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -925,7 +969,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::RecoveryLocks,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -995,7 +1039,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::PsnLists,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -1133,13 +1177,18 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::Replay,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
     // ---- Phase 8: undo loser transactions locally, with CLRs. ----
     for &c in crashed {
         for txn in losers[&c].clone() {
+            if opts.sabotage_skip_undo {
+                // Checker self-test hook: leave the loser in place.
+                cluster.node_mut(c).txns.remove(&txn);
+                continue;
+            }
             cluster.node_mut(c).start_abort(txn)?;
             loop {
                 match cluster.node_mut(c).rollback_step(txn, Lsn::ZERO)? {
@@ -1164,7 +1213,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::Undo,
-        opts.crash_after,
+        opts,
         root,
     )?;
 
@@ -1191,7 +1240,7 @@ fn recover_inner(cluster: &mut Cluster, opts: &RecoveryOptions) -> Result<Recove
         &mut phase_t0,
         &mut timings,
         RecoveryPhase::Done,
-        opts.crash_after,
+        opts,
         root,
     )?;
     if !root.is_none() {
@@ -1218,7 +1267,7 @@ fn collect_contribution(
     r: NodeId,
     c: NodeId,
     r_is_crashed: bool,
-) -> ContributedInfo {
+) -> Result<ContributedInfo> {
     let mut out = ContributedInfo::default();
     if !r_is_crashed {
         // Cache inventory for pages owned by c.
@@ -1243,11 +1292,26 @@ fn collect_contribution(
             .into_iter()
             .filter(|(p, _)| p.owner == c)
             .collect();
+    } else {
+        // r is itself recovering (multi-crash, §2.4): the owner-side
+        // fences protecting r's uncommitted updates died with c's lock
+        // table, and r's cached locks died with r. Strict 2PL means
+        // every page a loser of r updated was exclusively locked at
+        // crash time, and r's durable log proves which — contribute
+        // them so phase 3 rebuilds the fence; without it, c would
+        // serve its replayed (not-yet-undone) image to readers while
+        // the undone copy sits unrecalled in r's cache.
+        out.locks_held = cluster
+            .node_mut(r)
+            .loser_page_locks(c)?
+            .into_iter()
+            .map(|p| (p, LockMode::Exclusive))
+            .collect();
     }
     // DPT entries for c's pages (crashed contributors use their
     // log-reconstructed DPT supersets, §2.4).
     out.dpt = cluster.node(r).dpt().entries_for_owner(c);
-    out
+    Ok(out)
 }
 
 /// Executes one [`ReplayUnit`]: reads the owner's disk version,

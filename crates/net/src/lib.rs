@@ -44,6 +44,60 @@ impl MsgHeader {
     }
 }
 
+/// One deterministic fault action, applied by a [`FaultScript`] to a
+/// specific message on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultAction {
+    /// The message is lost in flight ([`Error::MsgLost`] to the
+    /// sender); reliable sends retry, and the retry consumes the next
+    /// sequence index.
+    Drop,
+    /// A spurious second copy is accounted on the wire.
+    Duplicate,
+    /// The message is charged `delay_us` of extra latency.
+    Delay,
+    /// Delivered behind newer traffic — in the synchronous simulator a
+    /// reordered message is simply a late one, charged like a delay
+    /// but counted separately.
+    Reorder,
+}
+
+impl FaultAction {
+    /// Every action, for schedule enumeration.
+    pub const ALL: [FaultAction; 4] = [
+        FaultAction::Drop,
+        FaultAction::Duplicate,
+        FaultAction::Delay,
+        FaultAction::Reorder,
+    ];
+}
+
+/// Schedule-driven fault injection: `(sequence index, action)` pairs
+/// applied to the Nth fault-eligible message the transport carries
+/// (0-based, counting only messages that pass the plan's
+/// [`FaultPlan::with_only_kinds`] filter). Installing a script
+/// replaces the RNG rolls entirely, making every branch of a fault
+/// schedule enumerable and exactly replayable — this is the model
+/// checker's injection mode. Multiple actions on one index apply in
+/// list order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultScript {
+    /// The schedule, as (message sequence index, action) pairs.
+    pub steps: Vec<(u64, FaultAction)>,
+}
+
+impl FaultScript {
+    /// A script from explicit steps.
+    pub fn new(steps: Vec<(u64, FaultAction)>) -> Self {
+        FaultScript { steps }
+    }
+
+    /// True if the script never fires.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
 /// Deterministic fault-injection plan for the transport (and, via
 /// [`Network::roll_tear`], for torn log writes at crash time).
 ///
@@ -51,6 +105,9 @@ impl MsgHeader {
 /// no-op; every roll comes from one private RNG stream seeded by
 /// `seed`, so a given plan replays identically. Message faults apply to
 /// every [`MsgKind`] unless narrowed with [`FaultPlan::with_only_kinds`].
+/// Installing a [`FaultScript`] switches the plan from RNG-driven to
+/// schedule-driven: the probabilities are ignored and only the scripted
+/// steps fire.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
     /// Seed for the injector's private RNG stream.
@@ -81,6 +138,9 @@ pub struct FaultPlan {
     /// Base backoff charged before each resend (grows linearly with the
     /// attempt number), sim-µs.
     pub retry_backoff_us: SimTime,
+    /// Schedule-driven injection mode: when set, the probability knobs
+    /// are ignored and exactly the scripted steps fire.
+    pub script: Option<FaultScript>,
 }
 
 impl Default for FaultPlan {
@@ -103,6 +163,7 @@ impl FaultPlan {
             only_kinds: None,
             max_retries: 16,
             retry_backoff_us: 25,
+            script: None,
         }
     }
 
@@ -150,9 +211,24 @@ impl FaultPlan {
         self
     }
 
+    /// Switches to schedule-driven injection: exactly `script`'s steps
+    /// fire, and the probability knobs are ignored.
+    pub fn with_script(mut self, script: FaultScript) -> Self {
+        self.script = Some(script);
+        self
+    }
+
     /// True if no message fault can ever fire.
     pub fn is_noop(&self) -> bool {
-        self.drop <= 0.0 && self.delay <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0
+        match &self.script {
+            Some(s) => s.is_empty(),
+            None => {
+                self.drop <= 0.0
+                    && self.delay <= 0.0
+                    && self.duplicate <= 0.0
+                    && self.reorder <= 0.0
+            }
+        }
     }
 
     fn applies_to(&self, kind: MsgKind) -> bool {
@@ -375,6 +451,7 @@ pub struct Network {
     faults: FaultPlan,
     fault_rng: Rng,
     fault_stats: FaultStats,
+    script_seq: u64,
     tracer: Tracer,
     attribution: Option<Bucket>,
     overlap: Option<SimTime>,
@@ -400,6 +477,7 @@ impl Network {
             faults,
             fault_rng,
             fault_stats: FaultStats::default(),
+            script_seq: 0,
             tracer: Tracer::disabled(),
             attribution: None,
             overlap: None,
@@ -519,25 +597,72 @@ impl Network {
             return Err(Error::NodeDown(from));
         }
         self.account(from, to, kind, bytes);
-        if !self.faults.is_noop() && self.faults.applies_to(kind) {
-            if self.faults.duplicate > 0.0 && self.fault_rng.gen_bool(self.faults.duplicate) {
-                self.fault_stats.duplicated += 1;
-                self.account(from, to, kind, bytes);
-            }
-            if self.faults.delay > 0.0 && self.fault_rng.gen_bool(self.faults.delay) {
-                self.fault_stats.delayed += 1;
-                self.advance_clock(self.faults.delay_us);
-            }
-            if self.faults.reorder > 0.0 && self.fault_rng.gen_bool(self.faults.reorder) {
-                self.fault_stats.reordered += 1;
-                self.advance_clock(self.faults.delay_us);
-            }
-            if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
-                self.fault_stats.dropped += 1;
-                return Err(Error::MsgLost { from, to });
+        if self.faults.applies_to(kind) {
+            if self.faults.script.is_some() {
+                // Schedule-driven mode: the sequence counter advances
+                // on every eligible message — including under an empty
+                // script, so a clean pass can measure the schedule
+                // space — and exactly the scripted steps fire.
+                let seq = self.script_seq;
+                self.script_seq += 1;
+                let acts: Vec<FaultAction> = self
+                    .faults
+                    .script
+                    .as_ref()
+                    .expect("checked")
+                    .steps
+                    .iter()
+                    .filter(|(at, _)| *at == seq)
+                    .map(|(_, a)| *a)
+                    .collect();
+                for act in acts {
+                    match act {
+                        FaultAction::Duplicate => {
+                            self.fault_stats.duplicated += 1;
+                            self.account(from, to, kind, bytes);
+                        }
+                        FaultAction::Delay => {
+                            self.fault_stats.delayed += 1;
+                            self.advance_clock(self.faults.delay_us);
+                        }
+                        FaultAction::Reorder => {
+                            self.fault_stats.reordered += 1;
+                            self.advance_clock(self.faults.delay_us);
+                        }
+                        FaultAction::Drop => {
+                            self.fault_stats.dropped += 1;
+                            return Err(Error::MsgLost { from, to });
+                        }
+                    }
+                }
+            } else if !self.faults.is_noop() {
+                if self.faults.duplicate > 0.0 && self.fault_rng.gen_bool(self.faults.duplicate) {
+                    self.fault_stats.duplicated += 1;
+                    self.account(from, to, kind, bytes);
+                }
+                if self.faults.delay > 0.0 && self.fault_rng.gen_bool(self.faults.delay) {
+                    self.fault_stats.delayed += 1;
+                    self.advance_clock(self.faults.delay_us);
+                }
+                if self.faults.reorder > 0.0 && self.fault_rng.gen_bool(self.faults.reorder) {
+                    self.fault_stats.reordered += 1;
+                    self.advance_clock(self.faults.delay_us);
+                }
+                if self.faults.drop > 0.0 && self.fault_rng.gen_bool(self.faults.drop) {
+                    self.fault_stats.dropped += 1;
+                    return Err(Error::MsgLost { from, to });
+                }
             }
         }
         Ok(())
+    }
+
+    /// Fault-eligible messages seen so far in schedule-driven mode
+    /// (the next unused [`FaultScript`] sequence index). Always 0
+    /// without a script installed — a clean sizing pass must install
+    /// an *empty* script.
+    pub fn script_msgs_seen(&self) -> u64 {
+        self.script_seq
     }
 
     /// As [`Network::send`] with a trace header: on a traced run the

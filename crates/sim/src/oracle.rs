@@ -69,6 +69,28 @@ impl Oracle {
     /// on `reader`) and returns the number of verified slots. Any
     /// mismatch is an error describing the divergence.
     pub fn verify<S: System>(&self, sys: &mut S, reader: cblog_common::NodeId) -> Result<usize> {
+        self.verify_impl(sys, reader, true)
+    }
+
+    /// [`Oracle::verify`] without the flight-recorder dump on
+    /// mismatch. The model checker runs thousands of expected-to-fail
+    /// verifications while shrinking a counterexample; the one-line
+    /// error is the useful part there, and the dump would multiply it
+    /// by megabytes.
+    pub fn verify_quiet<S: System>(
+        &self,
+        sys: &mut S,
+        reader: cblog_common::NodeId,
+    ) -> Result<usize> {
+        self.verify_impl(sys, reader, false)
+    }
+
+    fn verify_impl<S: System>(
+        &self,
+        sys: &mut S,
+        reader: cblog_common::NodeId,
+        dump_on_mismatch: bool,
+    ) -> Result<usize> {
         let mut checked = 0;
         let mut items: Vec<(SlotKey, u64)> = self.committed.iter().map(|(k, v)| (*k, *v)).collect();
         items.sort();
@@ -86,9 +108,11 @@ impl Oracle {
                 // Divergence: dump the flight recorders before failing,
                 // so the event history around the corruption is not
                 // lost with the process.
-                if let Some(dump) = sys.flight_dump() {
-                    eprintln!("oracle mismatch at {pid} slot {slot}; flight recorders:");
-                    eprint!("{dump}");
+                if dump_on_mismatch {
+                    if let Some(dump) = sys.flight_dump() {
+                        eprintln!("oracle mismatch at {pid} slot {slot}; flight recorders:");
+                        eprint!("{dump}");
+                    }
                 }
                 return Err(cblog_common::Error::Protocol(format!(
                     "oracle mismatch at {pid} slot {slot}: database {got}, expected {want}"

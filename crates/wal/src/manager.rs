@@ -18,7 +18,7 @@
 
 use crate::record::LogRecord;
 use crate::store::LogStore;
-use cblog_common::{Counter, Decoder, Encoder, Error, Lsn, NodeId, Result};
+use cblog_common::{Counter, Decoder, Encoder, Error, Fnv1a, Lsn, NodeId, Result};
 
 const PREAMBLE: &[u8; 8] = b"CBLOG\0\0\0";
 const MASTER_MAGIC: u32 = 0x4D53_5452;
@@ -254,6 +254,55 @@ impl LogManager {
         self.end_lsn.0 - self.tail_start.0
     }
 
+    /// Encoded byte length of each unforced tail record, oldest first
+    /// (sums to [`LogManager::tail_bytes`]).
+    pub fn tail_record_sizes(&self) -> Vec<u64> {
+        self.tail.iter().map(|b| b.len() as u64).collect()
+    }
+
+    /// The distinct `landed` arguments to
+    /// [`LogManager::simulate_crash_torn`] worth exploring: every
+    /// record boundary in the unforced tail, plus every byte offset
+    /// within the final record. A tear mid-record truncates back to
+    /// that record's start boundary on repair, so any position not
+    /// listed converges to the same durable state as a listed one —
+    /// the list enumerates the tear space exhaustively up to that
+    /// equivalence, while the per-byte coverage of the last record
+    /// still drives the repair scan through every partial-header,
+    /// partial-body and CRC-mismatch length of a torn final record.
+    pub fn torn_landing_points(&self) -> Vec<u64> {
+        let sizes = self.tail_record_sizes();
+        let mut out = vec![0u64];
+        let mut at = 0u64;
+        for (i, s) in sizes.iter().enumerate() {
+            if i + 1 == sizes.len() {
+                for b in 1..=*s {
+                    out.push(at + b);
+                }
+            } else {
+                at += s;
+                out.push(at);
+            }
+        }
+        out
+    }
+
+    /// The record-boundary subset of
+    /// [`LogManager::torn_landing_points`]: 0, each whole-record
+    /// prefix, and the full tail. Multi-victim crash products use this
+    /// coarser grid — per-byte positions inside a record converge to
+    /// the preceding boundary after repair anyway (the equivalence the
+    /// model checker's state-hash dedup independently verifies).
+    pub fn torn_record_boundaries(&self) -> Vec<u64> {
+        let mut out = vec![0u64];
+        let mut at = 0u64;
+        for s in self.tail_record_sizes() {
+            at += s;
+            out.push(at);
+        }
+        out
+    }
+
     /// Forces the log so the record whose LSN is `upto` (and everything
     /// before it) is durable. No-op if already durable. The whole tail
     /// — however many records accumulated since the last force — goes
@@ -358,6 +407,26 @@ impl LogManager {
 
     /// Simulates a node crash: the tail buffer and any unsynced store
     /// bytes vanish; durable state is what restart will see.
+    /// Folds the durable (on-device) log state into `h`: the store's
+    /// landed bytes plus the master record. The volatile tail is
+    /// excluded — this hashes exactly what a crash at this instant
+    /// would preserve, which is what the model checker fingerprints to
+    /// prune crash branches that converge on the same durable state.
+    pub fn durable_hash(&mut self, h: &mut Fnv1a) -> Result<()> {
+        let len = self.store.len();
+        h.write_u64(len);
+        let mut pos = 0u64;
+        let mut buf = [0u8; 4096];
+        while pos < len {
+            let n = (len - pos).min(buf.len() as u64) as usize;
+            self.store.read_at(pos, &mut buf[..n])?;
+            h.write(&buf[..n]);
+            pos += n as u64;
+        }
+        h.write(&self.store.read_master()?);
+        Ok(())
+    }
+
     pub fn simulate_crash(&mut self) {
         self.tail.clear();
         self.store.crash();
@@ -375,6 +444,7 @@ impl LogManager {
     /// [`LogManager::repair_tail`] to cut the log back to the last
     /// checksum-valid record boundary before scanning.
     pub fn simulate_crash_torn(&mut self, landed: u64, corrupt: bool) {
+        let landed = landed.min(self.tail_bytes());
         let mut partial: Vec<u8> = Vec::with_capacity(landed as usize);
         for chunk in &self.tail {
             if partial.len() as u64 >= landed {
@@ -837,5 +907,121 @@ mod tests {
         let end0 = lm.end_lsn();
         let a = lm.append(&rec(1, Lsn::ZERO)).unwrap();
         assert_eq!(a, end0, "record lands exactly at prior end-of-log");
+    }
+
+    /// A store that cannot report its synced boundary — the freshly
+    /// reopened file case — so [`LogManager::repair_tail`] must fall
+    /// back to the master record's checkpoint anchor and rescan the
+    /// forced suffix it can no longer trust blindly.
+    struct OpaqueSyncStore(MemLogStore);
+
+    impl LogStore for OpaqueSyncStore {
+        fn len(&self) -> u64 {
+            self.0.len()
+        }
+        fn append(&mut self, bytes: &[u8]) -> Result<()> {
+            self.0.append(bytes)
+        }
+        fn read_at(&mut self, pos: u64, buf: &mut [u8]) -> Result<()> {
+            self.0.read_at(pos, buf)
+        }
+        fn sync(&mut self) -> Result<()> {
+            self.0.sync()
+        }
+        fn synced_len(&self) -> Option<u64> {
+            None
+        }
+        fn write_master(&mut self, bytes: &[u8]) -> Result<()> {
+            self.0.write_master(bytes)
+        }
+        fn read_master(&mut self) -> Result<Vec<u8>> {
+            self.0.read_master()
+        }
+        fn crash(&mut self) {
+            self.0.crash()
+        }
+        fn crash_with_partial_tail(&mut self, partial: &[u8]) {
+            self.0.crash_with_partial_tail(partial)
+        }
+        fn truncate_to(&mut self, len: u64) {
+            self.0.truncate_to(len)
+        }
+        fn syncs(&self) -> &Counter {
+            self.0.syncs()
+        }
+        fn bytes_appended(&self) -> &Counter {
+            self.0.bytes_appended()
+        }
+    }
+
+    /// Per-byte torn-tail sweep over the checkpoint-anchor fallback
+    /// path: with no synced boundary available the repair scan starts
+    /// at the anchor, revalidates the forced records above it, and
+    /// must (a) never cut below the forced boundary, (b) always land
+    /// on a record boundary — exactly the landed prefix for a clean
+    /// tear on a boundary (including `landed == 0`, the tear exactly
+    /// on the durable end), one record back when the boundary byte is
+    /// corrupted.
+    #[test]
+    fn repair_fallback_per_byte_sweep_over_anchor_boundary() {
+        let build = || {
+            let mut lm =
+                LogManager::new(NodeId(1), Box::new(OpaqueSyncStore(MemLogStore::new()))).unwrap();
+            // Anchored history: two records forced, master points at
+            // the second (the checkpoint stand-in), two more forced
+            // past the anchor, two left pending in the tail.
+            let a = lm.append(&rec(1, Lsn::ZERO)).unwrap();
+            let ckpt = lm.append(&rec(2, a)).unwrap();
+            lm.force_all().unwrap();
+            lm.write_master(ckpt).unwrap();
+            let c = lm.append(&rec(3, ckpt)).unwrap();
+            let d = lm.append(&rec(4, c)).unwrap();
+            lm.force_all().unwrap();
+            let e = lm.append(&rec(5, d)).unwrap();
+            lm.append(&rec(6, e)).unwrap();
+            lm
+        };
+        let probe = build();
+        let forced_end = probe.flushed_lsn().0;
+        let sizes = probe.tail_record_sizes();
+        assert_eq!(sizes.len(), 2);
+        let pending = probe.tail_bytes();
+        for landed in 0..=pending {
+            for corrupt in [false, true] {
+                let mut lm = build();
+                lm.simulate_crash_torn(landed, corrupt);
+                lm.repair_tail().unwrap();
+                let end = lm.end_lsn().0;
+                assert!(
+                    end >= forced_end,
+                    "landed={landed} corrupt={corrupt}: repair cut below \
+                     the forced boundary ({end} < {forced_end})"
+                );
+                let boundary_at = |n: u64| forced_end + sizes.iter().take(n as usize).sum::<u64>();
+                let whole = if landed >= sizes[0] + sizes[1] {
+                    2
+                } else if landed >= sizes[0] {
+                    1
+                } else {
+                    0
+                };
+                let on_boundary = landed == boundary_at(whole) - forced_end;
+                let want = if corrupt && landed > 0 {
+                    // The corrupted byte invalidates the record it
+                    // lands in — even when the tear is otherwise
+                    // boundary-aligned.
+                    boundary_at(whole.saturating_sub(on_boundary as u64))
+                } else {
+                    boundary_at(whole)
+                };
+                assert_eq!(
+                    end, want,
+                    "landed={landed} corrupt={corrupt}: repair landed off-boundary"
+                );
+                // Everything kept is readable from the anchor down.
+                let kept: Vec<_> = lm.scan(Lsn(8)).collect::<Result<_>>().unwrap();
+                assert!(kept.len() >= 4, "landed={landed}: forced records lost");
+            }
+        }
     }
 }

@@ -195,3 +195,62 @@ fn losers_at_crash_are_invisible_afterwards() {
     assert_eq!(c.read_u64(t, pgs[1], 0).unwrap(), 1001);
     c.commit(t).unwrap();
 }
+
+/// Regression (found by the `cblog-mc` crash-point explorer, shrunk by
+/// its minimizer): a client's uncommitted dirty page is evicted to its
+/// owner — the loser update now lives in the owner's buffer, guarded
+/// only by the owner's volatile fence lock — and then client *and*
+/// owner crash together. The crashed owner's lock table took the fence
+/// with it, and the crashed client cannot be called back, so unless
+/// phase 2 re-derives the client's exclusive claims from its own
+/// durable log, replay re-applies the loser update on the owner while
+/// undo CLRs a private copy on the client, and readers see the
+/// uncommitted value.
+#[test]
+fn double_crash_evicted_loser_does_not_resurface() {
+    let mut c = cluster(vec![4, 0, 0], 16);
+    let p = PageId::new(NodeId(0), 2);
+    let loser = c.begin(NodeId(1)).unwrap();
+    c.write_u64(loser, p, 3, 999).unwrap();
+    c.evict_page(NodeId(1), p).unwrap();
+    c.crash(NodeId(0));
+    c.crash(NodeId(1));
+    recovery::recover(&mut c, &RecoveryOptions::nodes(&[NodeId(0), NodeId(1)])).unwrap();
+    let t = c.begin(NodeId(2)).unwrap();
+    assert_eq!(c.read_u64(t, p, 3).unwrap(), 0, "loser write resurfaced");
+    c.commit(t).unwrap();
+}
+
+/// The same double crash with committed history, torn tails on both
+/// victims, and an interrupted-then-rerun recovery — the widened
+/// neighborhood of the shrunk regression above.
+#[test]
+fn double_crash_evicted_loser_with_history_and_tears() {
+    let mut c = cluster(vec![4, 0, 0], 16);
+    let p0 = PageId::new(NodeId(0), 0);
+    let p2 = PageId::new(NodeId(0), 2);
+    let t = c.begin(NodeId(2)).unwrap();
+    c.write_u64(t, p0, 0, 555).unwrap();
+    c.commit(t).unwrap();
+    let loser = c.begin(NodeId(1)).unwrap();
+    c.write_u64(loser, p2, 0, 999).unwrap();
+    c.write_u64(loser, p2, 3, 999).unwrap();
+    c.evict_page(NodeId(1), p2).unwrap();
+    let full = c.pending_log_bytes(NodeId(1));
+    c.crash_torn(NodeId(0), 0, false);
+    c.crash_torn(NodeId(1), full, true);
+    let opts = RecoveryOptions::nodes(&[NodeId(0), NodeId(1)]);
+    use cblog_common::RecoveryPhase;
+    let err = recovery::recover(&mut c, &opts.clone().crash_after(RecoveryPhase::Replay));
+    assert!(err.is_err(), "interrupt injected");
+    recovery::recover(&mut c, &opts).unwrap();
+    let t = c.begin(NodeId(2)).unwrap();
+    assert_eq!(c.read_u64(t, p0, 0).unwrap(), 555, "committed write lost");
+    assert_eq!(
+        c.read_u64(t, p2, 0).unwrap(),
+        0,
+        "loser overwrite resurfaced"
+    );
+    assert_eq!(c.read_u64(t, p2, 3).unwrap(), 0, "loser marker resurfaced");
+    c.commit(t).unwrap();
+}
